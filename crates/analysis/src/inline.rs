@@ -1,0 +1,988 @@
+//! The function inliner (paper §2.6.1, last rule).
+//!
+//! "MaJIC inlines calls to small (less than 200 lines of code) functions.
+//! Inlining preserves the call-by-value semantics of MATLAB by making
+//! copies of the actual parameters. However, read-only formal parameters
+//! are not copied. … MaJIC does not attempt to inline more than 3 levels
+//! of recursive calls in order to avoid code explosion." (§3.4)
+//!
+//! Strategy: calls in expression position are hoisted into temporary
+//! assignments; the callee body is spliced in with all local variables
+//! renamed, wrapped in a single-trip `for` loop so that top-level
+//! `return`s become `break`s. Functions whose `return` sits inside one of
+//! their own loops, or that touch globals, are not inlined.
+
+use majic_ast::{Expr, ExprKind, Function, LValue, NodeId, Span, Stmt, StmtKind};
+use std::collections::{HashMap, HashSet};
+
+/// Inliner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct InlineOptions {
+    /// Only functions with fewer statements than this are inlined
+    /// (paper: 200 lines).
+    pub max_statements: usize,
+    /// Maximum depth of recursive-call expansion (paper: 3).
+    pub max_recursion: usize,
+}
+
+impl Default for InlineOptions {
+    fn default() -> Self {
+        InlineOptions {
+            max_statements: 200,
+            max_recursion: 3,
+        }
+    }
+}
+
+/// Inline eligible calls inside `function`, resolving callees from
+/// `registry`. `next_node_id` continues the file's id allocation so new
+/// nodes stay unique; it is updated in place.
+pub fn inline_function(
+    function: &Function,
+    registry: &HashMap<String, Function>,
+    opts: InlineOptions,
+    next_node_id: &mut u32,
+) -> Function {
+    let mut ctx = Inliner {
+        registry,
+        opts,
+        next_id: next_node_id,
+        tmp_counter: 0,
+        depth: HashMap::new(),
+    };
+    let mut out = function.clone();
+    out.body = ctx.expand_block(&out.body, &local_names(function));
+    out
+}
+
+/// Names that are variables (not calls) inside a function: parameters,
+/// outputs and every assigned name.
+fn local_names(f: &Function) -> HashSet<String> {
+    let mut names: HashSet<String> = f.params.iter().chain(f.outputs.iter()).cloned().collect();
+    fn scan(stmts: &[Stmt], names: &mut HashSet<String>) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Assign { lhs, .. } => {
+                    names.insert(lhs.name().to_owned());
+                }
+                StmtKind::MultiAssign { lhs, .. } => {
+                    for lv in lhs {
+                        names.insert(lv.name().to_owned());
+                    }
+                }
+                StmtKind::For { var, body, .. } => {
+                    names.insert(var.clone());
+                    scan(body, names);
+                }
+                StmtKind::While { body, .. } => scan(body, names),
+                StmtKind::If {
+                    branches,
+                    else_body,
+                } => {
+                    for (_, b) in branches {
+                        scan(b, names);
+                    }
+                    if let Some(b) = else_body {
+                        scan(b, names);
+                    }
+                }
+                StmtKind::Global(gs) => names.extend(gs.iter().cloned()),
+                _ => {}
+            }
+        }
+    }
+    scan(&f.body, &mut names);
+    names
+}
+
+fn count_statements(stmts: &[Stmt]) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        n += 1;
+        match &s.kind {
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                for (_, b) in branches {
+                    n += count_statements(b);
+                }
+                if let Some(b) = else_body {
+                    n += count_statements(b);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                n += count_statements(body);
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Does a `return` occur inside one of the function's own loops (which
+/// would break the single-trip-loop lowering)?
+fn has_return_in_loop(stmts: &[Stmt], in_loop: bool) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Return => in_loop,
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+            has_return_in_loop(body, true)
+        }
+        StmtKind::If {
+            branches,
+            else_body,
+        } => {
+            branches
+                .iter()
+                .any(|(_, b)| has_return_in_loop(b, in_loop))
+                || else_body
+                    .as_ref()
+                    .is_some_and(|b| has_return_in_loop(b, in_loop))
+        }
+        _ => false,
+    })
+}
+
+fn has_globals_or_clear(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Global(_) | StmtKind::Clear(_) => true,
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => has_globals_or_clear(body),
+        StmtKind::If {
+            branches,
+            else_body,
+        } => {
+            branches.iter().any(|(_, b)| has_globals_or_clear(b))
+                || else_body.as_ref().is_some_and(|b| has_globals_or_clear(b))
+        }
+        _ => false,
+    })
+}
+
+struct Inliner<'a> {
+    registry: &'a HashMap<String, Function>,
+    opts: InlineOptions,
+    next_id: &'a mut u32,
+    tmp_counter: u32,
+    /// Current expansion depth per function name (recursion control).
+    depth: HashMap<String, usize>,
+}
+
+impl<'a> Inliner<'a> {
+    fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(*self.next_id);
+        *self.next_id += 1;
+        id
+    }
+
+    fn fresh_tmp(&mut self, stem: &str) -> String {
+        self.tmp_counter += 1;
+        format!("__inl{}_{stem}", self.tmp_counter)
+    }
+
+    fn eligible(&self, name: &str) -> Option<&'a Function> {
+        let f = self.registry.get(name)?;
+        if count_statements(&f.body) >= self.opts.max_statements {
+            return None;
+        }
+        if f.outputs.is_empty() && !f.params.is_empty() {
+            // Pure side-effect functions are rare; allow them anyway.
+        }
+        if has_return_in_loop(&f.body, false) || has_globals_or_clear(&f.body) {
+            return None;
+        }
+        if *self.depth.get(name).unwrap_or(&0) >= self.opts.max_recursion {
+            return None;
+        }
+        Some(f)
+    }
+
+    /// Expand calls inside a block. `locals` holds the caller's variable
+    /// names, so that `x(3)` with `x` a local is recognized as indexing,
+    /// not a call.
+    fn expand_block(&mut self, stmts: &[Stmt], locals: &HashSet<String>) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            self.expand_stmt(s, locals, &mut out);
+        }
+        out
+    }
+
+    fn expand_stmt(&mut self, s: &Stmt, locals: &HashSet<String>, out: &mut Vec<Stmt>) {
+        match &s.kind {
+            StmtKind::Assign {
+                lhs,
+                rhs,
+                suppressed,
+            } => {
+                let rhs = self.expand_expr(rhs, locals, out);
+                out.push(Stmt {
+                    span: s.span,
+                    kind: StmtKind::Assign {
+                        lhs: lhs.clone(),
+                        rhs,
+                        suppressed: *suppressed,
+                    },
+                });
+            }
+            StmtKind::Expr { expr, suppressed } => {
+                let expr = self.expand_expr(expr, locals, out);
+                out.push(Stmt {
+                    span: s.span,
+                    kind: StmtKind::Expr {
+                        expr,
+                        suppressed: *suppressed,
+                    },
+                });
+            }
+            StmtKind::MultiAssign {
+                lhs,
+                id,
+                callee,
+                args,
+                suppressed,
+            } => {
+                let args: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.expand_expr(a, locals, out))
+                    .collect();
+                if !locals.contains(callee) {
+                    if let Some(callee_fn) = self.eligible(callee) {
+                        let callee_fn = callee_fn.clone();
+                        let results = self.splice(&callee_fn, &args, lhs.len(), out, s.span);
+                        for (lv, tmp) in lhs.iter().zip(results) {
+                            let rhs = Expr {
+                                id: self.fresh_id(),
+                                span: s.span,
+                                kind: ExprKind::Ident(tmp),
+                            };
+                            out.push(Stmt {
+                                span: s.span,
+                                kind: StmtKind::Assign {
+                                    lhs: lv.clone(),
+                                    rhs,
+                                    suppressed: true,
+                                },
+                            });
+                        }
+                        return;
+                    }
+                }
+                out.push(Stmt {
+                    span: s.span,
+                    kind: StmtKind::MultiAssign {
+                        lhs: lhs.clone(),
+                        id: *id,
+                        callee: callee.clone(),
+                        args,
+                        suppressed: *suppressed,
+                    },
+                });
+            }
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                // Hoisting out of the first condition is sound (it is
+                // evaluated exactly once); later arms' conditions must not
+                // be hoisted past earlier ones, so only the first arm's
+                // condition is expanded.
+                let mut new_branches = Vec::with_capacity(branches.len());
+                for (i, (cond, body)) in branches.iter().enumerate() {
+                    let cond = if i == 0 {
+                        self.expand_expr(cond, locals, out)
+                    } else {
+                        cond.clone()
+                    };
+                    new_branches.push((cond, self.expand_block(body, locals)));
+                }
+                let else_body = else_body
+                    .as_ref()
+                    .map(|b| self.expand_block(b, locals));
+                out.push(Stmt {
+                    span: s.span,
+                    kind: StmtKind::If {
+                        branches: new_branches,
+                        else_body,
+                    },
+                });
+            }
+            StmtKind::While { cond, body } => {
+                // The condition re-evaluates every trip; hoisting would
+                // change semantics, so calls in while-conditions stay.
+                out.push(Stmt {
+                    span: s.span,
+                    kind: StmtKind::While {
+                        cond: cond.clone(),
+                        body: self.expand_block(body, locals),
+                    },
+                });
+            }
+            StmtKind::For {
+                var,
+                var_id,
+                iter,
+                body,
+            } => {
+                let iter = self.expand_expr(iter, locals, out);
+                let mut locals2 = locals.clone();
+                locals2.insert(var.clone());
+                out.push(Stmt {
+                    span: s.span,
+                    kind: StmtKind::For {
+                        var: var.clone(),
+                        var_id: *var_id,
+                        iter,
+                        body: self.expand_block(body, &locals2),
+                    },
+                });
+            }
+            _ => out.push(s.clone()),
+        }
+    }
+
+    /// Expand calls inside one expression, emitting hoisted statements.
+    fn expand_expr(&mut self, e: &Expr, locals: &HashSet<String>, out: &mut Vec<Stmt>) -> Expr {
+        let kind = match &e.kind {
+            ExprKind::Apply { callee, args } => {
+                let args: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.expand_expr(a, locals, out))
+                    .collect();
+                if !locals.contains(callee) {
+                    if let Some(callee_fn) = self.eligible(callee) {
+                        let callee_fn = callee_fn.clone();
+                        let results = self.splice(&callee_fn, &args, 1, out, e.span);
+                        return Expr {
+                            id: self.fresh_id(),
+                            span: e.span,
+                            kind: ExprKind::Ident(results[0].clone()),
+                        };
+                    }
+                }
+                ExprKind::Apply {
+                    callee: callee.clone(),
+                    args,
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
+                op: *op,
+                lhs: Box::new(self.expand_expr(lhs, locals, out)),
+                rhs: Box::new(self.expand_expr(rhs, locals, out)),
+            },
+            ExprKind::Unary { op, operand } => ExprKind::Unary {
+                op: *op,
+                operand: Box::new(self.expand_expr(operand, locals, out)),
+            },
+            ExprKind::Range { start, step, stop } => ExprKind::Range {
+                start: Box::new(self.expand_expr(start, locals, out)),
+                step: step
+                    .as_ref()
+                    .map(|s| Box::new(self.expand_expr(s, locals, out))),
+                stop: Box::new(self.expand_expr(stop, locals, out)),
+            },
+            ExprKind::Matrix(rows) => ExprKind::Matrix(
+                rows.iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|el| self.expand_expr(el, locals, out))
+                            .collect()
+                    })
+                    .collect(),
+            ),
+            ExprKind::Transpose { operand, conjugate } => ExprKind::Transpose {
+                operand: Box::new(self.expand_expr(operand, locals, out)),
+                conjugate: *conjugate,
+            },
+            other => other.clone(),
+        };
+        Expr {
+            id: e.id,
+            span: e.span,
+            kind,
+        }
+    }
+
+    /// Splice the callee body into `out`, returning the temp names bound
+    /// to its first `nargout` outputs.
+    fn splice(
+        &mut self,
+        callee: &Function,
+        args: &[Expr],
+        nargout: usize,
+        out: &mut Vec<Stmt>,
+        span: Span,
+    ) -> Vec<String> {
+        *self.depth.entry(callee.name.clone()).or_insert(0) += 1;
+        self.tmp_counter += 1;
+        let prefix = format!("__inl{}_", self.tmp_counter);
+
+        let assigned = assigned_names(&callee.body);
+        // Build the renaming map for callee locals.
+        let mut rename: HashMap<String, RenameTo> = HashMap::new();
+        let mut pre = Vec::new();
+        for (k, formal) in callee.params.iter().enumerate() {
+            let actual = args.get(k);
+            let read_only = !assigned.contains(formal);
+            match actual {
+                // Read-only formals bound to simple actuals are
+                // substituted directly — the paper's "read-only formal
+                // parameters are not copied".
+                Some(a)
+                    if read_only
+                        && matches!(a.kind, ExprKind::Ident(_) | ExprKind::Number { .. }) =>
+                {
+                    rename.insert(formal.clone(), RenameTo::Expr(a.clone()));
+                }
+                Some(a) => {
+                    let tmp = format!("{prefix}{formal}");
+                    let lhs = LValue::Var {
+                        name: tmp.clone(),
+                        id: self.fresh_id(),
+                        span,
+                    };
+                    pre.push(Stmt {
+                        span,
+                        kind: StmtKind::Assign {
+                            lhs,
+                            rhs: a.clone(),
+                            suppressed: true,
+                        },
+                    });
+                    rename.insert(formal.clone(), RenameTo::Name(tmp));
+                }
+                None => {
+                    // Missing actual: leave undefined (runtime error if
+                    // used, same as MATLAB).
+                    rename.insert(
+                        formal.clone(),
+                        RenameTo::Name(format!("{prefix}{formal}")),
+                    );
+                }
+            }
+        }
+        for name in assigned
+            .iter()
+            .chain(callee.outputs.iter())
+            .chain(callee.params.iter())
+        {
+            rename
+                .entry(name.clone())
+                .or_insert_with(|| RenameTo::Name(format!("{prefix}{name}")));
+        }
+
+        // Rename and re-id the body.
+        let mut body: Vec<Stmt> = callee
+            .body
+            .iter()
+            .map(|s| self.rewrite_stmt(s, &rename))
+            .collect();
+
+        // Wrap in a single-trip loop so top-level `return` becomes `break`.
+        if body_has_return(&body) {
+            replace_returns(&mut body);
+            let guard = self.fresh_tmp("once");
+            let one = |me: &mut Self| Expr {
+                id: me.fresh_id(),
+                span,
+                kind: ExprKind::Number {
+                    value: 1.0,
+                    imaginary: false,
+                },
+            };
+            let start = one(self);
+            let stop = one(self);
+            let iter = Expr {
+                id: self.fresh_id(),
+                span,
+                kind: ExprKind::Range {
+                    start: Box::new(start),
+                    step: None,
+                    stop: Box::new(stop),
+                },
+            };
+            let var_id = self.fresh_id();
+            body = vec![Stmt {
+                span,
+                kind: StmtKind::For {
+                    var: guard,
+                    var_id,
+                    iter,
+                    body,
+                },
+            }];
+        }
+
+        out.extend(pre);
+        // Recursively expand calls inside the inlined body (this is where
+        // bounded recursive unrolling happens).
+        let empty_locals: HashSet<String> = rename
+            .values()
+            .filter_map(|r| match r {
+                RenameTo::Name(n) => Some(n.clone()),
+                RenameTo::Expr(_) => None,
+            })
+            .collect();
+        let expanded = self.expand_block(&body, &empty_locals);
+        out.extend(expanded);
+
+        let results: Vec<String> = callee
+            .outputs
+            .iter()
+            .take(nargout.max(1))
+            .map(|o| match &rename[o] {
+                RenameTo::Name(n) => n.clone(),
+                RenameTo::Expr(_) => unreachable!("outputs are always renamed"),
+            })
+            .collect();
+        *self.depth.get_mut(&callee.name).expect("pushed above") -= 1;
+        results
+    }
+
+    fn rewrite_stmt(&mut self, s: &Stmt, rename: &HashMap<String, RenameTo>) -> Stmt {
+        let kind = match &s.kind {
+            StmtKind::Expr { expr, suppressed } => StmtKind::Expr {
+                expr: self.rewrite_expr(expr, rename),
+                suppressed: *suppressed,
+            },
+            StmtKind::Assign {
+                lhs,
+                rhs,
+                suppressed,
+            } => StmtKind::Assign {
+                lhs: self.rewrite_lvalue(lhs, rename),
+                rhs: self.rewrite_expr(rhs, rename),
+                suppressed: *suppressed,
+            },
+            StmtKind::MultiAssign {
+                lhs,
+                callee,
+                args,
+                suppressed,
+                ..
+            } => StmtKind::MultiAssign {
+                lhs: lhs.iter().map(|lv| self.rewrite_lvalue(lv, rename)).collect(),
+                id: self.fresh_id(),
+                callee: callee.clone(),
+                args: args.iter().map(|a| self.rewrite_expr(a, rename)).collect(),
+                suppressed: *suppressed,
+            },
+            StmtKind::If {
+                branches,
+                else_body,
+            } => StmtKind::If {
+                branches: branches
+                    .iter()
+                    .map(|(c, b)| {
+                        (
+                            self.rewrite_expr(c, rename),
+                            b.iter().map(|st| self.rewrite_stmt(st, rename)).collect(),
+                        )
+                    })
+                    .collect(),
+                else_body: else_body.as_ref().map(|b| {
+                    b.iter().map(|st| self.rewrite_stmt(st, rename)).collect()
+                }),
+            },
+            StmtKind::While { cond, body } => StmtKind::While {
+                cond: self.rewrite_expr(cond, rename),
+                body: body.iter().map(|st| self.rewrite_stmt(st, rename)).collect(),
+            },
+            StmtKind::For {
+                var, iter, body, ..
+            } => {
+                let new_var = match rename.get(var) {
+                    Some(RenameTo::Name(n)) => n.clone(),
+                    _ => var.clone(),
+                };
+                StmtKind::For {
+                    var: new_var,
+                    var_id: self.fresh_id(),
+                    iter: self.rewrite_expr(iter, rename),
+                    body: body.iter().map(|st| self.rewrite_stmt(st, rename)).collect(),
+                }
+            }
+            other => other.clone(),
+        };
+        Stmt { span: s.span, kind }
+    }
+
+    fn rewrite_lvalue(&mut self, lv: &LValue, rename: &HashMap<String, RenameTo>) -> LValue {
+        match lv {
+            LValue::Var { name, span, .. } => LValue::Var {
+                name: match rename.get(name) {
+                    Some(RenameTo::Name(n)) => n.clone(),
+                    _ => name.clone(),
+                },
+                id: self.fresh_id(),
+                span: *span,
+            },
+            LValue::Index {
+                name, args, span, ..
+            } => LValue::Index {
+                name: match rename.get(name) {
+                    Some(RenameTo::Name(n)) => n.clone(),
+                    _ => name.clone(),
+                },
+                args: args.iter().map(|a| self.rewrite_expr(a, rename)).collect(),
+                id: self.fresh_id(),
+                span: *span,
+            },
+        }
+    }
+
+    fn rewrite_expr(&mut self, e: &Expr, rename: &HashMap<String, RenameTo>) -> Expr {
+        let kind = match &e.kind {
+            ExprKind::Ident(name) => match rename.get(name) {
+                Some(RenameTo::Name(n)) => ExprKind::Ident(n.clone()),
+                Some(RenameTo::Expr(sub)) => {
+                    // Substitute, but with a fresh id for the copy.
+                    let mut copy = sub.clone();
+                    self.refresh_ids(&mut copy);
+                    return copy;
+                }
+                None => ExprKind::Ident(name.clone()),
+            },
+            ExprKind::Apply { callee, args } => {
+                let new_args: Vec<Expr> =
+                    args.iter().map(|a| self.rewrite_expr(a, rename)).collect();
+                match rename.get(callee) {
+                    Some(RenameTo::Name(n)) => ExprKind::Apply {
+                        callee: n.clone(),
+                        args: new_args,
+                    },
+                    Some(RenameTo::Expr(sub)) => {
+                        if let ExprKind::Ident(n) = &sub.kind {
+                            // Indexing through a directly-substituted
+                            // read-only parameter.
+                            ExprKind::Apply {
+                                callee: n.clone(),
+                                args: new_args,
+                            }
+                        } else {
+                            // A numeric literal can't be applied; keep the
+                            // original name (runtime will error, matching
+                            // MATLAB's behavior for such programs).
+                            ExprKind::Apply {
+                                callee: callee.clone(),
+                                args: new_args,
+                            }
+                        }
+                    }
+                    None => ExprKind::Apply {
+                        callee: callee.clone(),
+                        args: new_args,
+                    },
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
+                op: *op,
+                lhs: Box::new(self.rewrite_expr(lhs, rename)),
+                rhs: Box::new(self.rewrite_expr(rhs, rename)),
+            },
+            ExprKind::Unary { op, operand } => ExprKind::Unary {
+                op: *op,
+                operand: Box::new(self.rewrite_expr(operand, rename)),
+            },
+            ExprKind::Range { start, step, stop } => ExprKind::Range {
+                start: Box::new(self.rewrite_expr(start, rename)),
+                step: step.as_ref().map(|s| Box::new(self.rewrite_expr(s, rename))),
+                stop: Box::new(self.rewrite_expr(stop, rename)),
+            },
+            ExprKind::Matrix(rows) => ExprKind::Matrix(
+                rows.iter()
+                    .map(|row| row.iter().map(|el| self.rewrite_expr(el, rename)).collect())
+                    .collect(),
+            ),
+            ExprKind::Transpose { operand, conjugate } => ExprKind::Transpose {
+                operand: Box::new(self.rewrite_expr(operand, rename)),
+                conjugate: *conjugate,
+            },
+            other => other.clone(),
+        };
+        Expr {
+            id: self.fresh_id(),
+            span: e.span,
+            kind,
+        }
+    }
+
+    fn refresh_ids(&mut self, e: &mut Expr) {
+        e.id = self.fresh_id();
+        match &mut e.kind {
+            ExprKind::Apply { args, .. } => args.iter_mut().for_each(|a| self.refresh_ids(a)),
+            ExprKind::Range { start, step, stop } => {
+                self.refresh_ids(start);
+                if let Some(s) = step {
+                    self.refresh_ids(s);
+                }
+                self.refresh_ids(stop);
+            }
+            ExprKind::Unary { operand, .. } | ExprKind::Transpose { operand, .. } => {
+                self.refresh_ids(operand)
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.refresh_ids(lhs);
+                self.refresh_ids(rhs);
+            }
+            ExprKind::Matrix(rows) => rows
+                .iter_mut()
+                .flatten()
+                .for_each(|el| self.refresh_ids(el)),
+            _ => {}
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum RenameTo {
+    Name(String),
+    Expr(Expr),
+}
+
+fn assigned_names(stmts: &[Stmt]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    fn scan(stmts: &[Stmt], names: &mut HashSet<String>) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Assign { lhs, .. } => {
+                    names.insert(lhs.name().to_owned());
+                }
+                StmtKind::MultiAssign { lhs, .. } => {
+                    for lv in lhs {
+                        names.insert(lv.name().to_owned());
+                    }
+                }
+                StmtKind::For { var, body, .. } => {
+                    names.insert(var.clone());
+                    scan(body, names);
+                }
+                StmtKind::While { body, .. } => scan(body, names),
+                StmtKind::If {
+                    branches,
+                    else_body,
+                } => {
+                    for (_, b) in branches {
+                        scan(b, names);
+                    }
+                    if let Some(b) = else_body {
+                        scan(b, names);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    scan(stmts, &mut names);
+    names
+}
+
+fn body_has_return(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Return => true,
+        StmtKind::If {
+            branches,
+            else_body,
+        } => {
+            branches.iter().any(|(_, b)| body_has_return(b))
+                || else_body.as_ref().is_some_and(|b| body_has_return(b))
+        }
+        // Returns inside loops disqualify inlining earlier; no need to
+        // look inside loops here.
+        _ => false,
+    })
+}
+
+fn replace_returns(stmts: &mut [Stmt]) {
+    for s in stmts {
+        match &mut s.kind {
+            StmtKind::Return => s.kind = StmtKind::Break,
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                for (_, b) in branches {
+                    replace_returns(b);
+                }
+                if let Some(b) = else_body {
+                    replace_returns(b);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majic_ast::parse_source;
+
+    fn inline_first(src: &str, opts: InlineOptions) -> (Function, u32) {
+        let file = parse_source(src).unwrap();
+        let registry: HashMap<String, Function> = file
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect();
+        let mut next = file.node_count;
+        let f = inline_function(&file.functions[0], &registry, opts, &mut next);
+        (f, next)
+    }
+
+    fn render(f: &Function) -> String {
+        format!("{f}")
+    }
+
+    #[test]
+    fn simple_call_is_expanded() {
+        let (f, _) = inline_first(
+            "function y = main(x)\ny = sq(x) + 1;\nfunction z = sq(a)\nz = a * a;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(!text.contains("sq("), "call survived: {text}");
+        assert!(text.contains("* "), "inlined body missing: {text}");
+    }
+
+    #[test]
+    fn read_only_param_is_not_copied() {
+        let (f, _) = inline_first(
+            "function y = main(x)\ny = sq(x);\nfunction z = sq(a)\nz = a * a;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        // `a` is read-only, the actual `x` is simple → direct substitution,
+        // no `__inl…_a = x` copy statement.
+        assert!(!text.contains("_a ="), "unexpected copy: {text}");
+        assert!(text.contains("x * x"), "substitution missing: {text}");
+    }
+
+    #[test]
+    fn written_param_gets_a_copy() {
+        let (f, _) = inline_first(
+            "function y = main(x)\ny = bump(x);\nfunction z = bump(a)\na = a + 1;\nz = a;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(text.contains("_a = x"), "copy missing: {text}");
+    }
+
+    #[test]
+    fn complex_actual_gets_a_copy_even_if_read_only() {
+        let (f, _) = inline_first(
+            "function y = main(x)\ny = sq(x + 1);\nfunction z = sq(a)\nz = a * a;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(text.contains("_a = (x + 1)"), "copy missing: {text}");
+    }
+
+    #[test]
+    fn early_return_becomes_single_trip_loop() {
+        let (f, _) = inline_first(
+            "function y = main(x)\ny = clamp(x);\nfunction z = clamp(a)\nif a > 1\n z = 1;\n return\nend\nz = a;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(text.contains("for __inl"), "guard loop missing: {text}");
+        assert!(text.contains("break"), "break missing: {text}");
+        assert!(!text.contains("return"), "return survived: {text}");
+    }
+
+    #[test]
+    fn return_inside_callee_loop_blocks_inlining() {
+        let (f, _) = inline_first(
+            "function y = main(x)\ny = findit(x);\nfunction z = findit(a)\nz = 0;\nfor k = 1:10\n if k > a\n  z = k;\n  return\n end\nend\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(text.contains("findit("), "should not inline: {text}");
+    }
+
+    #[test]
+    fn recursion_unrolls_exactly_three_levels() {
+        let (f, _) = inline_first(
+            "function y = main(n)\ny = fib(n);\nfunction f = fib(n)\nif n < 2\n f = n;\n return\nend\nf = fib(n - 1) + fib(n - 2);\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        // After 3 levels of expansion, residual calls remain.
+        assert!(text.contains("fib("), "expected residual calls: {text}");
+        // And there must be several inlined frames.
+        let frames = text.matches("for __inl").count();
+        assert!(frames >= 3, "expected >=3 inlined frames, got {frames}");
+    }
+
+    #[test]
+    fn large_functions_are_not_inlined() {
+        let mut body = String::new();
+        for k in 0..250 {
+            body.push_str(&format!("z = {k};\n"));
+        }
+        let src =
+            format!("function y = main(x)\ny = big(x);\nfunction z = big(a)\n{body}z = a;\n");
+        let (f, _) = inline_first(&src, InlineOptions::default());
+        assert!(render(&f).contains("big("));
+    }
+
+    #[test]
+    fn indexing_a_local_is_not_a_call() {
+        // `x(2)` where x is a parameter must not be treated as a call even
+        // if a function named x exists.
+        let (f, _) = inline_first(
+            "function y = main(x)\ny = x(2);\nfunction z = x(a)\nz = a;\n",
+            InlineOptions::default(),
+        );
+        assert!(render(&f).contains("x(2)"));
+    }
+
+    #[test]
+    fn multi_assign_inlines() {
+        let (f, _) = inline_first(
+            "function y = main(x)\n[a, b] = two(x);\ny = a + b;\nfunction [p, q] = two(v)\np = v + 1;\nq = v + 2;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(!text.contains("two("), "{text}");
+        assert!(text.contains("a = __inl"), "{text}");
+    }
+
+    #[test]
+    fn node_ids_stay_unique_after_inlining() {
+        let src = "function y = main(x)\ny = sq(x) + sq(x + 1);\nfunction z = sq(a)\nz = a * a;\n";
+        let file = parse_source(src).unwrap();
+        let registry: HashMap<String, Function> = file
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect();
+        let mut next = file.node_count;
+        let f = inline_function(&file.functions[0], &registry, InlineOptions::default(), &mut next);
+        let mut seen = std::collections::HashSet::new();
+        fn walk_stmts(stmts: &[Stmt], seen: &mut std::collections::HashSet<NodeId>) {
+            for s in stmts {
+                match &s.kind {
+                    StmtKind::Assign { lhs, rhs, .. } => {
+                        assert!(seen.insert(lhs.id()), "dup lvalue id");
+                        rhs.walk(&mut |e| assert!(seen.insert(e.id), "dup id {}", e.id));
+                    }
+                    StmtKind::For { iter, body, .. } => {
+                        iter.walk(&mut |e| assert!(seen.insert(e.id), "dup id {}", e.id));
+                        walk_stmts(body, seen);
+                    }
+                    StmtKind::If { branches, else_body } => {
+                        for (c, b) in branches {
+                            c.walk(&mut |e| assert!(seen.insert(e.id), "dup id {}", e.id));
+                            walk_stmts(b, seen);
+                        }
+                        if let Some(b) = else_body {
+                            walk_stmts(b, seen);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk_stmts(&f.body, &mut seen);
+    }
+}

@@ -1,0 +1,186 @@
+//! Pretty-printing of AST nodes back to (parenthesized) MATLAB syntax.
+//!
+//! The printer fully parenthesizes nested operators, which makes it useful
+//! for precedence tests and compiler debugging output rather than for
+//! round-tripping source verbatim.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ExprKind::Number { value, imaginary } => {
+                write!(f, "{value}{}", if *imaginary { "i" } else { "" })
+            }
+            ExprKind::Str(s) => write!(f, "'{s}'"),
+            ExprKind::Ident(name) => f.write_str(name),
+            ExprKind::Apply { callee, args } => {
+                write!(f, "{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            ExprKind::Range { start, step, stop } => match step {
+                Some(step) => write!(f, "({start}:{step}:{stop})"),
+                None => write!(f, "({start}:{stop})"),
+            },
+            ExprKind::Colon => f.write_str(":"),
+            ExprKind::End => f.write_str("end"),
+            ExprKind::Unary { op, operand } => write!(f, "({op}{operand})"),
+            ExprKind::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            ExprKind::Matrix(rows) => {
+                f.write_str("[")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                }
+                f.write_str("]")
+            }
+            ExprKind::Transpose { operand, conjugate } => {
+                write!(f, "{operand}{}", if *conjugate { "'" } else { ".'" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Var { name, .. } => f.write_str(name),
+            LValue::Index { name, args, .. } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+fn write_block(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    for s in stmts {
+        s.fmt_indented(f, indent)?;
+    }
+    Ok(())
+}
+
+impl Stmt {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match &self.kind {
+            StmtKind::Expr { expr, suppressed } => {
+                writeln!(f, "{pad}{expr}{}", if *suppressed { ";" } else { "" })
+            }
+            StmtKind::Assign {
+                lhs,
+                rhs,
+                suppressed,
+            } => writeln!(f, "{pad}{lhs} = {rhs}{}", if *suppressed { ";" } else { "" }),
+            StmtKind::MultiAssign {
+                lhs,
+                callee,
+                args,
+                suppressed,
+                ..
+            } => {
+                write!(f, "{pad}[")?;
+                for (i, lv) in lhs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{lv}")?;
+                }
+                write!(f, "] = {callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                writeln!(f, "){}", if *suppressed { ";" } else { "" })
+            }
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                for (i, (cond, body)) in branches.iter().enumerate() {
+                    writeln!(f, "{pad}{} {cond}", if i == 0 { "if" } else { "elseif" })?;
+                    write_block(f, body, indent + 1)?;
+                }
+                if let Some(body) = else_body {
+                    writeln!(f, "{pad}else")?;
+                    write_block(f, body, indent + 1)?;
+                }
+                writeln!(f, "{pad}end")
+            }
+            StmtKind::While { cond, body } => {
+                writeln!(f, "{pad}while {cond}")?;
+                write_block(f, body, indent + 1)?;
+                writeln!(f, "{pad}end")
+            }
+            StmtKind::For {
+                var, iter, body, ..
+            } => {
+                writeln!(f, "{pad}for {var} = {iter}")?;
+                write_block(f, body, indent + 1)?;
+                writeln!(f, "{pad}end")
+            }
+            StmtKind::Break => writeln!(f, "{pad}break"),
+            StmtKind::Continue => writeln!(f, "{pad}continue"),
+            StmtKind::Return => writeln!(f, "{pad}return"),
+            StmtKind::Global(names) => writeln!(f, "{pad}global {}", names.join(" ")),
+            StmtKind::Clear(names) => {
+                if names.is_empty() {
+                    writeln!(f, "{pad}clear")
+                } else {
+                    writeln!(f, "{pad}clear {}", names.join(" "))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("function ")?;
+        match self.outputs.len() {
+            0 => {}
+            1 => write!(f, "{} = ", self.outputs[0])?,
+            _ => write!(f, "[{}] = ", self.outputs.join(", "))?,
+        }
+        writeln!(f, "{}({})", self.name, self.params.join(", "))?;
+        write_block(f, &self.body, 1)
+    }
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_block(f, &self.script, 0)?;
+        for func in &self.functions {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,37 @@
+//! Frontend errors.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by the lexer or parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// An error with a message and location.
+    pub fn new(message: String, span: Span) -> ParseError {
+        ParseError { message, span }
+    }
+
+    /// The human-readable message (without location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl Error for ParseError {}

@@ -1,0 +1,615 @@
+//! The MATLAB lexer.
+//!
+//! Two MATLAB-specific subtleties live here:
+//!
+//! * `'` is the transpose operator when it immediately follows a value
+//!   (identifier, number, `)`, `]`, `end`, or another transpose) and a
+//!   string delimiter otherwise;
+//! * `...` continues a logical line, and `%` starts a comment.
+
+use crate::error::ParseError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Streaming lexer over MATLAB source text.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+    /// Whether the previously produced token can end a value (enables
+    /// transpose interpretation of `'`).
+    prev_ends_value: bool,
+}
+
+impl<'src> Lexer<'src> {
+    /// A lexer over `src`.
+    pub fn new(src: &'src str) -> Lexer<'src> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            prev_ends_value: false,
+        }
+    }
+
+    /// Lex the entire input into a token vector ending with `Eof`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed numbers, unterminated strings
+    /// or unexpected characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    /// Skip spaces, tabs, comments and `...` continuations. Returns whether
+    /// anything was skipped.
+    fn skip_trivia(&mut self) -> bool {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'%' => {
+                    while self.peek() != b'\n' && self.pos < self.src.len() {
+                        self.pos += 1;
+                    }
+                }
+                b'.' if self.peek2() == b'.' && *self.src.get(self.pos + 2).unwrap_or(&0) == b'.' =>
+                {
+                    // Line continuation: skip to and including the newline.
+                    while self.peek() != b'\n' && self.pos < self.src.len() {
+                        self.pos += 1;
+                    }
+                    if self.peek() == b'\n' {
+                        self.pos += 1;
+                        self.line += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.pos != start
+    }
+
+    fn span_from(&self, start: usize, line: u32) -> Span {
+        Span {
+            start: start as u32,
+            end: self.pos as u32,
+            line,
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        let space_before = self.skip_trivia();
+        let start = self.pos;
+        let line = self.line;
+
+        let make = |kind: TokenKind, lexer: &Lexer<'_>, ends_value: bool| {
+            (kind, lexer.span_from(start, line), ends_value)
+        };
+
+        if self.pos >= self.src.len() {
+            let (kind, span, _) = make(TokenKind::Eof, self, false);
+            return Ok(Token {
+                kind,
+                span,
+                space_before,
+            });
+        }
+
+        let c = self.peek();
+        let (kind, span, ends_value) = match c {
+            b'\n' => {
+                self.bump();
+                self.line += 1;
+                make(TokenKind::Newline, self, false)
+            }
+            b'0'..=b'9' => self.lex_number(start, line)?,
+            b'.' if self.peek2().is_ascii_digit() => self.lex_number(start, line)?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                let kind = match text {
+                    "function" => TokenKind::Function,
+                    "for" => TokenKind::For,
+                    "while" => TokenKind::While,
+                    "if" => TokenKind::If,
+                    "elseif" => TokenKind::Elseif,
+                    "else" => TokenKind::Else,
+                    "end" => TokenKind::End,
+                    "return" => TokenKind::Return,
+                    "break" => TokenKind::Break,
+                    "continue" => TokenKind::Continue,
+                    "global" => TokenKind::Global,
+                    _ => TokenKind::Ident(text.to_owned()),
+                };
+                let ends_value = matches!(kind, TokenKind::Ident(_) | TokenKind::End);
+                make(kind, self, ends_value)
+            }
+            b'\'' => {
+                // Transpose only when the quote is glued to a value:
+                // `A'` transposes, but `['a' 'b']` concatenates strings.
+                if self.prev_ends_value && !space_before {
+                    self.bump();
+                    make(TokenKind::Quote, self, true)
+                } else {
+                    self.lex_string(start, line)?
+                }
+            }
+            b'.' => {
+                self.bump();
+                match self.peek() {
+                    b'*' => {
+                        self.bump();
+                        make(TokenKind::DotStar, self, false)
+                    }
+                    b'/' => {
+                        self.bump();
+                        make(TokenKind::DotSlash, self, false)
+                    }
+                    b'\\' => {
+                        self.bump();
+                        make(TokenKind::DotBackslash, self, false)
+                    }
+                    b'^' => {
+                        self.bump();
+                        make(TokenKind::DotCaret, self, false)
+                    }
+                    b'\'' => {
+                        self.bump();
+                        make(TokenKind::DotQuote, self, true)
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            format!("unexpected character '.{}'", other as char),
+                            self.span_from(start, line),
+                        ))
+                    }
+                }
+            }
+            b'(' => {
+                self.bump();
+                make(TokenKind::LParen, self, false)
+            }
+            b')' => {
+                self.bump();
+                make(TokenKind::RParen, self, true)
+            }
+            b'[' => {
+                self.bump();
+                make(TokenKind::LBracket, self, false)
+            }
+            b']' => {
+                self.bump();
+                make(TokenKind::RBracket, self, true)
+            }
+            b',' => {
+                self.bump();
+                make(TokenKind::Comma, self, false)
+            }
+            b';' => {
+                self.bump();
+                make(TokenKind::Semicolon, self, false)
+            }
+            b'+' => {
+                self.bump();
+                make(TokenKind::Plus, self, false)
+            }
+            b'-' => {
+                self.bump();
+                make(TokenKind::Minus, self, false)
+            }
+            b'*' => {
+                self.bump();
+                make(TokenKind::Star, self, false)
+            }
+            b'/' => {
+                self.bump();
+                make(TokenKind::Slash, self, false)
+            }
+            b'\\' => {
+                self.bump();
+                make(TokenKind::Backslash, self, false)
+            }
+            b'^' => {
+                self.bump();
+                make(TokenKind::Caret, self, false)
+            }
+            b':' => {
+                self.bump();
+                make(TokenKind::Colon, self, false)
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    make(TokenKind::EqEq, self, false)
+                } else {
+                    make(TokenKind::Assign, self, false)
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    make(TokenKind::Le, self, false)
+                } else {
+                    make(TokenKind::Lt, self, false)
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    make(TokenKind::Ge, self, false)
+                } else {
+                    make(TokenKind::Gt, self, false)
+                }
+            }
+            b'~' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    make(TokenKind::Ne, self, false)
+                } else {
+                    make(TokenKind::Tilde, self, false)
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == b'&' {
+                    self.bump();
+                    make(TokenKind::AmpAmp, self, false)
+                } else {
+                    make(TokenKind::Amp, self, false)
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == b'|' {
+                    self.bump();
+                    make(TokenKind::PipePipe, self, false)
+                } else {
+                    make(TokenKind::Pipe, self, false)
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{}'", other as char),
+                    self.span_from(start, line),
+                ))
+            }
+        };
+
+        self.prev_ends_value = ends_value;
+        Ok(Token {
+            kind,
+            span,
+            space_before,
+        })
+    }
+
+    fn lex_number(
+        &mut self,
+        start: usize,
+        line: u32,
+    ) -> Result<(TokenKind, Span, bool), ParseError> {
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        // Fractional part — but not `.`-operators like `1.*x` or `2.^k`,
+        // and not the `..` of an ellipsis.
+        if self.peek() == b'.' && !matches!(self.peek2(), b'*' | b'/' | b'\\' | b'^' | b'\'' | b'.')
+        {
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), b'+' | b'-') {
+                self.pos += 1;
+            }
+            if self.peek().is_ascii_digit() {
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. `2end` never occurs, but
+                // `2e` followed by an identifier char would be an error;
+                // roll back and let the identifier lexer complain).
+                self.pos = save;
+            }
+        }
+        let imaginary = matches!(self.peek(), b'i' | b'j')
+            && !matches!(
+                self.peek2(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_'
+            );
+        let text_end = self.pos;
+        if imaginary {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..text_end]).expect("ascii");
+        let value: f64 = text.parse().map_err(|_| {
+            ParseError::new(
+                format!("malformed number '{text}'"),
+                self.span_from(start, line),
+            )
+        })?;
+        Ok((
+            TokenKind::Number { value, imaginary },
+            self.span_from(start, line),
+            true,
+        ))
+    }
+
+    fn lex_string(
+        &mut self,
+        start: usize,
+        line: u32,
+    ) -> Result<(TokenKind, Span, bool), ParseError> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                0 | b'\n' => {
+                    return Err(ParseError::new(
+                        "unterminated string".to_owned(),
+                        self.span_from(start, line),
+                    ))
+                }
+                b'\'' => {
+                    self.bump();
+                    if self.peek() == b'\'' {
+                        self.bump();
+                        text.push('\'');
+                    } else {
+                        break;
+                    }
+                }
+                c => {
+                    self.bump();
+                    text.push(c as char);
+                }
+            }
+        }
+        Ok((TokenKind::Str(text), self.span_from(start, line), true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn num(v: f64) -> TokenKind {
+        TokenKind::Number {
+            value: v,
+            imaginary: false,
+        }
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 .5 1e3 1.5e-2 2E+1"),
+            vec![
+                num(1.0),
+                num(2.5),
+                num(0.5),
+                num(1000.0),
+                num(0.015),
+                num(20.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn imaginary_literals() {
+        assert_eq!(
+            kinds("3i 2.5j"),
+            vec![
+                TokenKind::Number {
+                    value: 3.0,
+                    imaginary: true
+                },
+                TokenKind::Number {
+                    value: 2.5,
+                    imaginary: true
+                },
+                TokenKind::Eof
+            ]
+        );
+        // `3if` would be `3` then ident `if`… (keyword actually)
+        assert_eq!(
+            kinds("2iter"),
+            vec![num(2.0), TokenKind::Ident("iter".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn number_dot_operator_is_not_fraction() {
+        assert_eq!(
+            kinds("2.*x"),
+            vec![
+                num(2.0),
+                TokenKind::DotStar,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("2.^k"),
+            vec![
+                num(2.0),
+                TokenKind::DotCaret,
+                TokenKind::Ident("k".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("for foo end"),
+            vec![
+                TokenKind::For,
+                TokenKind::Ident("foo".into()),
+                TokenKind::End,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn transpose_vs_string() {
+        // After an identifier: transpose.
+        assert_eq!(
+            kinds("A'"),
+            vec![TokenKind::Ident("A".into()), TokenKind::Quote, TokenKind::Eof]
+        );
+        // After `(`: string.
+        assert_eq!(
+            kinds("disp('hi')"),
+            vec![
+                TokenKind::Ident("disp".into()),
+                TokenKind::LParen,
+                TokenKind::Str("hi".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+        // After `)`: transpose.
+        assert_eq!(
+            kinds("(x)'"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Quote,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_after_value_with_space() {
+        // With a space, `'` starts a string even after a value token.
+        assert_eq!(
+            kinds("['a' 'b']"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Str("a".into()),
+                TokenKind::Str("b".into()),
+                TokenKind::RBracket,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        assert_eq!(
+            kinds("x % comment\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Newline,
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("1 + ...\n 2"),
+            vec![num(1.0), TokenKind::Plus, num(2.0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == ~= && || .* ./ .^ .\\"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::DotStar,
+                TokenKind::DotSlash,
+                TokenKind::DotCaret,
+                TokenKind::DotBackslash,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn space_before_flag() {
+        let toks = Lexer::new("[1 -2]").tokenize().unwrap();
+        // tokens: [ 1 - 2 ]
+        assert!(!toks[1].space_before); // `1` after `[`
+        assert!(toks[2].space_before); // `-` after a space
+        assert!(!toks[3].space_before); // `2` right after `-`
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(Lexer::new("x = 'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = Lexer::new("a\nb\nc").tokenize().unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[2].span.line, 2);
+        assert_eq!(toks[4].span.line, 3);
+    }
+}

@@ -1,0 +1,1118 @@
+//! Recursive-descent parser for the MATLAB subset.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::Lexer;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parse a complete source file (script statements and/or functions).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_source(src: &str) -> Result<SourceFile, ParseError> {
+    Parser::new(src)?.source_file()
+}
+
+/// Parse a sequence of statements (REPL input).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_statements(src: &str) -> Result<(Vec<Stmt>, u32), ParseError> {
+    let mut p = Parser::new(src)?;
+    let stmts = p.statement_list(&[])?;
+    p.expect(TokenKind::Eof)?;
+    Ok((stmts, p.next_id))
+}
+
+/// Parse a single expression (tests and REPL probes).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_expression(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.skip_separators();
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+/// Syntactic context, tracked so that `]`-vs-whitespace and `end` get their
+/// context-dependent meanings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ctx {
+    /// Inside a matrix literal: whitespace separates elements.
+    Matrix,
+    /// Inside grouping parentheses.
+    Paren,
+    /// Inside subscript/call parentheses: `end` and `:` are expressions.
+    Index,
+}
+
+/// The recursive-descent parser. Most users go through [`parse_source`];
+/// the type is public so the REPL can parse incrementally.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+    ctx: Vec<Ctx>,
+}
+
+impl Parser {
+    /// A parser over the given source.
+    ///
+    /// # Errors
+    ///
+    /// Returns lexical errors immediately.
+    pub fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            tokens: Lexer::new(src).tokenize()?,
+            pos: 0,
+            next_id: 0,
+            ctx: Vec::new(),
+        })
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected '{kind}', found '{}'", self.peek_kind())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError::new(message, self.peek().span)
+    }
+
+    fn in_matrix(&self) -> bool {
+        self.ctx.last() == Some(&Ctx::Matrix)
+    }
+
+    fn in_index(&self) -> bool {
+        self.ctx.contains(&Ctx::Index)
+    }
+
+    /// Skip statement separators (newlines, semicolons, commas).
+    pub fn skip_separators(&mut self) {
+        while matches!(
+            self.peek_kind(),
+            TokenKind::Newline | TokenKind::Semicolon | TokenKind::Comma
+        ) {
+            self.bump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    /// Parse a full source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error.
+    pub fn source_file(&mut self) -> Result<SourceFile, ParseError> {
+        let mut file = SourceFile::default();
+        self.skip_separators();
+        // Script statements come before any function definitions.
+        while !self.at(&TokenKind::Eof) && !self.at(&TokenKind::Function) {
+            file.script.push(self.statement()?);
+            self.skip_separators();
+        }
+        while self.at(&TokenKind::Function) {
+            file.functions.push(self.function()?);
+            self.skip_separators();
+        }
+        self.expect(TokenKind::Eof)?;
+        file.node_count = self.next_id;
+        Ok(file)
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let start = self.expect(TokenKind::Function)?.span;
+
+        // Header forms:  function name(...)  |  function out = name(...)
+        //                function [o1, o2] = name(...)
+        let mut outputs = Vec::new();
+        let name;
+        if self.at(&TokenKind::LBracket) {
+            self.bump();
+            loop {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(s) => outputs.push(s),
+                    other => return Err(self.error(format!("expected output name, found '{other}'"))),
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBracket)?;
+            self.expect(TokenKind::Assign)?;
+            name = self.ident()?;
+        } else {
+            let first = self.ident()?;
+            if self.eat(&TokenKind::Assign) {
+                outputs.push(first);
+                name = self.ident()?;
+            } else {
+                name = first;
+            }
+        }
+
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    params.push(self.ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+
+        // Body: statements until EOF, the next `function`, or a
+        // function-terminating `end` (both pre- and post-2006 styles).
+        let body = self.statement_list(&[TokenKind::Function, TokenKind::End])?;
+        self.eat(&TokenKind::End); // optional terminator
+        let span = start;
+        Ok(Function {
+            name,
+            params,
+            outputs,
+            body,
+            span,
+        })
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                format!("expected identifier, found '{other}'"),
+                t.span,
+            )),
+        }
+    }
+
+    /// Parse statements until EOF or one of `stops` (not consumed).
+    fn statement_list(&mut self, stops: &[TokenKind]) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_separators();
+            if self.at(&TokenKind::Eof) || stops.iter().any(|k| self.at(k)) {
+                return Ok(stmts);
+            }
+            stmts.push(self.statement()?);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::If => self.if_statement(),
+            TokenKind::While => self.while_statement(),
+            TokenKind::For => self.for_statement(),
+            TokenKind::Break => {
+                self.bump();
+                self.end_of_statement()?;
+                Ok(Stmt {
+                    span,
+                    kind: StmtKind::Break,
+                })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.end_of_statement()?;
+                Ok(Stmt {
+                    span,
+                    kind: StmtKind::Continue,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                self.end_of_statement()?;
+                Ok(Stmt {
+                    span,
+                    kind: StmtKind::Return,
+                })
+            }
+            TokenKind::Global => {
+                self.bump();
+                let mut names = Vec::new();
+                while let TokenKind::Ident(_) = self.peek_kind() {
+                    names.push(self.ident()?);
+                    self.eat(&TokenKind::Comma);
+                }
+                self.end_of_statement()?;
+                Ok(Stmt {
+                    span,
+                    kind: StmtKind::Global(names),
+                })
+            }
+            TokenKind::Ident(name) if name == "clear" && self.command_syntax_follows() => {
+                self.bump();
+                let mut names = Vec::new();
+                while let TokenKind::Ident(_) = self.peek_kind() {
+                    names.push(self.ident()?);
+                }
+                self.end_of_statement()?;
+                Ok(Stmt {
+                    span,
+                    kind: StmtKind::Clear(names),
+                })
+            }
+            _ => self.expr_or_assign_statement(),
+        }
+    }
+
+    /// Does command syntax follow the current identifier? (`clear`, then
+    /// either a bare word or the end of the statement — not `=` or `(`.)
+    fn command_syntax_follows(&self) -> bool {
+        matches!(
+            self.peek_at(1).kind,
+            TokenKind::Ident(_)
+                | TokenKind::Newline
+                | TokenKind::Semicolon
+                | TokenKind::Comma
+                | TokenKind::Eof
+        )
+    }
+
+    fn end_of_statement(&mut self) -> Result<bool, ParseError> {
+        match self.peek_kind() {
+            TokenKind::Semicolon => {
+                self.bump();
+                Ok(true)
+            }
+            TokenKind::Newline | TokenKind::Comma => {
+                self.bump();
+                Ok(false)
+            }
+            TokenKind::Eof
+            | TokenKind::End
+            | TokenKind::Else
+            | TokenKind::Elseif
+            | TokenKind::Function => Ok(false),
+            other => Err(self.error(format!("expected end of statement, found '{other}'"))),
+        }
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.expect(TokenKind::If)?.span;
+        let mut branches = Vec::new();
+        let cond = self.expr()?;
+        self.skip_separators();
+        let body = self.statement_list(&[TokenKind::End, TokenKind::Else, TokenKind::Elseif])?;
+        branches.push((cond, body));
+        let mut else_body = None;
+        loop {
+            if self.eat(&TokenKind::Elseif) {
+                let cond = self.expr()?;
+                self.skip_separators();
+                let body =
+                    self.statement_list(&[TokenKind::End, TokenKind::Else, TokenKind::Elseif])?;
+                branches.push((cond, body));
+            } else if self.eat(&TokenKind::Else) {
+                self.skip_separators();
+                else_body = Some(self.statement_list(&[TokenKind::End])?);
+                break;
+            } else {
+                break;
+            }
+        }
+        self.expect(TokenKind::End)?;
+        Ok(Stmt {
+            span,
+            kind: StmtKind::If {
+                branches,
+                else_body,
+            },
+        })
+    }
+
+    fn while_statement(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.expect(TokenKind::While)?.span;
+        let cond = self.expr()?;
+        self.skip_separators();
+        let body = self.statement_list(&[TokenKind::End])?;
+        self.expect(TokenKind::End)?;
+        Ok(Stmt {
+            span,
+            kind: StmtKind::While { cond, body },
+        })
+    }
+
+    fn for_statement(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.expect(TokenKind::For)?.span;
+        let var = self.ident()?;
+        let var_id = self.fresh_id();
+        self.expect(TokenKind::Assign)?;
+        let iter = self.expr()?;
+        self.skip_separators();
+        let body = self.statement_list(&[TokenKind::End])?;
+        self.expect(TokenKind::End)?;
+        Ok(Stmt {
+            span,
+            kind: StmtKind::For {
+                var,
+                var_id,
+                iter,
+                body,
+            },
+        })
+    }
+
+    fn expr_or_assign_statement(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.peek().span;
+
+        // `[a, b] = f(...)` multi-assignment?
+        if self.at(&TokenKind::LBracket) {
+            if let Some(stmt) = self.try_multi_assign(span)? {
+                return Ok(stmt);
+            }
+        }
+
+        let expr = self.expr()?;
+        if self.at(&TokenKind::Assign) {
+            self.bump();
+            let lhs = self.expr_to_lvalue(expr)?;
+            let rhs = self.expr()?;
+            let suppressed = self.end_of_statement()?;
+            return Ok(Stmt {
+                span,
+                kind: StmtKind::Assign {
+                    lhs,
+                    rhs,
+                    suppressed,
+                },
+            });
+        }
+        let suppressed = self.end_of_statement()?;
+        Ok(Stmt {
+            span,
+            kind: StmtKind::Expr { expr, suppressed },
+        })
+    }
+
+    /// Try to parse `[a, b, …] = callee(args)`. Rewinds and returns `None`
+    /// when the bracket turns out to be a matrix literal expression.
+    fn try_multi_assign(&mut self, span: Span) -> Result<Option<Stmt>, ParseError> {
+        let save_pos = self.pos;
+        let save_id = self.next_id;
+        let attempt = (|| -> Result<Option<Stmt>, ParseError> {
+            self.expect(TokenKind::LBracket)?;
+            let mut lhs = Vec::new();
+            loop {
+                if !matches!(self.peek_kind(), TokenKind::Ident(_)) {
+                    return Ok(None);
+                }
+                let lv_span = self.peek().span;
+                let name = self.ident()?;
+                if self.at(&TokenKind::LParen) {
+                    let args = self.apply_args()?;
+                    lhs.push(LValue::Index {
+                        name,
+                        args,
+                        id: self.fresh_id(),
+                        span: lv_span,
+                    });
+                } else {
+                    lhs.push(LValue::Var {
+                        name,
+                        id: self.fresh_id(),
+                        span: lv_span,
+                    });
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            if !self.eat(&TokenKind::RBracket) {
+                return Ok(None);
+            }
+            if !self.eat(&TokenKind::Assign) {
+                return Ok(None);
+            }
+            let callee = self.ident()?;
+            let id = self.fresh_id();
+            let args = if self.at(&TokenKind::LParen) {
+                self.apply_args()?
+            } else {
+                Vec::new()
+            };
+            let suppressed = self.end_of_statement()?;
+            Ok(Some(Stmt {
+                span,
+                kind: StmtKind::MultiAssign {
+                    lhs,
+                    id,
+                    callee,
+                    args,
+                    suppressed,
+                },
+            }))
+        })();
+        match attempt {
+            Ok(Some(stmt)) => Ok(Some(stmt)),
+            Ok(None) | Err(_) => {
+                self.pos = save_pos;
+                self.next_id = save_id;
+                Ok(None)
+            }
+        }
+    }
+
+    fn expr_to_lvalue(&mut self, expr: Expr) -> Result<LValue, ParseError> {
+        match expr.kind {
+            ExprKind::Ident(name) => Ok(LValue::Var {
+                name,
+                id: expr.id,
+                span: expr.span,
+            }),
+            ExprKind::Apply { callee, args } => Ok(LValue::Index {
+                name: callee,
+                args,
+                id: expr.id,
+                span: expr.span,
+            }),
+            _ => Err(ParseError::new(
+                "invalid assignment target".to_owned(),
+                expr.span,
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    /// Parse one expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error.
+    pub fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.short_or()
+    }
+
+    fn mk(&mut self, span: Span, kind: ExprKind) -> Expr {
+        Expr {
+            id: self.fresh_id(),
+            span,
+            kind,
+        }
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(TokenKind, BinOp)],
+        next: fn(&mut Parser) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.at(tok) {
+                    // Matrix-literal whitespace rule: `[1 -2]` separates
+                    // elements; `[1 - 2]` and `[1-2]` are binary.
+                    if self.in_matrix()
+                        && matches!(tok, TokenKind::Plus | TokenKind::Minus)
+                        && self.peek().space_before
+                        && !self.peek_at(1).space_before
+                        && self.peek_at(1).kind.starts_expression()
+                    {
+                        break 'outer;
+                    }
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span.merge(rhs.span);
+                    lhs = self.mk(
+                        span,
+                        ExprKind::Binary {
+                            op: *op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
+                    );
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn short_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::PipePipe, BinOp::ShortOr)], Parser::short_and)
+    }
+
+    fn short_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::AmpAmp, BinOp::ShortAnd)], Parser::elem_or)
+    }
+
+    fn elem_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Pipe, BinOp::Or)], Parser::elem_and)
+    }
+
+    fn elem_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Amp, BinOp::And)], Parser::comparison)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Gt, BinOp::Gt),
+                (TokenKind::EqEq, BinOp::Eq),
+                (TokenKind::Ne, BinOp::Ne),
+            ],
+            Parser::range,
+        )
+    }
+
+    fn range(&mut self) -> Result<Expr, ParseError> {
+        let start = self.additive()?;
+        if !self.at(&TokenKind::Colon) {
+            return Ok(start);
+        }
+        self.bump();
+        let second = self.additive()?;
+        if self.at(&TokenKind::Colon) {
+            self.bump();
+            let stop = self.additive()?;
+            let span = start.span.merge(stop.span);
+            Ok(self.mk(
+                span,
+                ExprKind::Range {
+                    start: Box::new(start),
+                    step: Some(Box::new(second)),
+                    stop: Box::new(stop),
+                },
+            ))
+        } else {
+            let span = start.span.merge(second.span);
+            Ok(self.mk(
+                span,
+                ExprKind::Range {
+                    start: Box::new(start),
+                    step: None,
+                    stop: Box::new(second),
+                },
+            ))
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            Parser::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Backslash, BinOp::LeftDiv),
+                (TokenKind::DotStar, BinOp::ElemMul),
+                (TokenKind::DotSlash, BinOp::ElemDiv),
+                (TokenKind::DotBackslash, BinOp::ElemLeftDiv),
+            ],
+            Parser::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        let op = match self.peek_kind() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Plus => Some(UnOp::Plus),
+            TokenKind::Tilde => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            let span = span.merge(operand.span);
+            Ok(self.mk(
+                span,
+                ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+            ))
+        } else {
+            self.power()
+        }
+    }
+
+    fn power(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.postfix()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Caret => BinOp::Pow,
+                TokenKind::DotCaret => BinOp::ElemPow,
+                _ => break,
+            };
+            self.bump();
+            // The exponent may carry unary signs: `2^-3`.
+            let rhs = if matches!(
+                self.peek_kind(),
+                TokenKind::Minus | TokenKind::Plus | TokenKind::Tilde
+            ) {
+                self.unary()?
+            } else {
+                self.postfix()?
+            };
+            let span = lhs.span.merge(rhs.span);
+            lhs = self.mk(
+                span,
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::Quote => {
+                    self.bump();
+                    let span = e.span;
+                    e = self.mk(
+                        span,
+                        ExprKind::Transpose {
+                            operand: Box::new(e),
+                            conjugate: true,
+                        },
+                    );
+                }
+                TokenKind::DotQuote => {
+                    self.bump();
+                    let span = e.span;
+                    e = self.mk(
+                        span,
+                        ExprKind::Transpose {
+                            operand: Box::new(e),
+                            conjugate: false,
+                        },
+                    );
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        match self.peek_kind().clone() {
+            TokenKind::Number { value, imaginary } => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::Number { value, imaginary }))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::Str(s)))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    let args = self.apply_args()?;
+                    Ok(self.mk(span, ExprKind::Apply { callee: name, args }))
+                } else {
+                    Ok(self.mk(span, ExprKind::Ident(name)))
+                }
+            }
+            TokenKind::End if self.in_index() => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::End))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                self.ctx.push(Ctx::Paren);
+                let e = self.expr();
+                self.ctx.pop();
+                let e = e?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => self.matrix_literal(span),
+            other => Err(self.error(format!("expected expression, found '{other}'"))),
+        }
+    }
+
+    /// Parse `(arg, arg, …)` subscripts/parameters. Bare `:` is allowed as
+    /// a whole argument; `end` is allowed inside arguments.
+    fn apply_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        self.ctx.push(Ctx::Index);
+        let result = (|| {
+            let mut args = Vec::new();
+            if self.at(&TokenKind::RParen) {
+                return Ok(args);
+            }
+            loop {
+                if self.at(&TokenKind::Colon)
+                    && matches!(
+                        self.peek_at(1).kind,
+                        TokenKind::Comma | TokenKind::RParen
+                    )
+                {
+                    let span = self.bump().span;
+                    args.push(self.mk(span, ExprKind::Colon));
+                } else {
+                    args.push(self.expr()?);
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            Ok(args)
+        })();
+        self.ctx.pop();
+        let args = result?;
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn matrix_literal(&mut self, span: Span) -> Result<Expr, ParseError> {
+        self.expect(TokenKind::LBracket)?;
+        self.ctx.push(Ctx::Matrix);
+        let result = (|| {
+            let mut rows: Vec<Vec<Expr>> = Vec::new();
+            let mut row: Vec<Expr> = Vec::new();
+            loop {
+                match self.peek_kind() {
+                    TokenKind::RBracket => {
+                        self.bump();
+                        if !row.is_empty() {
+                            rows.push(row);
+                        }
+                        return Ok(rows);
+                    }
+                    TokenKind::Semicolon | TokenKind::Newline => {
+                        self.bump();
+                        if !row.is_empty() {
+                            rows.push(std::mem::take(&mut row));
+                        }
+                    }
+                    TokenKind::Comma => {
+                        self.bump();
+                    }
+                    TokenKind::Eof => {
+                        return Err(self.error("unterminated matrix literal".to_owned()))
+                    }
+                    _ => {
+                        row.push(self.expr()?);
+                    }
+                }
+            }
+        })();
+        self.ctx.pop();
+        let rows = result?;
+        Ok(self.mk(span, ExprKind::Matrix(rows)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        parse_expression(src).unwrap()
+    }
+
+    fn show(e: &Expr) -> String {
+        format!("{e}")
+    }
+
+    #[test]
+    fn precedence_arithmetic() {
+        assert_eq!(show(&expr("1+2*3")), "(1 + (2 * 3))");
+        assert_eq!(show(&expr("(1+2)*3")), "((1 + 2) * 3)");
+        assert_eq!(show(&expr("-2^2")), "(-(2 ^ 2))");
+        assert_eq!(show(&expr("2^-3")), "(2 ^ (-3))");
+        assert_eq!(show(&expr("a*b+c")), "((a * b) + c)");
+    }
+
+    #[test]
+    fn power_is_left_associative() {
+        assert_eq!(show(&expr("2^3^2")), "((2 ^ 3) ^ 2)");
+    }
+
+    #[test]
+    fn colon_binds_looser_than_plus() {
+        assert_eq!(show(&expr("1:n+1")), "(1:(n + 1))");
+        assert_eq!(show(&expr("1:2:9")), "(1:2:9)");
+    }
+
+    #[test]
+    fn relational_binds_looser_than_colon() {
+        assert_eq!(show(&expr("1:3 == 2")), "((1:3) == 2)");
+    }
+
+    #[test]
+    fn logical_precedence() {
+        assert_eq!(show(&expr("a & b | c")), "((a & b) | c)");
+        assert_eq!(show(&expr("a < 1 & b > 2")), "((a < 1) & (b > 2))");
+    }
+
+    #[test]
+    fn transpose_postfix() {
+        assert_eq!(show(&expr("A'")), "A'");
+        assert_eq!(show(&expr("A'*B")), "(A' * B)");
+        assert_eq!(show(&expr("A.'")), "A.'");
+    }
+
+    #[test]
+    fn apply_and_indexing() {
+        assert_eq!(show(&expr("A(2,3)")), "A(2, 3)");
+        assert_eq!(show(&expr("A(:)")), "A(:)");
+        assert_eq!(show(&expr("A(:,j)")), "A(:, j)");
+        assert_eq!(show(&expr("A(1:end)")), "A((1:end))");
+        assert_eq!(show(&expr("zeros(n)")), "zeros(n)");
+        assert_eq!(show(&expr("f()")), "f()");
+    }
+
+    #[test]
+    fn end_arithmetic_in_subscripts() {
+        assert_eq!(show(&expr("A(end-1)")), "A((end - 1))");
+    }
+
+    #[test]
+    fn end_outside_subscript_is_an_error() {
+        assert!(parse_expression("end + 1").is_err());
+    }
+
+    #[test]
+    fn matrix_literals() {
+        assert_eq!(show(&expr("[1 2; 3 4]")), "[1, 2; 3, 4]");
+        assert_eq!(show(&expr("[1, 2, 3]")), "[1, 2, 3]");
+        assert_eq!(show(&expr("[]")), "[]");
+        assert_eq!(show(&expr("[x; y]")), "[x; y]");
+    }
+
+    #[test]
+    fn matrix_whitespace_separation() {
+        // `[1 -2]` = two elements; `[1 - 2]` and `[1-2]` = one.
+        assert_eq!(show(&expr("[1 -2]")), "[1, (-2)]");
+        assert_eq!(show(&expr("[1 - 2]")), "[(1 - 2)]");
+        assert_eq!(show(&expr("[1-2]")), "[(1 - 2)]");
+        // Inside nested parens the rule is suspended.
+        assert_eq!(show(&expr("[(1 -2)]")), "[(1 - 2)]");
+    }
+
+    #[test]
+    fn imaginary_literals() {
+        let e = expr("3i");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Number {
+                value: v,
+                imaginary: true
+            } if v == 3.0
+        ));
+    }
+
+    #[test]
+    fn assignment_statements() {
+        let (stmts, _) = parse_statements("x = 3;\nA(2) = x").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(
+            &stmts[0].kind,
+            StmtKind::Assign {
+                lhs: LValue::Var { name, .. },
+                suppressed: true,
+                ..
+            } if name == "x"
+        ));
+        assert!(matches!(
+            &stmts[1].kind,
+            StmtKind::Assign {
+                lhs: LValue::Index { name, args, .. },
+                suppressed: false,
+                ..
+            } if name == "A" && args.len() == 1
+        ));
+    }
+
+    #[test]
+    fn multi_assignment() {
+        let (stmts, _) = parse_statements("[q, r] = qr(A);").unwrap();
+        assert!(matches!(
+            &stmts[0].kind,
+            StmtKind::MultiAssign { lhs, callee, args, .. }
+                if lhs.len() == 2 && callee == "qr" && args.len() == 1
+        ));
+    }
+
+    #[test]
+    fn bracket_expression_is_not_multi_assign() {
+        let (stmts, _) = parse_statements("[a, b]").unwrap();
+        assert!(matches!(&stmts[0].kind, StmtKind::Expr { .. }));
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let (stmts, _) =
+            parse_statements("if x < 1, y = 1; elseif x < 2, y = 2; else y = 3; end").unwrap();
+        match &stmts[0].kind {
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                assert_eq!(branches.len(), 2);
+                assert!(else_body.is_some());
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loops() {
+        let (stmts, _) = parse_statements("for p = 1:N, x = x + p; end").unwrap();
+        assert!(matches!(&stmts[0].kind, StmtKind::For { var, .. } if var == "p"));
+        let (stmts, _) = parse_statements("while x < 10\n x = x + 1;\nend").unwrap();
+        assert!(matches!(&stmts[0].kind, StmtKind::While { .. }));
+    }
+
+    #[test]
+    fn clear_command_syntax() {
+        let (stmts, _) = parse_statements("clear\nclear x y\n").unwrap();
+        assert_eq!(stmts[0].kind, StmtKind::Clear(vec![]));
+        assert_eq!(
+            stmts[1].kind,
+            StmtKind::Clear(vec!["x".to_owned(), "y".to_owned()])
+        );
+    }
+
+    #[test]
+    fn clear_as_variable_still_works() {
+        let (stmts, _) = parse_statements("clear = 5;").unwrap();
+        assert!(matches!(&stmts[0].kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn function_definitions() {
+        let src = "function [m, s] = stats(x, n)\nm = sum(x) / n;\ns = 0;\nreturn\n";
+        let f = parse_source(src).unwrap();
+        let f = &f.functions[0];
+        assert_eq!(f.name, "stats");
+        assert_eq!(f.params, ["x", "n"]);
+        assert_eq!(f.outputs, ["m", "s"]);
+        assert_eq!(f.body.len(), 3);
+    }
+
+    #[test]
+    fn subfunctions() {
+        let src = "function y = f(x)\ny = g(x) + 1;\nfunction y = g(x)\ny = x * 2;\n";
+        let file = parse_source(src).unwrap();
+        assert_eq!(file.functions.len(), 2);
+        assert_eq!(file.functions[1].name, "g");
+    }
+
+    #[test]
+    fn function_with_terminating_end() {
+        let src = "function y = f(x)\nif x > 0\ny = 1;\nend\ny = 2;\nend\n";
+        let file = parse_source(src).unwrap();
+        assert_eq!(file.functions[0].body.len(), 2);
+    }
+
+    #[test]
+    fn script_before_functions() {
+        let src = "x = 1;\ny = f(x);\nfunction y = f(x)\ny = x;\n";
+        let file = parse_source(src).unwrap();
+        assert_eq!(file.script.len(), 2);
+        assert_eq!(file.functions.len(), 1);
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let file = parse_source("x = 1 + 2 * 3;\ny = x(2);\n").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for stmt in &file.script {
+            if let StmtKind::Assign { lhs, rhs, .. } = &stmt.kind {
+                assert!(seen.insert(lhs.id()));
+                rhs.walk(&mut |e| {
+                    assert!(seen.insert(e.id), "duplicate id {}", e.id);
+                });
+            }
+        }
+        assert!(file.node_count as usize >= seen.len());
+    }
+
+    #[test]
+    fn paper_figure2_ambiguous_code_parses() {
+        // Left box of Figure 2.
+        let src = "clear\nwhile (x < 3),\n z = i;\n i = z + 1;\nend\n";
+        assert!(parse_statements(src).is_ok());
+        // Right box of Figure 2.
+        let src = "clear\nx = 0;\nfor p = 1:N,\n if (p >= 2) x = y; end\n y = p;\nend\n";
+        assert!(parse_statements(src).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let err = parse_statements("x = )").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

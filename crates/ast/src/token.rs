@@ -1,0 +1,181 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A half-open byte range into the source, with the 1-based line of its
+/// start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering both operands.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Lexical token kinds of the MATLAB subset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal; `imaginary` is set for `3i` / `2.5j` forms.
+    Number { value: f64, imaginary: bool },
+    /// String literal (single-quoted, `''` escapes a quote).
+    Str(String),
+    /// Identifier (variable, builtin or function name).
+    Ident(String),
+
+    // Keywords.
+    Function,
+    For,
+    While,
+    If,
+    Elseif,
+    Else,
+    End,
+    Return,
+    Break,
+    Continue,
+    Global,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Newline,
+    Assign,
+    Colon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Backslash,
+    Caret,
+    DotStar,
+    DotSlash,
+    DotBackslash,
+    DotCaret,
+    Quote,
+    DotQuote,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Amp,
+    Pipe,
+    AmpAmp,
+    PipePipe,
+    Tilde,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Could this token begin an expression? Used by the matrix-literal
+    /// whitespace-separation heuristic.
+    pub fn starts_expression(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Number { .. }
+                | TokenKind::Str(_)
+                | TokenKind::Ident(_)
+                | TokenKind::LParen
+                | TokenKind::LBracket
+                | TokenKind::Plus
+                | TokenKind::Minus
+                | TokenKind::Tilde
+                | TokenKind::End
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number { value, imaginary } => {
+                write!(f, "{value}{}", if *imaginary { "i" } else { "" })
+            }
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Ident(s) => f.write_str(s),
+            TokenKind::Function => f.write_str("function"),
+            TokenKind::For => f.write_str("for"),
+            TokenKind::While => f.write_str("while"),
+            TokenKind::If => f.write_str("if"),
+            TokenKind::Elseif => f.write_str("elseif"),
+            TokenKind::Else => f.write_str("else"),
+            TokenKind::End => f.write_str("end"),
+            TokenKind::Return => f.write_str("return"),
+            TokenKind::Break => f.write_str("break"),
+            TokenKind::Continue => f.write_str("continue"),
+            TokenKind::Global => f.write_str("global"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Newline => f.write_str("\\n"),
+            TokenKind::Assign => f.write_str("="),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Backslash => f.write_str("\\"),
+            TokenKind::Caret => f.write_str("^"),
+            TokenKind::DotStar => f.write_str(".*"),
+            TokenKind::DotSlash => f.write_str("./"),
+            TokenKind::DotBackslash => f.write_str(".\\"),
+            TokenKind::DotCaret => f.write_str(".^"),
+            TokenKind::Quote => f.write_str("'"),
+            TokenKind::DotQuote => f.write_str(".'"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::EqEq => f.write_str("=="),
+            TokenKind::Ne => f.write_str("~="),
+            TokenKind::Amp => f.write_str("&"),
+            TokenKind::Pipe => f.write_str("|"),
+            TokenKind::AmpAmp => f.write_str("&&"),
+            TokenKind::PipePipe => f.write_str("||"),
+            TokenKind::Tilde => f.write_str("~"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its span and layout context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+    /// Was there whitespace (or a comment) immediately before this token?
+    /// Needed by the matrix-literal element-separation heuristic
+    /// (`[1 -2]` is two elements, `[1 - 2]` is one).
+    pub space_before: bool,
+}

@@ -1,0 +1,55 @@
+//! Criterion ablations of the design choices DESIGN.md calls out:
+//! oversizing on resize-heavy code, small-vector unrolling, and
+//! subscript-check removal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use majic::{ExecMode, InferOptions, Majic, Value};
+
+const GROWER: &str = "function n = grower(k)\nv(1) = 0;\nfor i = 2:k\n v(i) = v(i-1) + 1;\nend\nn = v(k);\n";
+
+const SMALLVEC: &str = "function e = smallvec(n)\nr = [1 0];\nv = [0 6.28];\nfor k = 1:n\n v = v + 0.001 * r;\n r = r + 0.001 * v;\nend\ne = r(1) + v(2);\n";
+
+const CHECKS: &str = "function s = checks(n)\nA = zeros(1, n);\nfor k = 1:n\n A(k) = k;\nend\ns = 0;\nfor k = 1:n\n s = s + A(k);\nend\n";
+
+fn warm(src: &str, entry: &str, oversize: bool, ranges: bool) -> Majic {
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    m.options.oversize = oversize;
+    m.options.infer = InferOptions {
+        range_propagation: ranges,
+        ..InferOptions::default()
+    };
+    m.load_source(src).unwrap();
+    let _ = m.call(entry, &[Value::scalar(64.0)], 1);
+    m
+}
+
+fn bench_oversizing(c: &mut Criterion) {
+    let n = Value::scalar(20_000.0);
+    let mut g = c.benchmark_group("oversizing");
+    for (label, oversize) in [("with_headroom", true), ("exact_resize", false)] {
+        let mut m = warm(GROWER, "grower", oversize, true);
+        g.bench_function(label, |b| b.iter(|| m.call("grower", &[n.clone()], 1).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_small_vectors(c: &mut Criterion) {
+    let n = Value::scalar(20_000.0);
+    let mut m = warm(SMALLVEC, "smallvec", true, true);
+    c.bench_function("small_vector_loop", |b| {
+        b.iter(|| m.call("smallvec", &[n.clone()], 1).unwrap())
+    });
+}
+
+fn bench_subscript_checks(c: &mut Criterion) {
+    let n = Value::scalar(50_000.0);
+    let mut g = c.benchmark_group("subscript_checks");
+    for (label, ranges) in [("removed", true), ("kept_no_ranges", false)] {
+        let mut m = warm(CHECKS, "checks", true, ranges);
+        g.bench_function(label, |b| b.iter(|| m.call("checks", &[n.clone()], 1).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oversizing, bench_small_vectors, bench_subscript_checks);
+criterion_main!(benches);

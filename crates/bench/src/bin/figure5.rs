@@ -1,0 +1,29 @@
+//! Figure 5: the MIPS platform — identical to `figure4 --platform mips`
+//! (the paper attributes the difference entirely to native-backend
+//! quality).
+
+use majic_bench::{all, harness, Mode};
+
+fn main() {
+    let mut cfg = harness::config_from_args();
+    cfg.platform = majic::Platform::Mips;
+    println!(
+        "Figure 5: speedup over the interpreter (Mips backend, scale {:.2})",
+        cfg.scale
+    );
+    println!(
+        "{:<10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "ti (ms)", "mmc", "falcon", "jit", "spec"
+    );
+    for b in all() {
+        let ti = harness::measure(&b, Mode::Interp, &cfg).runtime;
+        let mut row = format!("{:<10} {:>9.1}", b.name, ti.as_secs_f64() * 1e3);
+        for mode in [Mode::Mcc, Mode::Falcon, Mode::Jit, Mode::Spec] {
+            let tc = harness::measure(&b, mode, &cfg).runtime;
+            let s = ti.as_secs_f64() / tc.as_secs_f64().max(1e-9);
+            row.push(' ');
+            row.push_str(&harness::fmt_speedup(s));
+        }
+        println!("{row}");
+    }
+}

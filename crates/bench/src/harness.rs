@@ -1,0 +1,183 @@
+//! Measurement methodology (paper §3.2): speedups `s = ti / tc` where
+//! `ti` is the interpreter's runtime and `tc` the compiled runtime. "In
+//! JIT mode runtime includes the time spent by the JIT compiler
+//! producing object code. In speculative mode the repository is assumed
+//! to have generated the code ahead of time; hence compile time is not
+//! included" (nor for the batch compilers mcc / FALCON). "Execution
+//! times were measured on a best-of-10-runs basis"; we default to best
+//! of 3.
+
+use crate::programs::Benchmark;
+use majic::{ExecMode, Majic, Platform, RegAllocMode, Value};
+use std::time::Duration;
+
+/// Measurement modes (the four bars of Figures 4/5 plus the baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The interpreter baseline (`ti`).
+    Interp,
+    /// `mcc` emulation (compile time excluded — batch).
+    Mcc,
+    /// FALCON emulation (compile time excluded — batch).
+    Falcon,
+    /// MaJIC JIT (compile time **included**, the "jit+gen" bars).
+    Jit,
+    /// MaJIC speculative (ahead-of-time; only residual JIT fallbacks
+    /// count).
+    Spec,
+}
+
+impl Mode {
+    /// Column label used in the printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Interp => "interp",
+            Mode::Mcc => "mcc",
+            Mode::Falcon => "falcon",
+            Mode::Jit => "jit+gen",
+            Mode::Spec => "spec",
+        }
+    }
+}
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Problem-size scale in (0, 1]; 1.0 = the paper's sizes.
+    pub scale: f64,
+    /// Best-of-N runs (paper: 10).
+    pub runs: usize,
+    /// Simulated platform for the optimizing backend.
+    pub platform: Platform,
+    /// Extra engine tweaks (Figure 7 ablations).
+    pub infer: majic::InferOptions,
+    /// Register allocation mode.
+    pub regalloc: RegAllocMode,
+    /// Array oversizing.
+    pub oversize: bool,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            scale: 0.25,
+            runs: 3,
+            platform: Platform::Sparc,
+            infer: majic::InferOptions::default(),
+            regalloc: RegAllocMode::LinearScan,
+            oversize: true,
+        }
+    }
+}
+
+/// One measurement result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Wall-clock runtime charged to the mode (per §3.2 accounting).
+    pub runtime: Duration,
+    /// Phase breakdown of the *first* (compiling) run.
+    pub phases: majic::PhaseTimes,
+    /// First output of the benchmark (for cross-mode validation).
+    pub result: Option<f64>,
+}
+
+fn session(bench: &Benchmark, mode: Mode, cfg: &MeasureConfig) -> Majic {
+    let exec = match mode {
+        Mode::Interp => ExecMode::Interpret,
+        Mode::Mcc => ExecMode::Mcc,
+        Mode::Falcon => ExecMode::Falcon,
+        Mode::Jit => ExecMode::Jit,
+        Mode::Spec => ExecMode::Spec,
+    };
+    let mut m = Majic::with_mode(exec);
+    m.options.platform = cfg.platform;
+    m.options.infer = cfg.infer;
+    m.options.regalloc = cfg.regalloc;
+    m.options.oversize = cfg.oversize;
+    m.load_source(bench.source).expect("benchmark parses");
+    m
+}
+
+/// Run one benchmark in one mode, returning the §3.2-accounted runtime.
+pub fn measure(bench: &Benchmark, mode: Mode, cfg: &MeasureConfig) -> Measurement {
+    let args: Vec<Value> = (bench.args)(cfg.scale);
+    let mut best: Option<Duration> = None;
+    let mut first_phases = None;
+    let mut result = None;
+    for run in 0..cfg.runs.max(1) {
+        // A fresh session per run: the JIT bars must include compile
+        // time on *every* measured run ("we started our experiments with
+        // an empty repository"), while batch modes exclude it.
+        let mut m = session(bench, mode, cfg);
+        if mode == Mode::Spec {
+            m.speculate_all(); // hidden, ahead-of-time
+        }
+        if matches!(mode, Mode::Mcc | Mode::Falcon) {
+            // Batch compilers build the code before the program runs;
+            // warm the repository, then measure execution only.
+            let _ = m.call(bench.entry, &args, 1);
+            m.reset_times();
+        }
+        m.reset_times();
+        let out = m
+            .call(bench.entry, &args, 1)
+            .unwrap_or_else(|e| panic!("{} [{mode:?}]: {e}", bench.name));
+        let t = match mode {
+            // JIT: compile + execute. Spec: execute + any fallback JIT.
+            Mode::Jit | Mode::Spec => m.times.total(),
+            // Interpreter and batch modes: execution only.
+            _ => m.times.execution,
+        };
+        if best.is_none_or(|b| t < b) {
+            best = Some(t);
+        }
+        if run == 0 {
+            first_phases = Some(m.times);
+            result = out.first().and_then(|v| v.to_scalar().ok());
+        }
+    }
+    Measurement {
+        runtime: best.expect("at least one run"),
+        phases: first_phases.expect("at least one run"),
+        result,
+    }
+}
+
+/// Format a speedup the way the paper's log-scale plots read.
+pub fn fmt_speedup(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:7.0}")
+    } else if s >= 10.0 {
+        format!("{s:7.1}")
+    } else {
+        format!("{s:7.2}")
+    }
+}
+
+/// Parse `--scale X` / `--platform sparc|mips` / `--runs N` from argv.
+pub fn config_from_args() -> MeasureConfig {
+    let mut cfg = MeasureConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.scale = v;
+                }
+            }
+            "--runs" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.runs = v;
+                }
+            }
+            "--platform" => match it.next().map(String::as_str) {
+                Some("mips") => cfg.platform = Platform::Mips,
+                Some("sparc") => cfg.platform = Platform::Sparc,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    cfg
+}

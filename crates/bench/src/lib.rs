@@ -1,0 +1,24 @@
+//! Benchmark suite and measurement harness reproducing the paper's
+//! evaluation (Tables 1–2, Figures 4–7).
+//!
+//! Run the reproduction binaries with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p majic-bench --bin table1 -- --scale 0.25
+//! cargo run --release -p majic-bench --bin figure4
+//! cargo run --release -p majic-bench --bin figure5
+//! cargo run --release -p majic-bench --bin figure6
+//! cargo run --release -p majic-bench --bin figure7
+//! cargo run --release -p majic-bench --bin table2
+//! cargo run --release -p majic-bench --bin handopt
+//! ```
+//!
+//! `--scale` shrinks problem sizes (default 0.25; 1.0 = the paper's
+//! sizes). Speedups are ratios, so the reported *shape* is stable under
+//! scaling.
+
+pub mod harness;
+pub mod programs;
+
+pub use harness::{measure, MeasureConfig, Measurement, Mode};
+pub use programs::{all, by_name, line_count, Benchmark, Category};

@@ -1,0 +1,681 @@
+//! The 16 MATLAB benchmarks of Table 1, written from scratch in the
+//! MaJIC subset, with the paper's problem sizes (scalable for CI).
+//!
+//! Categories (paper §3.1):
+//! * scalar / Fortran-like: `dirich`, `finedif`, `icn`, `mandel`, `crnich`
+//! * builtin-heavy: `cgopt`, `qmr`, `sor`, `mei`
+//! * small-vector array codes: `orbec`, `orbrk`, `fractal`, `adapt`
+//! * recursive: `fibonacci`, `ackermann`
+
+use majic::Value;
+
+/// One benchmark: source, default arguments, and metadata.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Table-1 name.
+    pub name: &'static str,
+    /// Short functional description (Table 1).
+    pub description: &'static str,
+    /// Problem-size label at scale 1.0.
+    pub size: &'static str,
+    /// MATLAB source (entry function first).
+    pub source: &'static str,
+    /// Entry function name.
+    pub entry: &'static str,
+    /// Category (for the analysis text).
+    pub category: Category,
+    /// Build the argument list at a given scale in (0, 1].
+    pub args: fn(f64) -> Vec<Value>,
+}
+
+/// Benchmark category per the paper's grouping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Fortran-77-like scalar code.
+    Scalar,
+    /// Dominated by built-in library functions.
+    Builtin,
+    /// Small fixed-size vectors / growing arrays.
+    Array,
+    /// Recursive functions.
+    Recursive,
+}
+
+fn s(v: f64) -> Value {
+    Value::scalar(v)
+}
+
+fn scaled(base: f64, scale: f64, min: f64) -> f64 {
+    (base * scale).max(min).round()
+}
+
+/// Dirichlet solution to Laplace's equation (Mathews) — Jacobi-style
+/// relaxation sweeps with pure scalar indexing. Paper size: 134×134.
+pub const DIRICH: &str = "\
+function U = dirich(n, maxit)
+U = zeros(n, n);
+for j = 1:n
+  U(1, j) = 100;
+  U(n, j) = 50;
+end
+for i = 1:n
+  U(i, 1) = 75;
+  U(i, n) = 25;
+end
+it = 0;
+err = 1;
+while err > 0.001 & it < maxit
+  err = 0;
+  for i = 2:n-1
+    for j = 2:n-1
+      relax = (U(i-1, j) + U(i+1, j) + U(i, j-1) + U(i, j+1)) / 4;
+      d = abs(relax - U(i, j));
+      if d > err
+        err = d;
+      end
+      U(i, j) = relax;
+    end
+  end
+  it = it + 1;
+end
+";
+
+/// Finite-difference wave equation (Mathews). Paper size: 1000×1000.
+pub const FINEDIF: &str = "\
+function U = finedif(n, m)
+U = zeros(n, m);
+h = 1 / (m - 1);
+k = 1 / (n - 1);
+r = 2 * k / h;
+r2 = r * r / 4;
+for j = 2:m-1
+  x = (j - 1) * h;
+  U(1, j) = sin(pi * x);
+  U(2, j) = (1 - r2) * sin(pi * x);
+end
+for t = 2:n-1
+  for j = 2:m-1
+    U(t+1, j) = 2 * (1 - r2) * U(t, j) + r2 * U(t, j-1) + r2 * U(t, j+1) - U(t-1, j);
+  end
+end
+";
+
+/// Crank–Nicholson heat-equation solver (Mathews): a Thomas-algorithm
+/// tridiagonal solve per time step. Paper size: 321×321.
+pub const CRNICH: &str = "\
+function U = crnich(n, m)
+U = zeros(n, m);
+h = 1 / (m - 1);
+k = 1 / (n - 1);
+r = k / (h * h);
+for j = 2:m-1
+  x = (j - 1) * h;
+  U(1, j) = sin(pi * x) + sin(3 * pi * x);
+end
+d = zeros(1, m);
+c = zeros(1, m);
+b = zeros(1, m);
+for t = 2:n
+  for j = 2:m-1
+    b(j) = r * U(t-1, j-1) + (2 - 2*r) * U(t-1, j) + r * U(t-1, j+1);
+  end
+  d(2) = 2 + 2 * r;
+  c(2) = b(2);
+  for j = 3:m-1
+    mult = -r / d(j-1);
+    d(j) = 2 + 2*r + mult * r;
+    c(j) = b(j) - mult * c(j-1);
+  end
+  U(t, m-1) = c(m-1) / d(m-1);
+  for j = m-2:-1:2
+    U(t, j) = (c(j) + r * U(t, j+1)) / d(j);
+  end
+end
+";
+
+/// Incomplete Cholesky factorization (R. Bramley). Paper size: 400×400.
+pub const ICN: &str = "\
+function L = icn(n)
+A = zeros(n, n);
+for i = 1:n
+  for j = 1:n
+    if i == j
+      A(i, j) = 4;
+    elseif abs(i - j) == 1
+      A(i, j) = -1;
+    end
+  end
+end
+L = zeros(n, n);
+for k = 1:n
+  t = A(k, k);
+  for m = 1:k-1
+    t = t - L(k, m) * L(k, m);
+  end
+  L(k, k) = sqrt(t);
+  for i = k+1:n
+    if A(i, k) ~= 0
+      t = A(i, k);
+      for m = 1:k-1
+        t = t - L(i, m) * L(k, m);
+      end
+      L(i, k) = t / L(k, k);
+    end
+  end
+end
+";
+
+/// Mandelbrot set generator (authors). Paper size: 200×200.
+pub const MANDEL: &str = "\
+function M = mandel(n, maxit)
+M = zeros(n, n);
+for r = 1:n
+  for c = 1:n
+    x0 = -2.1 + 2.6 * (c - 1) / (n - 1);
+    y0 = -1.2 + 2.4 * (r - 1) / (n - 1);
+    z = 0 + 0*i;
+    z0 = x0 + y0*i;
+    k = 0;
+    while k < maxit & abs(z) < 2
+      z = z*z + z0;
+      k = k + 1;
+    end
+    M(r, c) = k;
+  end
+end
+";
+
+/// Conjugate gradient with diagonal preconditioner (Barrett et al.).
+/// Dominated by `A*p` matvecs and reductions. Paper size: 420×420.
+pub const CGOPT: &str = "\
+function x = cgopt(n, iters)
+A = zeros(n, n);
+for k = 1:n
+  A(k, k) = 4;
+end
+for k = 1:n-1
+  A(k, k+1) = -1;
+  A(k+1, k) = -1;
+end
+b = ones(n, 1);
+x = zeros(n, 1);
+r = b - A*x;
+d = 4;
+z = r / d;
+p = z;
+rz = sum(r .* z);
+for it = 1:iters
+  q = A * p;
+  alpha = rz / sum(p .* q);
+  x = x + alpha * p;
+  r = r - alpha * q;
+  z = r / d;
+  rznew = sum(r .* z);
+  beta = rznew / rz;
+  rz = rznew;
+  p = z + beta * p;
+  if sqrt(rz) < 1e-12
+    break
+  end
+end
+";
+
+/// A QMR-flavoured linear solver (Barrett et al. templates): coupled
+/// two-term recurrences, heavy in matvecs and norms. Paper: 420×420.
+pub const QMR: &str = "\
+function x = qmr(n, iters)
+A = zeros(n, n);
+for k = 1:n
+  A(k, k) = 4;
+end
+for k = 1:n-1
+  A(k, k+1) = -1 - 0.1;
+  A(k+1, k) = -1 + 0.1;
+end
+b = ones(n, 1);
+x = zeros(n, 1);
+r = b - A*x;
+v = r;
+w = r;
+rho = norm(v);
+xi = norm(w);
+gamma = 1;
+eta = -1;
+theta = 0;
+p = zeros(n, 1);
+q = zeros(n, 1);
+for it = 1:iters
+  if abs(rho) < 1e-13 | abs(xi) < 1e-13
+    break
+  end
+  if ~(abs(rho) < 1e100) | ~(abs(xi) < 1e100) | ~(abs(gamma) > 1e-100)
+    break
+  end
+  v = v / rho;
+  w = w / xi;
+  delta = sum(w .* v);
+  if abs(delta) < 1e-13
+    break
+  end
+  p = v - (xi * delta / gamma) * p;
+  q = (A') * w - (rho * delta / gamma) * q;
+  pt = A * p;
+  epsil = sum(q .* pt);
+  beta = epsil / delta;
+  if abs(beta) < 1e-13
+    break
+  end
+  v = pt - beta * v;
+  rho_old = rho;
+  rho = norm(v);
+  w = q - beta * w;
+  xi = norm(w);
+  theta_old = theta;
+  theta = rho / (gamma * abs(beta));
+  gamma_old = gamma;
+  gamma = 1 / sqrt(1 + theta * theta);
+  eta = -eta * rho_old * gamma * gamma / (beta * gamma_old * gamma_old);
+  if it == 1
+    d = eta * p;
+  else
+    d = eta * p + (theta_old * gamma) * (theta_old * gamma) * d;
+  end
+  x = x + d;
+end
+";
+
+/// Successive over-relaxation solver (Barrett et al.), written with
+/// whole-matrix triangular solves — builtin-dominated. Paper: 420×420.
+pub const SOR: &str = "\
+function x = sor(n, iters)
+A = zeros(n, n);
+for k = 1:n
+  A(k, k) = 4;
+end
+for k = 1:n-1
+  A(k, k+1) = -1;
+  A(k+1, k) = -1;
+end
+b = ones(n, 1);
+w = 1.5;
+M = zeros(n, n);
+N = zeros(n, n);
+for k = 1:n
+  M(k, k) = A(k, k) / w;
+  N(k, k) = A(k, k) * (1 - w) / w;
+end
+for r = 2:n
+  for c = 1:r-1
+    M(r, c) = A(r, c);
+  end
+end
+for r = 1:n-1
+  for c = r+1:n
+    N(r, c) = -A(r, c);
+  end
+end
+x = zeros(n, 1);
+for it = 1:iters
+  x = M \\ (N*x + b);
+end
+";
+
+/// Galerkin finite-element method (Garcia): assemble a small stiffness
+/// system with loops, solve with `\\`. Paper size: 40×40.
+pub const GALRKN: &str = "\
+function u = galrkn(n)
+K = zeros(n, n);
+f = zeros(n, 1);
+h = 1 / (n + 1);
+for e = 1:n-1
+  K(e, e) = K(e, e) + 2 / h;
+  K(e+1, e+1) = K(e+1, e+1) + 2 / h;
+  K(e, e+1) = K(e, e+1) - 1 / h;
+  K(e+1, e) = K(e+1, e) - 1 / h;
+end
+K(n, n) = K(n, n) + 2 / h;
+for k = 1:n
+  xk = k * h;
+  f(k) = h * sin(pi * xk);
+end
+u = K \\ f;
+";
+
+/// Fractal landscape generator using `eig` (origin unknown in the
+/// paper). Spectral synthesis: eigenvalues of a correlation matrix scale
+/// a random field. Paper size: 31×14.
+pub const MEI: &str = "\
+function H = mei(n, m, passes)
+C = zeros(n, n);
+for a = 1:n
+  for b2 = 1:n
+    C(a, b2) = exp(-abs(a - b2) / 5);
+  end
+end
+H = zeros(n, m);
+for p = 1:passes
+  e = eig(C);
+  s = sum(abs(e)) / n;
+  for a = 1:n
+    for b2 = 1:m
+      H(a, b2) = H(a, b2) + s * (rand - 0.5) / p;
+    end
+  end
+  for a = 1:n
+    C(a, a) = C(a, a) + 0.01;
+  end
+end
+";
+
+/// Euler–Cromer method for the 1-body problem (Garcia): operations on
+/// 2-vectors. Paper size: 62400 steps.
+pub const ORBEC: &str = "\
+function e = orbec(nstep)
+r = [1 0];
+v = [0 6.2831853];
+gm = 39.478418;
+dt = 0.0001;
+for k = 1:nstep
+  d = sqrt(r(1)*r(1) + r(2)*r(2));
+  acc = -gm / (d * d * d);
+  v = v + dt * acc * r;
+  r = r + dt * v;
+end
+e = 0.5 * (v(1)*v(1) + v(2)*v(2)) - gm / sqrt(r(1)*r(1) + r(2)*r(2));
+";
+
+/// Runge–Kutta method for the 1-body problem (Garcia): small-vector
+/// arithmetic plus a helper function the inliner removes. Paper: 5000
+/// steps.
+pub const ORBRK: &str = "\
+function e = orbrk(nstep)
+r = [1 0];
+v = [0 6.2831853];
+gm = 39.478418;
+dt = 0.0005;
+for k = 1:nstep
+  k1r = dt * v;
+  k1v = dt * accel(r, gm);
+  k2r = dt * (v + 0.5 * k1v);
+  k2v = dt * accel(r + 0.5 * k1r, gm);
+  k3r = dt * (v + 0.5 * k2v);
+  k3v = dt * accel(r + 0.5 * k2r, gm);
+  k4r = dt * (v + k3v);
+  k4v = dt * accel(r + k3r, gm);
+  r = r + (k1r + 2*k2r + 2*k3r + k4r) / 6;
+  v = v + (k1v + 2*k2v + 2*k3v + k4v) / 6;
+end
+e = 0.5 * (v(1)*v(1) + v(2)*v(2)) - gm / sqrt(r(1)*r(1) + r(2)*r(2));
+function a = accel(r, gm)
+d = sqrt(r(1)*r(1) + r(2)*r(2));
+s = -gm / (d * d * d);
+a = s * r;
+";
+
+/// Barnsley fern generator (authors): chaotic iteration with `rand`,
+/// trajectory stored in dynamically growing arrays. Paper: 25000 points.
+pub const FRACTAL: &str = "\
+function s = fractal(npts)
+x = 0;
+y = 0;
+s = 0;
+for k = 1:npts
+  t = rand;
+  if t < 0.01
+    xn = 0;
+    yn = 0.16 * y;
+  elseif t < 0.86
+    xn = 0.85*x + 0.04*y;
+    yn = -0.04*x + 0.85*y + 1.6;
+  elseif t < 0.93
+    xn = 0.2*x - 0.26*y;
+    yn = 0.23*x + 0.22*y + 1.6;
+  else
+    xn = -0.15*x + 0.28*y;
+    yn = 0.26*x + 0.24*y + 0.44;
+  end
+  x = xn;
+  y = yn;
+  xs(k) = x;
+  ys(k) = y;
+end
+for k = 1:npts
+  s = s + abs(xs(k)) + abs(ys(k));
+end
+s = s / npts;
+";
+
+/// Adaptive quadrature by interval bisection (Mathews): Simpson's rule
+/// on a worklist kept in dynamically growing arrays (the oversizing
+/// showcase). Paper: ~2500 approximations.
+pub const ADAPT: &str = "\
+function q = adapt(nseg, tol)
+a0 = 0;
+b0 = 3.141592653589793;
+q = 0;
+lo(1) = a0;
+hi(1) = b0;
+top = 1;
+count = 0;
+while top > 0 & count < nseg
+  a = lo(top);
+  b = hi(top);
+  top = top - 1;
+  count = count + 1;
+  m = (a + b) / 2;
+  h = b - a;
+  s1 = h * (sin(a) + 4*sin(m) + sin(b)) / 6;
+  m1 = (a + m) / 2;
+  m2 = (m + b) / 2;
+  s2 = h * (sin(a) + 4*sin(m1) + 2*sin(m) + 4*sin(m2) + sin(b)) / 12;
+  if abs(s2 - s1) < tol * h
+    q = q + s2;
+  else
+    top = top + 1;
+    lo(top) = a;
+    hi(top) = m;
+    top = top + 1;
+    lo(top) = m;
+    hi(top) = b;
+  end
+end
+";
+
+/// Recursive Fibonacci (authors). Paper: fibonacci(20).
+pub const FIBONACCI: &str = "\
+function f = fibonacci(n)
+if n < 2
+  f = n;
+  return
+end
+f = fibonacci(n - 1) + fibonacci(n - 2);
+";
+
+/// Ackermann's function (authors). Paper: ackermann(3, 5).
+pub const ACKERMANN: &str = "\
+function a = ackermann(m, n)
+if m == 0
+  a = n + 1;
+  return
+end
+if n == 0
+  a = ackermann(m - 1, 1);
+  return
+end
+a = ackermann(m - 1, ackermann(m, n - 1));
+";
+
+/// The full Table-1 suite.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "adapt",
+            description: "adaptive quadrature",
+            size: "approx. 2500",
+            source: ADAPT,
+            entry: "adapt",
+            category: Category::Array,
+            args: |sc| vec![s(scaled(2500.0, sc, 40.0)), s(1e-10)],
+        },
+        Benchmark {
+            name: "cgopt",
+            description: "conjugate gradient w. diagonal preconditioner",
+            size: "420 x 420",
+            source: CGOPT,
+            entry: "cgopt",
+            category: Category::Builtin,
+            args: |sc| vec![s(scaled(420.0, sc, 24.0)), s(scaled(60.0, sc.sqrt(), 8.0))],
+        },
+        Benchmark {
+            name: "crnich",
+            description: "Crank-Nicholson heat equation solver",
+            size: "321 x 321",
+            source: CRNICH,
+            entry: "crnich",
+            category: Category::Scalar,
+            args: |sc| vec![s(scaled(321.0, sc, 12.0)), s(scaled(321.0, sc, 12.0))],
+        },
+        Benchmark {
+            name: "dirich",
+            description: "Dirichlet solution to Laplace's equation",
+            size: "134 x 134",
+            source: DIRICH,
+            entry: "dirich",
+            category: Category::Scalar,
+            args: |sc| vec![s(scaled(134.0, sc, 10.0)), s(scaled(60.0, sc, 4.0))],
+        },
+        Benchmark {
+            name: "finedif",
+            description: "finite difference solution to the wave equation",
+            size: "1000 x 1000",
+            source: FINEDIF,
+            entry: "finedif",
+            category: Category::Scalar,
+            args: |sc| vec![s(scaled(1000.0, sc, 16.0)), s(scaled(1000.0, sc, 16.0))],
+        },
+        Benchmark {
+            name: "galrkn",
+            description: "Galerkin's method (finite element method)",
+            size: "40 x 40",
+            source: GALRKN,
+            entry: "galrkn",
+            category: Category::Builtin,
+            args: |sc| vec![s(scaled(40.0, sc, 8.0))],
+        },
+        Benchmark {
+            name: "icn",
+            description: "incomplete Cholesky factorization",
+            size: "400 x 400",
+            source: ICN,
+            entry: "icn",
+            category: Category::Scalar,
+            args: |sc| vec![s(scaled(400.0, sc, 16.0))],
+        },
+        Benchmark {
+            name: "mei",
+            description: "fractal landscape generator",
+            size: "31 x 14",
+            source: MEI,
+            entry: "mei",
+            category: Category::Builtin,
+            args: |sc| {
+                vec![
+                    s(scaled(31.0, sc.max(0.5), 8.0)),
+                    s(scaled(14.0, sc.max(0.5), 4.0)),
+                    s(scaled(40.0, sc, 3.0)),
+                ]
+            },
+        },
+        Benchmark {
+            name: "orbec",
+            description: "Euler-Cromer method for 1-body problem",
+            size: "62400 points",
+            source: ORBEC,
+            entry: "orbec",
+            category: Category::Array,
+            args: |sc| vec![s(scaled(62_400.0, sc, 300.0))],
+        },
+        Benchmark {
+            name: "orbrk",
+            description: "Runge-Kutta method for 1-body problem",
+            size: "5000 points",
+            source: ORBRK,
+            entry: "orbrk",
+            category: Category::Array,
+            args: |sc| vec![s(scaled(5000.0, sc, 60.0))],
+        },
+        Benchmark {
+            name: "qmr",
+            description: "linear equation system solver, QMR method",
+            size: "420 x 420",
+            source: QMR,
+            entry: "qmr",
+            category: Category::Builtin,
+            args: |sc| vec![s(scaled(420.0, sc, 24.0)), s(scaled(40.0, sc.sqrt(), 6.0))],
+        },
+        Benchmark {
+            name: "sor",
+            description: "lin. eq. sys. solver, successive overrelaxation",
+            size: "420 x 420",
+            source: SOR,
+            entry: "sor",
+            category: Category::Builtin,
+            args: |sc| vec![s(scaled(420.0, sc, 16.0)), s(scaled(12.0, sc.sqrt(), 3.0))],
+        },
+        Benchmark {
+            name: "ackermann",
+            description: "Ackermann's function",
+            size: "ackermann(3,5)",
+            source: ACKERMANN,
+            entry: "ackermann",
+            category: Category::Recursive,
+            args: |sc| {
+                let n = if sc >= 0.9 {
+                    5.0
+                } else if sc >= 0.3 {
+                    4.0
+                } else {
+                    3.0
+                };
+                vec![s(3.0), s(n)]
+            },
+        },
+        Benchmark {
+            name: "fractal",
+            description: "Barnsley fern generator",
+            size: "25000 points",
+            source: FRACTAL,
+            entry: "fractal",
+            category: Category::Array,
+            args: |sc| vec![s(scaled(25_000.0, sc, 200.0))],
+        },
+        Benchmark {
+            name: "mandel",
+            description: "Mandelbrot set generator",
+            size: "200 x 200",
+            source: MANDEL,
+            entry: "mandel",
+            category: Category::Scalar,
+            args: |sc| vec![s(scaled(200.0, sc, 10.0)), s(40.0)],
+        },
+        Benchmark {
+            name: "fibonacci",
+            description: "recursive Fibonacci function",
+            size: "fibonacci(20)",
+            source: FIBONACCI,
+            entry: "fibonacci",
+            category: Category::Recursive,
+            args: |sc| vec![s(scaled(20.0, sc.max(0.5), 10.0))],
+        },
+    ]
+}
+
+/// Look a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+/// Source line count (the paper's "lines of code" column).
+pub fn line_count(b: &Benchmark) -> usize {
+    b.source.lines().filter(|l| !l.trim().is_empty()).count()
+}

@@ -1,0 +1,124 @@
+//! Every Table-1 benchmark must produce identical results under the
+//! interpreter and every compiled mode (at a small problem scale).
+//! This is the repository's safety guarantee applied to the full suite.
+
+use majic::{ExecMode, Majic, Value};
+use majic_bench::{all, line_count};
+
+const SCALE: f64 = 0.05;
+
+fn run(mode: ExecMode, src: &str, entry: &str, args: &[Value]) -> f64 {
+    let mut m = Majic::with_mode(mode);
+    m.load_source(src).unwrap_or_else(|e| panic!("{entry}: {e}"));
+    if mode == ExecMode::Spec {
+        m.speculate_all();
+    }
+    let out = m
+        .call(entry, args, 1)
+        .unwrap_or_else(|e| panic!("{entry} [{mode:?}]: {e}"));
+    // Reduce matrix results to a digest for comparison.
+    match &out[0] {
+        Value::Real(mat) => mat.iter().sum::<f64>() + mat.numel() as f64,
+        other => other.to_scalar().unwrap_or(f64::NAN),
+    }
+}
+
+#[test]
+fn all_benchmarks_agree_across_modes() {
+    // Deep recursion (ackermann) needs a roomy stack in debug builds.
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(all_benchmarks_agree_body)
+        .expect("spawn")
+        .join()
+        .expect("no panics");
+}
+
+fn all_benchmarks_agree_body() {
+    for b in all() {
+        let args = (b.args)(SCALE);
+        let reference = run(ExecMode::Interpret, b.source, b.entry, &args);
+        for mode in [ExecMode::Mcc, ExecMode::Jit, ExecMode::Spec, ExecMode::Falcon] {
+            let got = run(mode, b.source, b.entry, &args);
+            let close = reference == got
+                || (reference - got).abs() <= 1e-6 * reference.abs().max(1.0);
+            assert!(
+                close,
+                "{} [{mode:?}]: {got} vs interpreter {reference}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_matches_table_one_inventory() {
+    let names: Vec<&str> = all().iter().map(|b| b.name).collect();
+    for expected in [
+        "adapt",
+        "cgopt",
+        "crnich",
+        "dirich",
+        "finedif",
+        "galrkn",
+        "icn",
+        "mei",
+        "orbec",
+        "orbrk",
+        "qmr",
+        "sor",
+        "ackermann",
+        "fractal",
+        "mandel",
+        "fibonacci",
+    ] {
+        assert!(names.contains(&expected), "missing benchmark {expected}");
+    }
+    assert_eq!(names.len(), 16);
+}
+
+#[test]
+fn line_counts_match_paper_band() {
+    // Table 1 reports 10–119 lines; ours must stay in the same band
+    // (10–250 per §3.1: "between 50 and 250 lines" for the suite
+    // overall, with the small recursive codes at 10–15).
+    for b in all() {
+        let lines = line_count(&b);
+        assert!(
+            (5..=250).contains(&lines),
+            "{}: {lines} lines out of band",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn known_values_spot_checks() {
+    // fibonacci(10) = 55 via every mode's default path.
+    let fib = majic_bench::by_name("fibonacci").unwrap();
+    for mode in [ExecMode::Interpret, ExecMode::Jit, ExecMode::Spec] {
+        let mut m = Majic::with_mode(mode);
+        m.load_source(fib.source).unwrap();
+        if mode == ExecMode::Spec {
+            m.speculate_all();
+        }
+        let out = m.call("fibonacci", &[Value::scalar(10.0)], 1).unwrap();
+        assert_eq!(out[0].to_scalar().unwrap(), 55.0);
+    }
+    // ackermann(2, 3) = 9.
+    let ack = majic_bench::by_name("ackermann").unwrap();
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    m.load_source(ack.source).unwrap();
+    let out = m
+        .call("ackermann", &[Value::scalar(2.0), Value::scalar(3.0)], 1)
+        .unwrap();
+    assert_eq!(out[0].to_scalar().unwrap(), 9.0);
+    // adapt integrates sin on [0, π] → q ≈ 2.
+    let adapt = majic_bench::by_name("adapt").unwrap();
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    m.load_source(adapt.source).unwrap();
+    let out = m
+        .call("adapt", &[Value::scalar(4000.0), Value::scalar(1e-10)], 1)
+        .unwrap();
+    assert!((out[0].to_scalar().unwrap() - 2.0).abs() < 1e-6);
+}

@@ -1,0 +1,96 @@
+//! MaJIC code generation (paper §2.6).
+//!
+//! "Both code generators use the parsed AST and type annotations to drive
+//! code selection. The code generators follow the same general selection
+//! rules, but build radically different code."
+//!
+//! This crate implements the shared **code selector** (typed AST →
+//! register IR) and the two pipelines built on it:
+//!
+//! * the **JIT pipeline** — selection, then register allocation, then
+//!   flattening; "no loop optimizations or instruction scheduling are
+//!   performed. Register allocation is done using the linear-scan
+//!   register allocator";
+//! * the **optimizing pipeline** — the same selection followed by the
+//!   `majic-ir` pass set (constant folding, CSE, LICM, DCE), standing in
+//!   for the platform C/Fortran compiler of the paper's speculative
+//!   backend.
+//!
+//! Selection rules implemented (paper §2.6.1):
+//!
+//! * generic complex-matrix fallback for anything un-inferred,
+//! * inlined scalar arithmetic/logic/math on `F`/`C` registers,
+//! * inlined scalar and F90-style array indexing, with **subscript
+//!   checks removed** when ranges and shapes prove them redundant,
+//! * pre-allocated small temporaries and **full unrolling** of small
+//!   (≤ 3×3) vector operations with exactly known shapes,
+//! * `dgemv` call fusion for `a*X + b*C*Y`-shaped expressions,
+//! * array **oversizing** (~10% headroom) on resizing stores,
+//! * (function inlining runs earlier, as an AST pass in
+//!   `majic-analysis`).
+
+mod select;
+
+pub use select::{compile, CodegenError, CodegenOptions};
+
+use majic_analysis::DisambiguatedFunction;
+use majic_infer::Annotations;
+use majic_ir::passes::{self, PassOptions};
+use majic_vm::{allocate, Executable, RegAllocMode};
+
+/// Compile a function all the way to executable VM code.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] when the function uses features compiled
+/// code cannot honor (`global`, `clear`); the engine falls back to the
+/// interpreter in that case.
+pub fn compile_executable(
+    d: &DisambiguatedFunction,
+    ann: &Annotations,
+    opts: &CodegenOptions,
+) -> Result<Executable, CodegenError> {
+    let mut func = compile(d, ann, opts)?;
+    passes::optimize(&mut func, opts.passes);
+    let (f_spill, c_spill) = allocate(&mut func, opts.regalloc);
+    Ok(Executable::new(&func, f_spill, c_spill))
+}
+
+impl CodegenOptions {
+    /// The JIT pipeline: fast selection, no IR passes, linear scan
+    /// (paper §2.6: "builds code fast and in memory").
+    pub fn jit() -> CodegenOptions {
+        CodegenOptions {
+            passes: PassOptions::none(),
+            regalloc: RegAllocMode::LinearScan,
+            mcc_mode: false,
+            oversize: true,
+            unroll_small_vectors: true,
+            gemv_fusion: true,
+        }
+    }
+
+    /// The optimizing pipeline used behind speculative / batch
+    /// compilation: full IR pass set.
+    pub fn optimizing() -> CodegenOptions {
+        CodegenOptions {
+            passes: PassOptions::all(),
+            ..CodegenOptions::jit()
+        }
+    }
+
+    /// `mcc` emulation: every operation compiles to a call into the
+    /// generic polymorphic library (the bottom row of the paper's
+    /// Figure 3) — interpretation overhead is gone, but nothing is
+    /// specialized.
+    pub fn mcc() -> CodegenOptions {
+        CodegenOptions {
+            mcc_mode: true,
+            oversize: false,
+            unroll_small_vectors: false,
+            gemv_fusion: false,
+            passes: PassOptions::none(),
+            regalloc: RegAllocMode::LinearScan,
+        }
+    }
+}

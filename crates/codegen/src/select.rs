@@ -1,0 +1,2285 @@
+//! The code selector: typed AST → register IR.
+
+use majic_analysis::{DisambiguatedFunction, SymbolKind, VarId};
+use majic_ast::{BinOp, Expr, ExprKind, LValue, NodeId, Stmt, StmtKind, UnOp};
+use majic_ir::passes::PassOptions;
+use majic_ir::{
+    Block, BlockId, CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, LoopInfo,
+    Operand, Reg, Slot, Terminator, VarBinding,
+};
+use majic_runtime::builtins::Builtin;
+use majic_types::{Dim, Intrinsic, Lattice, Type};
+use majic_vm::RegAllocMode;
+use std::error::Error;
+use std::fmt;
+
+use majic_infer::Annotations;
+
+/// Code generation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CodegenOptions {
+    /// Emit generic library calls for everything (the `mcc` baseline).
+    pub mcc_mode: bool,
+    /// Oversize arrays on resizing stores (paper §2.6.1).
+    pub oversize: bool,
+    /// Fully unroll small-vector operations with exact shapes.
+    pub unroll_small_vectors: bool,
+    /// Fuse `a*X + b*C*Y` into a dgemv call.
+    pub gemv_fusion: bool,
+    /// IR passes to run after selection.
+    pub passes: PassOptions,
+    /// Register-allocation mode.
+    pub regalloc: RegAllocMode,
+}
+
+/// Why a function could not be compiled (the engine falls back to the
+/// interpreter).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodegenError(pub String);
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot compile: {}", self.0)
+    }
+}
+
+impl Error for CodegenError {}
+
+/// Where a variable lives in compiled code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VarLoc {
+    F(Reg),
+    C(Reg),
+    Slot(Slot),
+}
+
+/// A compiled expression value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RVal {
+    F(Reg),
+    C(Reg),
+    Slot(Slot),
+}
+
+/// What kind of value an annotation describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    F,
+    C,
+    Slot,
+}
+
+fn kind_of(t: &Type) -> Kind {
+    if t.is_scalar() && t.intrinsic.le(&Intrinsic::Real) && t.intrinsic != Intrinsic::Bottom {
+        Kind::F
+    } else if t.is_scalar()
+        && t.intrinsic.le(&Intrinsic::Complex)
+        && t.intrinsic != Intrinsic::Bottom
+    {
+        Kind::C
+    } else {
+        Kind::Slot
+    }
+}
+
+/// Compile one disambiguated, type-annotated function to (virtual
+/// register) IR.
+///
+/// # Errors
+///
+/// Fails on `global` / `clear` statements, which compiled frames cannot
+/// honor; the engine interprets such functions instead.
+pub fn compile(
+    d: &DisambiguatedFunction,
+    ann: &Annotations,
+    opts: &CodegenOptions,
+) -> Result<Function, CodegenError> {
+    check_compilable(&d.function.body)?;
+    let mut g = Gen::new(d, ann, opts);
+    g.classify_vars();
+    g.bind_params();
+    g.block(&d.function.body);
+    g.seal(Terminator::Return);
+    g.bind_outputs();
+    Ok(g.finish())
+}
+
+fn check_compilable(stmts: &[Stmt]) -> Result<(), CodegenError> {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Global(_) => {
+                return Err(CodegenError("global variables".to_owned()));
+            }
+            StmtKind::Clear(_) => {
+                return Err(CodegenError("clear statements".to_owned()));
+            }
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                for (_, b) in branches {
+                    check_compilable(b)?;
+                }
+                if let Some(b) = else_body {
+                    check_compilable(b)?;
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                check_compilable(body)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+struct Gen<'a> {
+    d: &'a DisambiguatedFunction,
+    ann: &'a Annotations,
+    opts: &'a CodegenOptions,
+    func: Function,
+    cur: BlockId,
+    var_locs: Vec<VarLoc>,
+    /// (continue target, break target) of enclosing loops.
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+impl<'a> Gen<'a> {
+    fn new(d: &'a DisambiguatedFunction, ann: &'a Annotations, opts: &'a CodegenOptions) -> Self {
+        let mut func = Function {
+            name: d.function.name.clone(),
+            ..Function::default()
+        };
+        func.blocks.push(Block::default());
+        Gen {
+            d,
+            ann,
+            opts,
+            func,
+            cur: BlockId(0),
+            var_locs: Vec::new(),
+            loop_stack: Vec::new(),
+        }
+    }
+
+    // ---- infrastructure ----
+
+    fn fresh_f(&mut self) -> Reg {
+        let r = Reg(self.func.f_regs);
+        self.func.f_regs += 1;
+        r
+    }
+
+    fn fresh_c(&mut self) -> Reg {
+        let r = Reg(self.func.c_regs);
+        self.func.c_regs += 1;
+        r
+    }
+
+    fn fresh_slot(&mut self) -> Slot {
+        let s = Slot(self.func.slots);
+        self.func.slots += 1;
+        s
+    }
+
+    fn emit(&mut self, i: Inst) {
+        self.func.blocks[self.cur.index()].insts.push(i);
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block::default());
+        id
+    }
+
+    fn seal(&mut self, t: Terminator) {
+        self.func.blocks[self.cur.index()].term = t;
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn fconst(&mut self, v: f64) -> Reg {
+        let d = self.fresh_f();
+        self.emit(Inst::FConst { d, v });
+        d
+    }
+
+    // ---- variable classification ----
+
+    fn classify_vars(&mut self) {
+        let n = self.d.table.var_count();
+        let mut forced_slot = vec![self.opts.mcc_mode; n];
+        let mut types: Vec<Vec<Type>> = vec![Vec::new(); n];
+
+        // Parameter types from the signature the annotations ran with.
+        for (k, p) in self.d.function.params.iter().enumerate() {
+            if let Some(v) = self.d.table.var_id(p) {
+                if let Some(t) = self.ann.params.get(k) {
+                    types[v.index()].push(*t);
+                }
+            }
+        }
+        // Assignment sites and forced-slot positions.
+        collect_var_evidence(
+            &self.d.function.body,
+            self.d,
+            self.ann,
+            &mut types,
+            &mut forced_slot,
+        );
+
+        self.var_locs = (0..n)
+            .map(|i| {
+                if forced_slot[i] || types[i].is_empty() {
+                    return VarLoc::Slot(Slot(u32::MAX)); // placeholder
+                }
+                let all_f = types[i].iter().all(|t| kind_of(t) == Kind::F);
+                let all_scalar = types[i]
+                    .iter()
+                    .all(|t| matches!(kind_of(t), Kind::F | Kind::C));
+                if all_f {
+                    VarLoc::F(Reg(u32::MAX))
+                } else if all_scalar {
+                    VarLoc::C(Reg(u32::MAX))
+                } else {
+                    VarLoc::Slot(Slot(u32::MAX))
+                }
+            })
+            .collect();
+        // Materialize the placeholders.
+        for i in 0..n {
+            self.var_locs[i] = match self.var_locs[i] {
+                VarLoc::F(_) => VarLoc::F(self.fresh_f()),
+                VarLoc::C(_) => VarLoc::C(self.fresh_c()),
+                VarLoc::Slot(_) => VarLoc::Slot(self.fresh_slot()),
+            };
+        }
+    }
+
+    fn var_loc(&self, v: VarId) -> VarLoc {
+        self.var_locs[v.index()]
+    }
+
+    fn bind_params(&mut self) {
+        let params: Vec<VarBinding> = self
+            .d
+            .function
+            .params
+            .iter()
+            .map(|p| {
+                let v = self.d.table.var_id(p).expect("params interned");
+                match self.var_loc(v) {
+                    VarLoc::F(r) => VarBinding::F(r),
+                    VarLoc::C(r) => VarBinding::C(r),
+                    VarLoc::Slot(s) => VarBinding::Slot(s),
+                }
+            })
+            .collect();
+        self.func.params = params;
+    }
+
+    fn bind_outputs(&mut self) {
+        let outputs: Vec<VarBinding> = self
+            .d
+            .function
+            .outputs
+            .iter()
+            .map(|o| {
+                let v = self.d.table.var_id(o).expect("outputs interned");
+                match self.var_loc(v) {
+                    VarLoc::F(r) => VarBinding::F(r),
+                    VarLoc::C(r) => VarBinding::C(r),
+                    VarLoc::Slot(s) => VarBinding::Slot(s),
+                }
+            })
+            .collect();
+        self.func.outputs = outputs;
+    }
+
+    fn finish(self) -> Function {
+        self.func
+    }
+
+    // ---- coercions ----
+
+    fn to_f(&mut self, v: RVal) -> Reg {
+        match v {
+            RVal::F(r) => r,
+            RVal::C(c) => {
+                let d = self.fresh_f();
+                self.emit(Inst::CPart {
+                    d,
+                    s: c,
+                    imag: false,
+                });
+                d
+            }
+            RVal::Slot(s) => {
+                let d = self.fresh_f();
+                self.emit(Inst::SlotToF { d, slot: s });
+                d
+            }
+        }
+    }
+
+    fn to_c(&mut self, v: RVal) -> Reg {
+        match v {
+            RVal::C(r) => r,
+            RVal::F(r) => {
+                let zero = self.fconst(0.0);
+                let d = self.fresh_c();
+                self.emit(Inst::CMake {
+                    d,
+                    re: r,
+                    im: zero,
+                });
+                d
+            }
+            RVal::Slot(s) => {
+                let d = self.fresh_c();
+                self.emit(Inst::SlotToC { d, slot: s });
+                d
+            }
+        }
+    }
+
+    fn to_slot(&mut self, v: RVal) -> Slot {
+        match v {
+            RVal::Slot(s) => s,
+            RVal::F(r) => {
+                let slot = self.fresh_slot();
+                self.emit(Inst::FToSlot { slot, s: r });
+                slot
+            }
+            RVal::C(r) => {
+                let slot = self.fresh_slot();
+                self.emit(Inst::CToSlot { slot, s: r });
+                slot
+            }
+        }
+    }
+
+    fn to_operand(&mut self, v: RVal) -> Operand {
+        match v {
+            RVal::F(r) => Operand::F(r),
+            RVal::C(r) => Operand::C(r),
+            RVal::Slot(s) => Operand::Slot(s),
+        }
+    }
+
+    /// Truthiness of a value into an `F` register (0/1).
+    fn truth(&mut self, v: RVal, t: &Type) -> Reg {
+        match v {
+            RVal::F(r) => {
+                // Scalars are true iff nonzero; comparisons already
+                // produce 0/1, so `r != 0` is the general form.
+                if t.range == majic_types::Range::new(0.0, 1.0) {
+                    r
+                } else {
+                    let zero = self.fconst(0.0);
+                    let d = self.fresh_f();
+                    self.emit(Inst::FCmp {
+                        op: CmpOp::Ne,
+                        d,
+                        a: r,
+                        b: zero,
+                    });
+                    d
+                }
+            }
+            RVal::C(c) => {
+                let a = self.fresh_f();
+                self.emit(Inst::CAbs { d: a, s: c });
+                let zero = self.fconst(0.0);
+                let d = self.fresh_f();
+                self.emit(Inst::FCmp {
+                    op: CmpOp::Ne,
+                    d,
+                    a,
+                    b: zero,
+                });
+                d
+            }
+            RVal::Slot(s) => {
+                let d = self.fresh_f();
+                self.emit(Inst::TruthF { d, slot: s });
+                d
+            }
+        }
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Expr { expr, suppressed } => {
+                // A call in statement position may legitimately produce
+                // no value (e.g. `disp(x)`).
+                if let Some(v) = self.expr_stmt_value(expr) {
+                    if !*suppressed {
+                        let op = self.to_operand(v);
+                        self.emit(Inst::Gen {
+                            op: GenOp::Display("ans".to_owned()),
+                            dsts: vec![],
+                            args: vec![op],
+                        });
+                    }
+                }
+            }
+            StmtKind::Assign {
+                lhs,
+                rhs,
+                suppressed,
+            } => {
+                if !self.try_assign_unrolled(lhs, rhs) {
+                    let v = self.expr(rhs, None);
+                    self.assign(lhs, v);
+                }
+                if !*suppressed {
+                    self.display(lhs.name());
+                }
+            }
+            StmtKind::MultiAssign {
+                lhs,
+                id,
+                callee,
+                args,
+                suppressed,
+            } => {
+                let argv: Vec<Operand> = args
+                    .iter()
+                    .map(|a| {
+                        let v = self.expr(a, None);
+                        self.to_operand(v)
+                    })
+                    .collect();
+                let dsts: Vec<Slot> = (0..lhs.len()).map(|_| self.fresh_slot()).collect();
+                let op = match self.d.table.kind(*id) {
+                    SymbolKind::Builtin(b) => GenOp::CallBuiltin(b),
+                    _ => GenOp::CallUser(callee.clone()),
+                };
+                self.emit(Inst::Gen {
+                    op,
+                    dsts: dsts.clone(),
+                    args: argv,
+                });
+                for (lv, tmp) in lhs.iter().zip(dsts) {
+                    self.assign(lv, RVal::Slot(tmp));
+                    if !*suppressed {
+                        self.display(lv.name());
+                    }
+                }
+            }
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                let merge = self.new_block();
+                let mut next_test = self.cur;
+                for (cond, body) in branches {
+                    self.switch_to(next_test);
+                    let ct = self.ann.ty(cond.id);
+                    let cv = self.expr(cond, None);
+                    let c = self.truth(cv, &ct);
+                    let then_bb = self.new_block();
+                    next_test = self.new_block();
+                    self.seal(Terminator::Branch {
+                        cond: c,
+                        then_bb,
+                        else_bb: next_test,
+                    });
+                    self.switch_to(then_bb);
+                    self.block(body);
+                    self.seal(Terminator::Jump(merge));
+                }
+                self.switch_to(next_test);
+                if let Some(body) = else_body {
+                    self.block(body);
+                }
+                self.seal(Terminator::Jump(merge));
+                self.switch_to(merge);
+            }
+            StmtKind::While { cond, body } => {
+                let preheader = self.new_block();
+                self.seal(Terminator::Jump(preheader));
+                let header = self.new_block();
+                self.switch_to(preheader);
+                self.seal(Terminator::Jump(header));
+                let exit = self.new_block();
+                let loop_body_start = self.func.blocks.len() as u32;
+                self.switch_to(header);
+                let ct = self.ann.ty(cond.id);
+                let cv = self.expr(cond, None);
+                let c = self.truth(cv, &ct);
+                let body_bb = self.new_block();
+                self.seal(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+                self.switch_to(body_bb);
+                self.loop_stack.push((header, exit));
+                self.block(body);
+                self.loop_stack.pop();
+                self.seal(Terminator::Jump(header));
+                let loop_body_end = self.func.blocks.len() as u32;
+                let mut blocks: Vec<BlockId> = vec![header];
+                blocks.extend((loop_body_start..loop_body_end).map(BlockId));
+                self.func.loops.push(LoopInfo {
+                    preheader,
+                    header,
+                    blocks,
+                });
+                self.switch_to(exit);
+            }
+            StmtKind::For {
+                var,
+                var_id,
+                iter,
+                body,
+            } => self.for_stmt(var, *var_id, iter, body),
+            StmtKind::Break => {
+                if let Some(&(_, exit)) = self.loop_stack.last() {
+                    self.seal(Terminator::Jump(exit));
+                } else {
+                    self.seal(Terminator::Return);
+                }
+                let dead = self.new_block();
+                self.switch_to(dead);
+            }
+            StmtKind::Continue => {
+                if let Some(&(latch, _)) = self.loop_stack.last() {
+                    self.seal(Terminator::Jump(latch));
+                } else {
+                    self.seal(Terminator::Return);
+                }
+                let dead = self.new_block();
+                self.switch_to(dead);
+            }
+            StmtKind::Return => {
+                self.seal(Terminator::Return);
+                let dead = self.new_block();
+                self.switch_to(dead);
+            }
+            StmtKind::Global(_) | StmtKind::Clear(_) => {
+                unreachable!("rejected by check_compilable")
+            }
+        }
+    }
+
+    fn display(&mut self, name: &str) {
+        if let Some(v) = self.d.table.var_id(name) {
+            let op = match self.var_loc(v) {
+                VarLoc::F(r) => Operand::F(r),
+                VarLoc::C(r) => Operand::C(r),
+                VarLoc::Slot(s) => Operand::Slot(s),
+            };
+            self.emit(Inst::Gen {
+                op: GenOp::Display(name.to_owned()),
+                dsts: vec![],
+                args: vec![op],
+            });
+        }
+    }
+
+    fn assign(&mut self, lhs: &LValue, v: RVal) {
+        match lhs {
+            LValue::Var { name, .. } => {
+                let var = self.d.table.var_id(name).expect("interned");
+                match self.var_loc(var) {
+                    VarLoc::F(r) => {
+                        let s = self.to_f(v);
+                        self.emit(Inst::FMov { d: r, s });
+                    }
+                    VarLoc::C(r) => {
+                        let s = self.to_c(v);
+                        self.emit(Inst::CMov { d: r, s });
+                    }
+                    VarLoc::Slot(slot) => match v {
+                        RVal::F(s) => self.emit(Inst::FToSlot { slot, s }),
+                        RVal::C(s) => self.emit(Inst::CToSlot { slot, s }),
+                        RVal::Slot(s) => {
+                            if s != slot {
+                                self.emit(Inst::SlotMov { d: slot, s });
+                            }
+                        }
+                    },
+                }
+            }
+            LValue::Index { name, args, id, .. } => {
+                let var = self.d.table.var_id(name).expect("interned");
+                let VarLoc::Slot(arr) = self.var_loc(var) else {
+                    // A scalar-classified variable can never be the target
+                    // of an indexed store (classification forces Slot),
+                    // but stay safe.
+                    let tmp = self.fresh_slot();
+                    let rhs = self.to_operand(v);
+                    self.emit(Inst::Gen {
+                        op: GenOp::IndexSet {
+                            oversize: self.opts.oversize,
+                        },
+                        dsts: vec![],
+                        args: vec![Operand::Slot(tmp), rhs],
+                    });
+                    return;
+                };
+                let base_t = self.ann.base_ty(*id);
+                // Fast path: scalar real store with scalar subscripts.
+                let all_scalar_subs = !self.opts.mcc_mode
+                    && args.len() <= 2
+                    && args.iter().all(|a| {
+                        !matches!(a.kind, ExprKind::Colon)
+                            && self.ann.ty(a.id).is_scalar()
+                            && self.ann.ty(a.id).intrinsic.le(&Intrinsic::Real)
+                    });
+                let v_kind_f = matches!(v, RVal::F(_));
+                if all_scalar_subs
+                    && v_kind_f
+                    && base_t.intrinsic.le(&Intrinsic::Real)
+                {
+                    let idx: Vec<Reg> = args
+                        .iter()
+                        .enumerate()
+                        .map(|(k, a)| {
+                            let ev = self.expr(a, Some((arr, end_dim(k, args.len()))));
+                            self.to_f(ev)
+                        })
+                        .collect();
+                    let checked = !store_provable(&base_t, args, self.ann);
+                    let val = self.to_f(v);
+                    self.emit(Inst::AStoreF {
+                        arr,
+                        i: idx[0],
+                        j: idx.get(1).copied(),
+                        v: val,
+                        checked,
+                        oversize: self.opts.oversize,
+                    });
+                    return;
+                }
+                // Complex scalar store.
+                if all_scalar_subs
+                    && matches!(v, RVal::C(_))
+                    && base_t.intrinsic.le(&Intrinsic::Complex)
+                {
+                    let idx: Vec<Reg> = args
+                        .iter()
+                        .enumerate()
+                        .map(|(k, a)| {
+                            let ev = self.expr(a, Some((arr, end_dim(k, args.len()))));
+                            self.to_f(ev)
+                        })
+                        .collect();
+                    let val = self.to_c(v);
+                    self.emit(Inst::AStoreC {
+                        arr,
+                        i: idx[0],
+                        j: idx.get(1).copied(),
+                        v: val,
+                        checked: true,
+                        oversize: self.opts.oversize,
+                    });
+                    return;
+                }
+                // Generic indexed store.
+                let mut gen_args = vec![Operand::Slot(arr)];
+                for (k, a) in args.iter().enumerate() {
+                    if matches!(a.kind, ExprKind::Colon) {
+                        gen_args.push(Operand::Colon);
+                    } else {
+                        let ev = self.expr(a, Some((arr, end_dim(k, args.len()))));
+                        gen_args.push(self.to_operand(ev));
+                    }
+                }
+                let rhs = self.to_operand(v);
+                gen_args.push(rhs);
+                self.emit(Inst::Gen {
+                    op: GenOp::IndexSet {
+                        oversize: self.opts.oversize,
+                    },
+                    dsts: vec![],
+                    args: gen_args,
+                });
+            }
+        }
+    }
+
+    /// `v = <small elementwise expr>` straight into `v`'s own buffer —
+    /// the paper's pre-allocated temporaries, statement-level form. Safe
+    /// because elementwise outputs depend only on same-index inputs.
+    fn try_assign_unrolled(&mut self, lhs: &LValue, rhs: &Expr) -> bool {
+        if self.opts.mcc_mode || !self.opts.unroll_small_vectors {
+            return false;
+        }
+        let LValue::Var { name, .. } = lhs else {
+            return false;
+        };
+        let Some(var) = self.d.table.var_id(name) else {
+            return false;
+        };
+        let VarLoc::Slot(slot) = self.var_loc(var) else {
+            return false;
+        };
+        let ExprKind::Binary { op, lhs: a, rhs: b } = &rhs.kind else {
+            return false;
+        };
+        let t = self.ann.ty(rhs.id);
+        let (lt, rt) = (self.ann.ty(a.id), self.ann.ty(b.id));
+        let scalar_side = lt.is_scalar() || rt.is_scalar();
+        if !(op.is_elementwise() || scalar_side) {
+            return false;
+        }
+        self.try_unrolled_elementwise(*op, a, b, &t, Some(slot))
+            .is_some()
+    }
+
+    /// Direct-form counted loop: the loop variable is the counter.
+    fn direct_counted_loop(
+        &mut self,
+        kreg: Reg,
+        step_v: f64,
+        start: &Expr,
+        stop: &Expr,
+        body: &[Stmt],
+    ) {
+        let a0 = self.expr(start, None);
+        let a = self.to_f(a0);
+        let b0 = self.expr(stop, None);
+        let b = self.to_f(b0);
+        // Keep the bound in a dedicated register so the header's compare
+        // survives whatever the body does.
+        let bound = self.fresh_f();
+        self.emit(Inst::FMov { d: bound, s: b });
+        let step = self.fconst(step_v);
+        self.emit(Inst::FMov { d: kreg, s: a });
+
+        let preheader = self.new_block();
+        self.seal(Terminator::Jump(preheader));
+        let header = self.new_block();
+        self.switch_to(preheader);
+        self.seal(Terminator::Jump(header));
+        let exit = self.new_block();
+        let latch = self.new_block();
+        let body_start = self.func.blocks.len() as u32;
+
+        self.switch_to(header);
+        let c = self.fresh_f();
+        self.emit(Inst::FCmp {
+            op: if step_v > 0.0 { CmpOp::Le } else { CmpOp::Ge },
+            d: c,
+            a: kreg,
+            b: bound,
+        });
+        let body_bb = self.new_block();
+        self.seal(Terminator::Branch {
+            cond: c,
+            then_bb: body_bb,
+            else_bb: exit,
+        });
+        self.switch_to(body_bb);
+        self.loop_stack.push((latch, exit));
+        self.block(body);
+        self.loop_stack.pop();
+        self.seal(Terminator::Jump(latch));
+        self.switch_to(latch);
+        self.emit(Inst::FBin {
+            op: FBinOp::Add,
+            d: kreg,
+            a: kreg,
+            b: step,
+        });
+        self.seal(Terminator::Jump(header));
+        let body_end = self.func.blocks.len() as u32;
+        let mut blocks = vec![header, latch];
+        blocks.extend((body_start..body_end).map(BlockId));
+        self.func.loops.push(LoopInfo {
+            preheader,
+            header,
+            blocks,
+        });
+        self.switch_to(exit);
+    }
+
+    fn for_stmt(&mut self, var: &str, var_id: NodeId, iter: &Expr, body: &[Stmt]) {
+        let var_vid = self.d.table.var_id(var).expect("interned");
+        let elem_t = self.ann.ty(var_id);
+
+        // Counted-loop fast path: `for k = a:s:b` with scalar bounds and a
+        // register-class loop variable.
+        if let ExprKind::Range { start, step, stop } = &iter.kind {
+            let bounds_scalar = self.ann.ty(start.id).is_scalar()
+                && self.ann.ty(stop.id).is_scalar()
+                && step.as_ref().is_none_or(|s| self.ann.ty(s.id).is_scalar());
+            if bounds_scalar && !self.opts.mcc_mode {
+                // Direct-form loop: when the step is a known integer
+                // constant and the body never writes the loop variable,
+                // the variable itself is the counter (`k = a; …; k += s`)
+                // — an exact iteration (integer increments don't drift)
+                // with three fewer instructions per trip.
+                let static_step: Option<f64> = match step {
+                    None => Some(1.0),
+                    Some(st) => match st.kind {
+                        ExprKind::Number {
+                            value,
+                            imaginary: false,
+                        } if value.fract() == 0.0 && value != 0.0 => Some(value),
+                        ExprKind::Unary {
+                            op: UnOp::Neg,
+                            ref operand,
+                        } => match operand.kind {
+                            ExprKind::Number {
+                                value,
+                                imaginary: false,
+                            } if value.fract() == 0.0 && value != 0.0 => Some(-value),
+                            _ => None,
+                        },
+                        _ => None,
+                    },
+                };
+                if let (Some(step_v), VarLoc::F(kreg)) =
+                    (static_step, self.var_loc(var_vid))
+                {
+                    if !assigns_var(body, var) {
+                        self.direct_counted_loop(kreg, step_v, start, stop, body);
+                        return;
+                    }
+                }
+                let a0 = self.expr(start, None);
+                let a = self.to_f(a0);
+                let s = match step {
+                    Some(st) => {
+                        let sv = self.expr(st, None);
+                        self.to_f(sv)
+                    }
+                    None => self.fconst(1.0),
+                };
+                let b0 = self.expr(stop, None);
+                let b = self.to_f(b0);
+                // n = floor((b - a)/s + 1e-10) + 1 (clamped below by the
+                // loop condition).
+                let diff = self.fresh_f();
+                self.emit(Inst::FBin {
+                    op: FBinOp::Sub,
+                    d: diff,
+                    a: b,
+                    b: a,
+                });
+                let quot = self.fresh_f();
+                self.emit(Inst::FBin {
+                    op: FBinOp::Div,
+                    d: quot,
+                    a: diff,
+                    b: s,
+                });
+                let epsr = self.fconst(1e-10);
+                let quot2 = self.fresh_f();
+                self.emit(Inst::FBin {
+                    op: FBinOp::Add,
+                    d: quot2,
+                    a: quot,
+                    b: epsr,
+                });
+                let fl = self.fresh_f();
+                self.emit(Inst::FUn {
+                    op: FUnOp::Floor,
+                    d: fl,
+                    s: quot2,
+                });
+                let one = self.fconst(1.0);
+                let n = self.fresh_f();
+                self.emit(Inst::FBin {
+                    op: FBinOp::Add,
+                    d: n,
+                    a: fl,
+                    b: one,
+                });
+                let i = self.fresh_f();
+                let zero = self.fconst(0.0);
+                self.emit(Inst::FMov { d: i, s: zero });
+
+                let preheader = self.new_block();
+                self.seal(Terminator::Jump(preheader));
+                let header = self.new_block();
+                self.switch_to(preheader);
+                self.seal(Terminator::Jump(header));
+                let exit = self.new_block();
+                let latch = self.new_block();
+                let body_start = self.func.blocks.len() as u32;
+
+                self.switch_to(header);
+                let c = self.fresh_f();
+                self.emit(Inst::FCmp {
+                    op: CmpOp::Lt,
+                    d: c,
+                    a: i,
+                    b: n,
+                });
+                let body_bb = self.new_block();
+                self.seal(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+                self.switch_to(body_bb);
+                // k = a + i*s
+                let scaled = self.fresh_f();
+                self.emit(Inst::FBin {
+                    op: FBinOp::Mul,
+                    d: scaled,
+                    a: i,
+                    b: s,
+                });
+                let k = self.fresh_f();
+                self.emit(Inst::FBin {
+                    op: FBinOp::Add,
+                    d: k,
+                    a,
+                    b: scaled,
+                });
+                match self.var_loc(var_vid) {
+                    VarLoc::F(r) => self.emit(Inst::FMov { d: r, s: k }),
+                    VarLoc::C(r) => {
+                        let zero = self.fconst(0.0);
+                        self.emit(Inst::CMake { d: r, re: k, im: zero });
+                    }
+                    VarLoc::Slot(slot) => self.emit(Inst::FToSlot { slot, s: k }),
+                }
+                self.loop_stack.push((latch, exit));
+                self.block(body);
+                self.loop_stack.pop();
+                self.seal(Terminator::Jump(latch));
+                self.switch_to(latch);
+                let one2 = self.fconst(1.0);
+                self.emit(Inst::FBin {
+                    op: FBinOp::Add,
+                    d: i,
+                    a: i,
+                    b: one2,
+                });
+                self.seal(Terminator::Jump(header));
+                let body_end = self.func.blocks.len() as u32;
+                let mut blocks = vec![header, latch];
+                blocks.extend((body_start..body_end).map(BlockId));
+                self.func.loops.push(LoopInfo {
+                    preheader,
+                    header,
+                    blocks,
+                });
+                self.switch_to(exit);
+                return;
+            }
+        }
+
+        // Generic path: iterate over the columns of the evaluated space.
+        let space_v = self.expr(iter, None);
+        let space = self.to_slot(space_v);
+        let ncols = self.fresh_f();
+        self.emit(Inst::ExtentF {
+            d: ncols,
+            arr: space,
+            dim: 2,
+        });
+        let nrows = self.fresh_f();
+        self.emit(Inst::ExtentF {
+            d: nrows,
+            arr: space,
+            dim: 1,
+        });
+        let i = self.fconst(1.0);
+
+        let preheader = self.new_block();
+        self.seal(Terminator::Jump(preheader));
+        let header = self.new_block();
+        self.switch_to(preheader);
+        self.seal(Terminator::Jump(header));
+        let exit = self.new_block();
+        let latch = self.new_block();
+        let body_start = self.func.blocks.len() as u32;
+
+        self.switch_to(header);
+        let c = self.fresh_f();
+        self.emit(Inst::FCmp {
+            op: CmpOp::Le,
+            d: c,
+            a: i,
+            b: ncols,
+        });
+        let body_bb = self.new_block();
+        self.seal(Terminator::Branch {
+            cond: c,
+            then_bb: body_bb,
+            else_bb: exit,
+        });
+        self.switch_to(body_bb);
+        // Element: row vectors bind scalars; matrices bind columns.
+        if kind_of(&elem_t) == Kind::F {
+            let d = self.fresh_f();
+            self.emit(Inst::ALoadF {
+                d,
+                arr: space,
+                i,
+                j: None,
+                checked: true,
+            });
+            match self.var_loc(var_vid) {
+                VarLoc::F(r) => self.emit(Inst::FMov { d: r, s: d }),
+                VarLoc::C(r) => {
+                    let zero = self.fconst(0.0);
+                    self.emit(Inst::CMake { d: r, re: d, im: zero });
+                }
+                VarLoc::Slot(slot) => self.emit(Inst::FToSlot { slot, s: d }),
+            }
+        } else {
+            let dst = match self.var_loc(var_vid) {
+                VarLoc::Slot(s) => s,
+                _ => self.fresh_slot(),
+            };
+            self.emit(Inst::Gen {
+                op: GenOp::IndexGet,
+                dsts: vec![dst],
+                args: vec![Operand::Slot(space), Operand::Colon, Operand::F(i)],
+            });
+            match self.var_loc(var_vid) {
+                VarLoc::Slot(_) => {}
+                VarLoc::F(r) => self.emit(Inst::SlotToF { d: r, slot: dst }),
+                VarLoc::C(r) => self.emit(Inst::SlotToC { d: r, slot: dst }),
+            }
+        }
+        self.loop_stack.push((latch, exit));
+        self.block(body);
+        self.loop_stack.pop();
+        self.seal(Terminator::Jump(latch));
+        self.switch_to(latch);
+        let one = self.fconst(1.0);
+        self.emit(Inst::FBin {
+            op: FBinOp::Add,
+            d: i,
+            a: i,
+            b: one,
+        });
+        self.seal(Terminator::Jump(header));
+        let body_end = self.func.blocks.len() as u32;
+        let mut blocks = vec![header, latch];
+        blocks.extend((body_start..body_end).map(BlockId));
+        self.func.loops.push(LoopInfo {
+            preheader,
+            header,
+            blocks,
+        });
+        self.switch_to(exit);
+    }
+
+    // ---- expressions ----
+
+    /// Statement-position expression: may produce no value (zero-output
+    /// call).
+    fn expr_stmt_value(&mut self, e: &Expr) -> Option<RVal> {
+        if let ExprKind::Apply { callee, args } = &e.kind {
+            let kind = self.d.table.kind(e.id);
+            if matches!(kind, SymbolKind::Builtin(_) | SymbolKind::UserFunction | SymbolKind::Unknown)
+            {
+                let argv: Vec<Operand> = args
+                    .iter()
+                    .map(|a| {
+                        let v = self.expr(a, None);
+                        self.to_operand(v)
+                    })
+                    .collect();
+                let op = match kind {
+                    SymbolKind::Builtin(b) => GenOp::CallBuiltin(b),
+                    _ => GenOp::CallUser(callee.clone()),
+                };
+                // Builtins like disp/fprintf/error yield nothing.
+                let void = matches!(
+                    kind,
+                    SymbolKind::Builtin(
+                        Builtin::Disp | Builtin::Fprintf | Builtin::Error
+                    )
+                );
+                let dsts = if void { vec![] } else { vec![self.fresh_slot()] };
+                self.emit(Inst::Gen {
+                    op,
+                    dsts: dsts.clone(),
+                    args: argv,
+                });
+                return dsts.first().map(|s| RVal::Slot(*s));
+            }
+        }
+        Some(self.expr(e, None))
+    }
+
+    /// Generate code for an expression. `end_ctx` carries the array and
+    /// dimension `end` refers to inside subscripts.
+    fn expr(&mut self, e: &Expr, end_ctx: Option<(Slot, u8)>) -> RVal {
+        let t = self.ann.ty(e.id);
+        match &e.kind {
+            ExprKind::Number { value, imaginary } => {
+                if *imaginary {
+                    let d = self.fresh_c();
+                    self.emit(Inst::CConst {
+                        d,
+                        re: 0.0,
+                        im: *value,
+                    });
+                    RVal::C(d)
+                } else if self.opts.mcc_mode {
+                    let r = self.fconst(*value);
+                    RVal::Slot(self.to_slot(RVal::F(r)))
+                } else {
+                    RVal::F(self.fconst(*value))
+                }
+            }
+            ExprKind::Str(s) => {
+                let slot = self.fresh_slot();
+                // Unary `+` is the identity: a cheap way to box a literal.
+                self.emit(Inst::Gen {
+                    op: GenOp::Unary("+"),
+                    dsts: vec![slot],
+                    args: vec![Operand::Str(s.clone())],
+                });
+                RVal::Slot(slot)
+            }
+            ExprKind::Ident(name) => self.ident(e.id, name),
+            ExprKind::Apply { callee, args } => self.apply(e.id, callee, args, &t),
+            ExprKind::Range { start, step, stop } => {
+                let mut gen_args = Vec::new();
+                let sv = self.expr(start, end_ctx);
+                gen_args.push(self.to_operand(sv));
+                if let Some(st) = step {
+                    let stv = self.expr(st, end_ctx);
+                    gen_args.push(self.to_operand(stv));
+                }
+                let ev = self.expr(stop, end_ctx);
+                gen_args.push(self.to_operand(ev));
+                let dst = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::Range,
+                    dsts: vec![dst],
+                    args: gen_args,
+                });
+                RVal::Slot(dst)
+            }
+            ExprKind::Colon => {
+                // Only reachable through malformed input; boxes a marker
+                // error at runtime.
+                let slot = self.fresh_slot();
+                self.emit(Inst::ErrUndefined(":".to_owned()));
+                RVal::Slot(slot)
+            }
+            ExprKind::End => match end_ctx {
+                Some((arr, dim)) => {
+                    let d = self.fresh_f();
+                    self.emit(Inst::ExtentF { d, arr, dim });
+                    RVal::F(d)
+                }
+                None => {
+                    self.emit(Inst::ErrUndefined("end".to_owned()));
+                    RVal::F(self.fconst(0.0))
+                }
+            },
+            ExprKind::Unary { op, operand } => {
+                let ov = self.expr(operand, end_ctx);
+                let ot = self.ann.ty(operand.id);
+                match (op, kind_of(&t), ov) {
+                    (UnOp::Plus, _, v) => v,
+                    (UnOp::Neg, Kind::F, v) if kind_of(&ot) == Kind::F => {
+                        let s = self.to_f(v);
+                        let d = self.fresh_f();
+                        self.emit(Inst::FUn {
+                            op: FUnOp::Neg,
+                            d,
+                            s,
+                        });
+                        RVal::F(d)
+                    }
+                    (UnOp::Neg, Kind::C, v) if kind_of(&ot) != Kind::Slot => {
+                        let s = self.to_c(v);
+                        let d = self.fresh_c();
+                        self.emit(Inst::CUn {
+                            op: CUnOp::Neg,
+                            d,
+                            s,
+                        });
+                        RVal::C(d)
+                    }
+                    (UnOp::Not, Kind::F, v) if kind_of(&ot) == Kind::F => {
+                        let s = self.to_f(v);
+                        let d = self.fresh_f();
+                        self.emit(Inst::FUn {
+                            op: FUnOp::Not,
+                            d,
+                            s,
+                        });
+                        RVal::F(d)
+                    }
+                    (op, _, v) => {
+                        let a = self.to_operand(v);
+                        let dst = self.fresh_slot();
+                        self.emit(Inst::Gen {
+                            op: GenOp::Unary(match op {
+                                UnOp::Neg => "-",
+                                UnOp::Not => "~",
+                                UnOp::Plus => "+",
+                            }),
+                            dsts: vec![dst],
+                            args: vec![a],
+                        });
+                        RVal::Slot(dst)
+                    }
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, &t, end_ctx),
+            ExprKind::Matrix(rows) => self.matrix_literal(rows, &t),
+            ExprKind::Transpose { operand, conjugate } => {
+                let ot = self.ann.ty(operand.id);
+                let ov = self.expr(operand, end_ctx);
+                match kind_of(&ot) {
+                    Kind::F => ov, // transposing a real scalar is a no-op
+                    Kind::C => {
+                        if *conjugate {
+                            let s = self.to_c(ov);
+                            let d = self.fresh_c();
+                            self.emit(Inst::CUn {
+                                op: CUnOp::Conj,
+                                d,
+                                s,
+                            });
+                            RVal::C(d)
+                        } else {
+                            ov
+                        }
+                    }
+                    Kind::Slot => {
+                        let a = self.to_operand(ov);
+                        let dst = self.fresh_slot();
+                        self.emit(Inst::Gen {
+                            op: GenOp::Transpose(*conjugate),
+                            dsts: vec![dst],
+                            args: vec![a],
+                        });
+                        RVal::Slot(dst)
+                    }
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self, id: NodeId, name: &str) -> RVal {
+        match self.d.table.kind(id) {
+            SymbolKind::Variable(v) => match self.var_loc(v) {
+                VarLoc::F(r) => RVal::F(r),
+                VarLoc::C(r) => RVal::C(r),
+                VarLoc::Slot(s) => RVal::Slot(s),
+            },
+            SymbolKind::Builtin(b) if !self.opts.mcc_mode => match b {
+                Builtin::Pi => RVal::F(self.fconst(std::f64::consts::PI)),
+                Builtin::Eps => RVal::F(self.fconst(f64::EPSILON)),
+                Builtin::Inf => RVal::F(self.fconst(f64::INFINITY)),
+                Builtin::NaN => RVal::F(self.fconst(f64::NAN)),
+                Builtin::ImagUnitI | Builtin::ImagUnitJ => {
+                    let d = self.fresh_c();
+                    self.emit(Inst::CConst {
+                        d,
+                        re: 0.0,
+                        im: 1.0,
+                    });
+                    RVal::C(d)
+                }
+                other => {
+                    let dst = self.fresh_slot();
+                    self.emit(Inst::Gen {
+                        op: GenOp::CallBuiltin(other),
+                        dsts: vec![dst],
+                        args: vec![],
+                    });
+                    RVal::Slot(dst)
+                }
+            },
+            SymbolKind::Builtin(b) => {
+                let dst = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::CallBuiltin(b),
+                    dsts: vec![dst],
+                    args: vec![],
+                });
+                RVal::Slot(dst)
+            }
+            SymbolKind::UserFunction => {
+                let dst = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::CallUser(name.to_owned()),
+                    dsts: vec![dst],
+                    args: vec![],
+                });
+                RVal::Slot(dst)
+            }
+            SymbolKind::Ambiguous(v) => {
+                let arg = match self.var_loc(v) {
+                    VarLoc::Slot(s) => Operand::Slot(s),
+                    VarLoc::F(r) => Operand::F(r),
+                    VarLoc::C(r) => Operand::C(r),
+                };
+                let dst = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::ResolveAmbiguous(name.to_owned()),
+                    dsts: vec![dst],
+                    args: vec![arg],
+                });
+                RVal::Slot(dst)
+            }
+            SymbolKind::Unknown => {
+                self.emit(Inst::ErrUndefined(name.to_owned()));
+                RVal::F(self.fconst(0.0))
+            }
+        }
+    }
+
+    fn apply(&mut self, id: NodeId, callee: &str, args: &[Expr], t: &Type) -> RVal {
+        match self.d.table.kind(id) {
+            SymbolKind::Variable(v) => {
+                let base_t = self.ann.base_ty(id);
+                let VarLoc::Slot(arr) = self.var_loc(v) else {
+                    // Scalar variable "indexed" (e.g. x(1)): load it.
+                    return match self.var_loc(v) {
+                        VarLoc::F(r) => RVal::F(r),
+                        VarLoc::C(r) => RVal::C(r),
+                        VarLoc::Slot(_) => unreachable!(),
+                    };
+                };
+                // Scalar-subscript fast path.
+                let all_scalar_subs = !self.opts.mcc_mode
+                    && !args.is_empty()
+                    && args.len() <= 2
+                    && args.iter().all(|a| {
+                        !matches!(a.kind, ExprKind::Colon)
+                            && self.ann.ty(a.id).is_scalar()
+                            && self.ann.ty(a.id).intrinsic.le(&Intrinsic::Real)
+                    });
+                if all_scalar_subs && base_t.intrinsic.le(&Intrinsic::Real) {
+                    let idx: Vec<Reg> = args
+                        .iter()
+                        .enumerate()
+                        .map(|(k, a)| {
+                            let ev = self.expr(a, Some((arr, end_dim(k, args.len()))));
+                            self.to_f(ev)
+                        })
+                        .collect();
+                    let checked = !load_provable(&base_t, args, self.ann);
+                    let d = self.fresh_f();
+                    self.emit(Inst::ALoadF {
+                        d,
+                        arr,
+                        i: idx[0],
+                        j: idx.get(1).copied(),
+                        checked,
+                    });
+                    return RVal::F(d);
+                }
+                if all_scalar_subs
+                    && base_t.intrinsic.le(&Intrinsic::Complex)
+                    && base_t.intrinsic != Intrinsic::Bottom
+                {
+                    let idx: Vec<Reg> = args
+                        .iter()
+                        .enumerate()
+                        .map(|(k, a)| {
+                            let ev = self.expr(a, Some((arr, end_dim(k, args.len()))));
+                            self.to_f(ev)
+                        })
+                        .collect();
+                    let checked = !load_provable(&base_t, args, self.ann);
+                    let d = self.fresh_c();
+                    self.emit(Inst::ALoadC {
+                        d,
+                        arr,
+                        i: idx[0],
+                        j: idx.get(1).copied(),
+                        checked,
+                    });
+                    return RVal::C(d);
+                }
+                // Generic indexing.
+                let mut gen_args = vec![Operand::Slot(arr)];
+                for (k, a) in args.iter().enumerate() {
+                    if matches!(a.kind, ExprKind::Colon) {
+                        gen_args.push(Operand::Colon);
+                    } else {
+                        let ev = self.expr(a, Some((arr, end_dim(k, args.len()))));
+                        gen_args.push(self.to_operand(ev));
+                    }
+                }
+                let dst = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::IndexGet,
+                    dsts: vec![dst],
+                    args: gen_args,
+                });
+                RVal::Slot(dst)
+            }
+            SymbolKind::Builtin(b) => self.builtin_call(b, args, t),
+            SymbolKind::UserFunction | SymbolKind::Unknown => {
+                let argv: Vec<Operand> = args
+                    .iter()
+                    .map(|a| {
+                        let v = self.expr(a, None);
+                        self.to_operand(v)
+                    })
+                    .collect();
+                let dst = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::CallUser(callee.to_owned()),
+                    dsts: vec![dst],
+                    args: argv,
+                });
+                RVal::Slot(dst)
+            }
+            SymbolKind::Ambiguous(v) => {
+                // Runtime decides: variable indexing vs call. Compile the
+                // conservative generic form through ResolveAmbiguous of
+                // the base, then IndexGet.
+                let base = match self.var_loc(v) {
+                    VarLoc::Slot(s) => Operand::Slot(s),
+                    VarLoc::F(r) => Operand::F(r),
+                    VarLoc::C(r) => Operand::C(r),
+                };
+                let resolved = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::ResolveAmbiguous(callee.to_owned()),
+                    dsts: vec![resolved],
+                    args: vec![base],
+                });
+                let mut gen_args = vec![Operand::Slot(resolved)];
+                for a in args {
+                    if matches!(a.kind, ExprKind::Colon) {
+                        gen_args.push(Operand::Colon);
+                    } else {
+                        let ev = self.expr(a, None);
+                        gen_args.push(self.to_operand(ev));
+                    }
+                }
+                let dst = self.fresh_slot();
+                self.emit(Inst::Gen {
+                    op: GenOp::IndexGet,
+                    dsts: vec![dst],
+                    args: gen_args,
+                });
+                RVal::Slot(dst)
+            }
+        }
+    }
+
+    fn builtin_call(&mut self, b: Builtin, args: &[Expr], t: &Type) -> RVal {
+        // Inlined scalar math (paper: "MaJIC inlines scalar arithmetic
+        // and logical operations, elementary math functions …").
+        if !self.opts.mcc_mode && kind_of(t) == Kind::F && args.len() == 1 {
+            let at = self.ann.ty(args[0].id);
+            if kind_of(&at) == Kind::F {
+                let unop = match b {
+                    Builtin::Abs => Some(FUnOp::Abs),
+                    Builtin::Sqrt => Some(FUnOp::Sqrt),
+                    Builtin::Sin => Some(FUnOp::Sin),
+                    Builtin::Cos => Some(FUnOp::Cos),
+                    Builtin::Tan => Some(FUnOp::Tan),
+                    Builtin::Asin => Some(FUnOp::Asin),
+                    Builtin::Acos => Some(FUnOp::Acos),
+                    Builtin::Atan => Some(FUnOp::Atan),
+                    Builtin::Exp => Some(FUnOp::Exp),
+                    Builtin::Log => Some(FUnOp::Log),
+                    Builtin::Log10 => Some(FUnOp::Log10),
+                    Builtin::Floor => Some(FUnOp::Floor),
+                    Builtin::Ceil => Some(FUnOp::Ceil),
+                    Builtin::Round => Some(FUnOp::Round),
+                    Builtin::Fix => Some(FUnOp::Fix),
+                    Builtin::Sign => Some(FUnOp::Sign),
+                    Builtin::Real | Builtin::Conj => None, // identity on reals
+                    _ => None,
+                };
+                if let Some(op) = unop {
+                    let av = self.expr(&args[0], None);
+                    let s = self.to_f(av);
+                    let d = self.fresh_f();
+                    self.emit(Inst::FUn { op, d, s });
+                    return RVal::F(d);
+                }
+                if matches!(b, Builtin::Real | Builtin::Conj) {
+                    return self.expr(&args[0], None);
+                }
+            }
+            // Complex scalar argument with real result: abs / real / imag
+            // / angle.
+            if kind_of(&at) == Kind::C {
+                match b {
+                    Builtin::Abs => {
+                        let av = self.expr(&args[0], None);
+                        let s = self.to_c(av);
+                        let d = self.fresh_f();
+                        self.emit(Inst::CAbs { d, s });
+                        return RVal::F(d);
+                    }
+                    Builtin::Real | Builtin::Imag => {
+                        let av = self.expr(&args[0], None);
+                        let s = self.to_c(av);
+                        let d = self.fresh_f();
+                        self.emit(Inst::CPart {
+                            d,
+                            s,
+                            imag: b == Builtin::Imag,
+                        });
+                        return RVal::F(d);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Scalar binary builtins.
+        if !self.opts.mcc_mode && kind_of(t) == Kind::F && args.len() == 2 {
+            let k0 = kind_of(&self.ann.ty(args[0].id));
+            let k1 = kind_of(&self.ann.ty(args[1].id));
+            if k0 == Kind::F && k1 == Kind::F {
+                let binop = match b {
+                    Builtin::Mod => Some(FBinOp::Mod),
+                    Builtin::Rem => Some(FBinOp::Rem),
+                    Builtin::Atan2 => Some(FBinOp::Atan2),
+                    Builtin::Min => Some(FBinOp::Min),
+                    Builtin::Max => Some(FBinOp::Max),
+                    _ => None,
+                };
+                if let Some(op) = binop {
+                    let av = self.expr(&args[0], None);
+                    let a = self.to_f(av);
+                    let bv = self.expr(&args[1], None);
+                    let bb = self.to_f(bv);
+                    let d = self.fresh_f();
+                    self.emit(Inst::FBin { op, d, a, b: bb });
+                    return RVal::F(d);
+                }
+            }
+        }
+        // Complex-scalar math.
+        if !self.opts.mcc_mode && kind_of(t) == Kind::C && args.len() == 1 {
+            let at = self.ann.ty(args[0].id);
+            if matches!(kind_of(&at), Kind::F | Kind::C) {
+                let cop = match b {
+                    Builtin::Sqrt => Some(CUnOp::Sqrt),
+                    Builtin::Exp => Some(CUnOp::Exp),
+                    Builtin::Log => Some(CUnOp::Log),
+                    Builtin::Conj => Some(CUnOp::Conj),
+                    Builtin::Sin => Some(CUnOp::Sin),
+                    Builtin::Cos => Some(CUnOp::Cos),
+                    _ => None,
+                };
+                if let Some(op) = cop {
+                    let av = self.expr(&args[0], None);
+                    let s = self.to_c(av);
+                    let d = self.fresh_c();
+                    self.emit(Inst::CUn { op, d, s });
+                    return RVal::C(d);
+                }
+            }
+        }
+        // Pre-allocated creation with constant dims (paper: "small
+        // temporary arrays of known sizes are pre-allocated").
+        if !self.opts.mcc_mode && b == Builtin::Zeros {
+            if let Some(shape) = t.exact_shape() {
+                if let (Some(r), Some(c)) = (shape.rows.finite(), shape.cols.finite()) {
+                    // Only when the arguments are side-effect-free scalars
+                    // (they are, if the shape is exact).
+                    let dst = self.fresh_slot();
+                    self.emit(Inst::Gen {
+                        op: GenOp::AllocReal {
+                            rows: r as u32,
+                            cols: c as u32,
+                        },
+                        dsts: vec![dst],
+                        args: vec![],
+                    });
+                    return RVal::Slot(dst);
+                }
+            }
+        }
+        // Generic builtin call.
+        let argv: Vec<Operand> = args
+            .iter()
+            .map(|a| {
+                let v = self.expr(a, None);
+                self.to_operand(v)
+            })
+            .collect();
+        let dst = self.fresh_slot();
+        self.emit(Inst::Gen {
+            op: GenOp::CallBuiltin(b),
+            dsts: vec![dst],
+            args: argv,
+        });
+        RVal::Slot(dst)
+    }
+
+    fn binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        t: &Type,
+        end_ctx: Option<(Slot, u8)>,
+    ) -> RVal {
+        // Short-circuit logicals need control flow.
+        if matches!(op, BinOp::ShortAnd | BinOp::ShortOr) {
+            return self.short_circuit(op, lhs, rhs, end_ctx);
+        }
+        let lt = self.ann.ty(lhs.id);
+        let rt = self.ann.ty(rhs.id);
+        let (lk, rk) = (kind_of(&lt), kind_of(&rt));
+
+        if !self.opts.mcc_mode {
+            // dgemv fusion (paper: "expressions like a*X+b*C*Y are
+            // transformed into a single call to the BLAS routine dgemv").
+            if op == BinOp::Add && self.opts.gemv_fusion {
+                if let Some(r) = self.try_gemv(lhs, rhs) {
+                    return r;
+                }
+            }
+
+            // Inlined real-scalar arithmetic: the paper's "most important
+            // performance optimization".
+            if lk == Kind::F && rk == Kind::F && kind_of(t) == Kind::F {
+                let lv = self.expr(lhs, end_ctx);
+                let a = self.to_f(lv);
+                let rv = self.expr(rhs, end_ctx);
+                let b = self.to_f(rv);
+                let d = self.fresh_f();
+                let inst = match op {
+                    BinOp::Add => Inst::FBin { op: FBinOp::Add, d, a, b },
+                    BinOp::Sub => Inst::FBin { op: FBinOp::Sub, d, a, b },
+                    BinOp::Mul | BinOp::ElemMul => Inst::FBin { op: FBinOp::Mul, d, a, b },
+                    BinOp::Div | BinOp::ElemDiv => Inst::FBin { op: FBinOp::Div, d, a, b },
+                    BinOp::LeftDiv | BinOp::ElemLeftDiv => {
+                        Inst::FBin { op: FBinOp::Div, d, a: b, b: a }
+                    }
+                    BinOp::Pow | BinOp::ElemPow => Inst::FBin { op: FBinOp::Pow, d, a, b },
+                    BinOp::Lt => Inst::FCmp { op: CmpOp::Lt, d, a, b },
+                    BinOp::Le => Inst::FCmp { op: CmpOp::Le, d, a, b },
+                    BinOp::Gt => Inst::FCmp { op: CmpOp::Gt, d, a, b },
+                    BinOp::Ge => Inst::FCmp { op: CmpOp::Ge, d, a, b },
+                    BinOp::Eq => Inst::FCmp { op: CmpOp::Eq, d, a, b },
+                    BinOp::Ne => Inst::FCmp { op: CmpOp::Ne, d, a, b },
+                    BinOp::And | BinOp::Or => {
+                        // (a ≠ 0) op (b ≠ 0) in plain arithmetic.
+                        let zero = self.fconst(0.0);
+                        let ta = self.fresh_f();
+                        self.emit(Inst::FCmp { op: CmpOp::Ne, d: ta, a, b: zero });
+                        let tb = self.fresh_f();
+                        self.emit(Inst::FCmp { op: CmpOp::Ne, d: tb, a: b, b: zero });
+                        if op == BinOp::And {
+                            Inst::FBin { op: FBinOp::Mul, d, a: ta, b: tb }
+                        } else {
+                            Inst::FBin { op: FBinOp::Max, d, a: ta, b: tb }
+                        }
+                    }
+                    BinOp::ShortAnd | BinOp::ShortOr => unreachable!(),
+                };
+                self.emit(inst);
+                return RVal::F(d);
+            }
+
+            // Complex-scalar arithmetic.
+            let both_scalar = matches!(lk, Kind::F | Kind::C) && matches!(rk, Kind::F | Kind::C);
+            if both_scalar && kind_of(t) == Kind::C {
+                let cop = match op {
+                    BinOp::Add => Some(CBinOp::Add),
+                    BinOp::Sub => Some(CBinOp::Sub),
+                    BinOp::Mul | BinOp::ElemMul => Some(CBinOp::Mul),
+                    BinOp::Div | BinOp::ElemDiv => Some(CBinOp::Div),
+                    BinOp::Pow | BinOp::ElemPow => Some(CBinOp::Pow),
+                    _ => None,
+                };
+                if let Some(cop) = cop {
+                    let lv = self.expr(lhs, end_ctx);
+                    let a = self.to_c(lv);
+                    let rv = self.expr(rhs, end_ctx);
+                    let b = self.to_c(rv);
+                    let d = self.fresh_c();
+                    self.emit(Inst::CBin { op: cop, d, a, b });
+                    return RVal::C(d);
+                }
+            }
+            // Relational on complex scalars: compare real parts.
+            if both_scalar && op.is_relational() {
+                let lv = self.expr(lhs, end_ctx);
+                let a = self.to_f(lv);
+                let rv = self.expr(rhs, end_ctx);
+                let b = self.to_f(rv);
+                let d = self.fresh_f();
+                let cop = match op {
+                    BinOp::Lt => CmpOp::Lt,
+                    BinOp::Le => CmpOp::Le,
+                    BinOp::Gt => CmpOp::Gt,
+                    BinOp::Ge => CmpOp::Ge,
+                    BinOp::Eq => CmpOp::Eq,
+                    BinOp::Ne => CmpOp::Ne,
+                    _ => unreachable!(),
+                };
+                self.emit(Inst::FCmp { op: cop, d, a, b });
+                return RVal::F(d);
+            }
+
+            // Small-vector unrolling (paper: "elementary vector
+            // operations … are completely unrolled when exact array
+            // shapes are known … very effective on small (up to 3×3)
+            // matrices").
+            // Scalar·vector `*` and `/` are elementwise in effect, so
+            // they qualify too when one side is scalar.
+            let scalar_side = lt.is_scalar() || rt.is_scalar();
+            if self.opts.unroll_small_vectors && (op.is_elementwise() || scalar_side) {
+                if let Some(r) = self.try_unrolled_elementwise(op, lhs, rhs, t, None) {
+                    return r;
+                }
+            }
+        }
+
+        // Generic fallback (paper: "the implicit default rule for any
+        // operator is that the numeric operands are complex matrices").
+        let lv = self.expr(lhs, end_ctx);
+        let a = self.to_operand(lv);
+        let rv = self.expr(rhs, end_ctx);
+        let b = self.to_operand(rv);
+        let dst = self.fresh_slot();
+        self.emit(Inst::Gen {
+            op: GenOp::Binary(binop_name(op)),
+            dsts: vec![dst],
+            args: vec![a, b],
+        });
+        RVal::Slot(dst)
+    }
+
+    fn short_circuit(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        end_ctx: Option<(Slot, u8)>,
+    ) -> RVal {
+        let lt = self.ann.ty(lhs.id);
+        let lv = self.expr(lhs, end_ctx);
+        let lc = self.truth(lv, &lt);
+        let result = self.fresh_f();
+        self.emit(Inst::FMov { d: result, s: lc });
+        let rhs_bb = self.new_block();
+        let merge = self.new_block();
+        let (then_bb, else_bb) = if op == BinOp::ShortAnd {
+            (rhs_bb, merge)
+        } else {
+            (merge, rhs_bb)
+        };
+        self.seal(Terminator::Branch {
+            cond: lc,
+            then_bb,
+            else_bb,
+        });
+        self.switch_to(rhs_bb);
+        let rt = self.ann.ty(rhs.id);
+        let rv = self.expr(rhs, end_ctx);
+        let rc = self.truth(rv, &rt);
+        self.emit(Inst::FMov { d: result, s: rc });
+        self.seal(Terminator::Jump(merge));
+        self.switch_to(merge);
+        RVal::F(result)
+    }
+
+    /// Detect `a*X + b*(C*Y)` shapes (and simpler variants) and emit a
+    /// fused dgemv.
+    fn try_gemv(&mut self, lhs: &Expr, rhs: &Expr) -> Option<RVal> {
+        let l = decompose_gemv_term(self, lhs)?;
+        let r = decompose_gemv_term(self, rhs)?;
+        // One side must be the matrix-vector product, the other the plain
+        // vector.
+        let (mv, v) = match (&l.mat, &r.mat, &l.vec, &r.vec) {
+            (Some(_), None, None, Some(_)) => (&l, &r),
+            (None, Some(_), Some(_), None) => (&r, &l),
+            _ => return None,
+        };
+        let (c_e, y_e) = mv.mat.expect("checked");
+        let x_e = v.vec.expect("checked");
+
+        let alpha = match mv.coeff {
+            Some(e) => {
+                let av = self.expr(e, None);
+                self.to_operand(av)
+            }
+            None => Operand::F(self.fconst(1.0)),
+        };
+        let a_slot = {
+            let v = self.expr(c_e, None);
+            let s = self.to_slot(v);
+            Operand::Slot(s)
+        };
+        let y_slot = {
+            let v = self.expr(y_e, None);
+            let s = self.to_slot(v);
+            Operand::Slot(s)
+        };
+        let beta = match v.coeff {
+            Some(e) => {
+                let bv = self.expr(e, None);
+                self.to_operand(bv)
+            }
+            None => Operand::F(self.fconst(1.0)),
+        };
+        let x_slot = {
+            let vv = self.expr(x_e, None);
+            let s = self.to_slot(vv);
+            Operand::Slot(s)
+        };
+        let dst = self.fresh_slot();
+        self.emit(Inst::Gen {
+            op: GenOp::Gemv,
+            dsts: vec![dst],
+            args: vec![alpha, a_slot, y_slot, beta, x_slot],
+        });
+        Some(RVal::Slot(dst))
+    }
+
+    /// Unroll `lhs op rhs` elementwise when both sides have the same
+    /// exact small shape (or one is scalar) and everything is real.
+    fn try_unrolled_elementwise(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        t: &Type,
+        target: Option<Slot>,
+    ) -> Option<RVal> {
+        const MAX_UNROLL: u64 = 9;
+        let shape = t.exact_shape()?;
+        let n = shape.numel()?;
+        if n == 0 || n > MAX_UNROLL || !t.intrinsic.le(&Intrinsic::Real) {
+            return None;
+        }
+        let lt = self.ann.ty(lhs.id);
+        let rt = self.ann.ty(rhs.id);
+        if !lt.intrinsic.le(&Intrinsic::Real) || !rt.intrinsic.le(&Intrinsic::Real) {
+            return None;
+        }
+        let fop = match op {
+            BinOp::Add => FBinOp::Add,
+            BinOp::Sub => FBinOp::Sub,
+            BinOp::ElemMul => FBinOp::Mul,
+            BinOp::ElemDiv => FBinOp::Div,
+            BinOp::ElemPow => FBinOp::Pow,
+            // Matrix `*` / `/` / `\` degenerate to elementwise when one
+            // operand is scalar (`dt * v`, `v / d`); anything else (true
+            // matrix products) must not unroll here.
+            BinOp::Mul if lt.is_scalar() || rt.is_scalar() => FBinOp::Mul,
+            BinOp::Div if rt.is_scalar() => FBinOp::Div,
+            BinOp::ElemLeftDiv => {
+                return self.try_unrolled_elementwise(BinOp::ElemDiv, rhs, lhs, t, target);
+            }
+            BinOp::LeftDiv if lt.is_scalar() => {
+                return self.try_unrolled_elementwise(BinOp::Div, rhs, lhs, t, target);
+            }
+            _ => return None,
+        };
+        // Shapes must be exact: scalar or equal to the result.
+        let side_ok = |st: &Type| {
+            st.is_scalar()
+                || st
+                    .exact_shape()
+                    .is_some_and(|s| s == shape)
+        };
+        if !side_ok(&lt) || !side_ok(&rt) {
+            return None;
+        }
+        let lv = self.expr(lhs, None);
+        let rv = self.expr(rhs, None);
+        enum Side {
+            Scalar(Reg),
+            Arr(Slot),
+        }
+        let prep = |g: &mut Gen<'_>, v: RVal, st: &Type| -> Side {
+            if st.is_scalar() {
+                Side::Scalar(g.to_f(v))
+            } else {
+                Side::Arr(g.to_slot(v))
+            }
+        };
+        let ls = prep(self, lv, &lt);
+        let rs = prep(self, rv, &rt);
+        let (rows, cols) = (
+            shape.rows.finite().expect("finite"),
+            shape.cols.finite().expect("finite"),
+        );
+        // With a target, reuse its buffer like the paper's static
+        // temporaries; elementwise in-place update is safe because each
+        // output element depends only on the same-index inputs. Without
+        // one, the temporary is allocated once in the entry block (the
+        // `static tmp2[3]` of Figure 3) and overwritten per execution.
+        let dst = match target {
+            Some(slot) => {
+                self.emit(Inst::Gen {
+                    op: GenOp::EnsureReal {
+                        rows: rows as u32,
+                        cols: cols as u32,
+                    },
+                    dsts: vec![slot],
+                    args: vec![],
+                });
+                slot
+            }
+            None => {
+                let slot = self.fresh_slot();
+                self.func.blocks[0].insts.push(Inst::Gen {
+                    op: GenOp::AllocReal {
+                        rows: rows as u32,
+                        cols: cols as u32,
+                    },
+                    dsts: vec![slot],
+                    args: vec![],
+                });
+                slot
+            }
+        };
+        for lin in 0..n as u32 {
+            let a = match &ls {
+                Side::Scalar(r) => *r,
+                Side::Arr(s) => {
+                    let d = self.fresh_f();
+                    self.emit(Inst::ALoadConstF { d, arr: *s, lin });
+                    d
+                }
+            };
+            let b = match &rs {
+                Side::Scalar(r) => *r,
+                Side::Arr(s) => {
+                    let d = self.fresh_f();
+                    self.emit(Inst::ALoadConstF { d, arr: *s, lin });
+                    d
+                }
+            };
+            let d = self.fresh_f();
+            self.emit(Inst::FBin { op: fop, d, a, b });
+            self.emit(Inst::AStoreConstF { arr: dst, lin, v: d });
+        }
+        Some(RVal::Slot(dst))
+    }
+
+    fn matrix_literal(&mut self, rows: &[Vec<Expr>], t: &Type) -> RVal {
+        // Unrolled build for small all-real-scalar literals (also covers
+        // the pre-allocated temporaries rule).
+        if !self.opts.mcc_mode {
+            let nrows = rows.len();
+            let ncols = rows.first().map_or(0, Vec::len);
+            let all_scalars = nrows > 0
+                && ncols > 0
+                && rows.iter().all(|r| r.len() == ncols)
+                && rows.iter().flatten().all(|e| {
+                    let et = self.ann.ty(e.id);
+                    kind_of(&et) == Kind::F
+                });
+            if all_scalars && nrows * ncols <= 16 {
+                let dst = self.fresh_slot();
+                // Pre-allocated in the entry block; every element is
+                // stored below on each execution of the literal.
+                self.func.blocks[0].insts.push(Inst::Gen {
+                    op: GenOp::AllocReal {
+                        rows: nrows as u32,
+                        cols: ncols as u32,
+                    },
+                    dsts: vec![dst],
+                    args: vec![],
+                });
+                for (ri, row) in rows.iter().enumerate() {
+                    for (ci, e) in row.iter().enumerate() {
+                        let v = self.expr(e, None);
+                        let r = self.to_f(v);
+                        let lin = (ci * nrows + ri) as u32;
+                        self.emit(Inst::AStoreConstF {
+                            arr: dst,
+                            lin,
+                            v: r,
+                        });
+                    }
+                }
+                return RVal::Slot(dst);
+            }
+        }
+        let _ = t;
+        // Generic concatenation.
+        let mut args = Vec::new();
+        let mut counts = Vec::with_capacity(rows.len());
+        for row in rows {
+            counts.push(row.len() as u32);
+            for e in row {
+                let v = self.expr(e, None);
+                args.push(self.to_operand(v));
+            }
+        }
+        let dst = self.fresh_slot();
+        self.emit(Inst::Gen {
+            op: GenOp::BuildMatrix { rows: counts },
+            dsts: vec![dst],
+            args,
+        });
+        RVal::Slot(dst)
+    }
+}
+
+/// One side of a candidate dgemv fusion: an optional scalar coefficient
+/// times either a matrix–vector product or a plain column vector.
+struct GemvTerm<'e> {
+    coeff: Option<&'e Expr>,
+    mat: Option<(&'e Expr, &'e Expr)>,
+    vec: Option<&'e Expr>,
+}
+
+fn decompose_gemv_term<'e>(g: &Gen<'_>, e: &'e Expr) -> Option<GemvTerm<'e>> {
+    let is_scalar = |x: &Expr| g.ann.ty(x.id).is_scalar();
+    let is_col_vec = |x: &Expr| {
+        let t = g.ann.ty(x.id);
+        !t.is_scalar()
+            && t.max_shape.cols == Dim::Finite(1)
+            && t.intrinsic.le(&Intrinsic::Real)
+    };
+    let is_mat = |x: &Expr| {
+        let t = g.ann.ty(x.id);
+        !t.is_scalar() && t.intrinsic.le(&Intrinsic::Real)
+    };
+    match &e.kind {
+        ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+        } => {
+            if is_scalar(lhs) && is_mat(rhs) {
+                // a * (C*Y) or a * X
+                if let ExprKind::Binary {
+                    op: BinOp::Mul,
+                    lhs: c,
+                    rhs: y,
+                } = &rhs.kind
+                {
+                    if is_mat(c) && is_col_vec(y) {
+                        return Some(GemvTerm {
+                            coeff: Some(lhs),
+                            mat: Some((c, y)),
+                            vec: None,
+                        });
+                    }
+                }
+                if is_col_vec(rhs) {
+                    return Some(GemvTerm {
+                        coeff: Some(lhs),
+                        mat: None,
+                        vec: Some(rhs),
+                    });
+                }
+            }
+            if is_mat(lhs) && is_col_vec(rhs) {
+                return Some(GemvTerm {
+                    coeff: None,
+                    mat: Some((lhs, rhs)),
+                    vec: None,
+                });
+            }
+            None
+        }
+        _ if is_col_vec(e) => Some(GemvTerm {
+            coeff: None,
+            mat: None,
+            vec: Some(e),
+        }),
+        _ => None,
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::LeftDiv => "\\",
+        BinOp::Pow => "^",
+        BinOp::ElemMul => ".*",
+        BinOp::ElemDiv => "./",
+        BinOp::ElemLeftDiv => ".\\",
+        BinOp::ElemPow => ".^",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "~=",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::ShortAnd | BinOp::ShortOr => unreachable!("lowered as control flow"),
+    }
+}
+
+/// Does any statement assign the named variable (including as a `for`
+/// variable or indexed target)?
+fn assigns_var(stmts: &[Stmt], name: &str) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Assign { lhs, .. } => lhs.name() == name,
+        StmtKind::MultiAssign { lhs, .. } => lhs.iter().any(|l| l.name() == name),
+        StmtKind::For { var, body, .. } => var == name || assigns_var(body, name),
+        StmtKind::While { body, .. } => assigns_var(body, name),
+        StmtKind::If {
+            branches,
+            else_body,
+        } => {
+            branches.iter().any(|(_, b)| assigns_var(b, name))
+                || else_body.as_ref().is_some_and(|b| assigns_var(b, name))
+        }
+        _ => false,
+    })
+}
+
+/// Which extent `end` refers to in subscript `k` of `n`: numel for a
+/// single subscript, rows/cols otherwise.
+fn end_dim(k: usize, n: usize) -> u8 {
+    if n == 1 {
+        0
+    } else if k == 0 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Can this load's subscript checks be removed? (paper §2.4)
+fn load_provable(base: &Type, args: &[Expr], ann: &Annotations) -> bool {
+    let min = base.min_shape;
+    match args.len() {
+        1 => {
+            let Some(numel) = min.rows.finite().and_then(|r| {
+                min.cols.finite().map(|c| r * c)
+            }) else {
+                return false;
+            };
+            let it = ann.ty(args[0].id);
+            it.intrinsic.le(&Intrinsic::Int)
+                && it.range.within(1.0, numel as f64)
+        }
+        2 => {
+            let (Some(rows), Some(cols)) = (min.rows.finite(), min.cols.finite()) else {
+                return false;
+            };
+            let rt = ann.ty(args[0].id);
+            let ct = ann.ty(args[1].id);
+            rt.intrinsic.le(&Intrinsic::Int)
+                && rt.range.within(1.0, rows as f64)
+                && ct.intrinsic.le(&Intrinsic::Int)
+                && ct.range.within(1.0, cols as f64)
+        }
+        _ => false,
+    }
+}
+
+/// Can this store skip the growth check? Same condition as loads: the
+/// indices provably stay inside the *guaranteed* extent.
+fn store_provable(base: &Type, args: &[Expr], ann: &Annotations) -> bool {
+    load_provable(base, args, ann)
+}
+
+/// Gather assignment-site types and forced-slot evidence per variable.
+fn collect_var_evidence(
+    stmts: &[Stmt],
+    d: &DisambiguatedFunction,
+    ann: &Annotations,
+    types: &mut [Vec<Type>],
+    forced_slot: &mut [bool],
+) {
+    fn force(name: &str, d: &DisambiguatedFunction, forced_slot: &mut [bool]) {
+        if let Some(v) = d.table.var_id(name) {
+            forced_slot[v.index()] = true;
+        }
+    }
+    fn note(
+        name: &str,
+        id: NodeId,
+        d: &DisambiguatedFunction,
+        ann: &Annotations,
+        types: &mut [Vec<Type>],
+    ) {
+        if let Some(v) = d.table.var_id(name) {
+            types[v.index()].push(ann.ty(id));
+        }
+    }
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs, .. } => {
+                match lhs {
+                    LValue::Var { name, id, .. } => note(name, *id, d, ann, types),
+                    LValue::Index { name, .. } => force(name, d, forced_slot),
+                }
+                force_apply_bases(rhs, d, forced_slot);
+            }
+            StmtKind::MultiAssign { lhs, args, .. } => {
+                for lv in lhs {
+                    match lv {
+                        LValue::Var { name, id, .. } => note(name, *id, d, ann, types),
+                        LValue::Index { name, .. } => force(name, d, forced_slot),
+                    }
+                }
+                for a in args {
+                    force_apply_bases(a, d, forced_slot);
+                }
+            }
+            StmtKind::Expr { expr, .. } => force_apply_bases(expr, d, forced_slot),
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                for (c, b) in branches {
+                    force_apply_bases(c, d, forced_slot);
+                    collect_var_evidence(b, d, ann, types, forced_slot);
+                }
+                if let Some(b) = else_body {
+                    collect_var_evidence(b, d, ann, types, forced_slot);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                force_apply_bases(cond, d, forced_slot);
+                collect_var_evidence(body, d, ann, types, forced_slot);
+            }
+            StmtKind::For {
+                var,
+                var_id,
+                iter,
+                body,
+            } => {
+                note(var, *var_id, d, ann, types);
+                force_apply_bases(iter, d, forced_slot);
+                collect_var_evidence(body, d, ann, types, forced_slot);
+            }
+            _ => {}
+        }
+    }
+    // Ambiguous symbols must be observable as "undefined" at runtime.
+    for kind in d.table.symbols.values() {
+        if let SymbolKind::Ambiguous(v) = kind {
+            forced_slot[v.index()] = true;
+        }
+    }
+}
+
+/// Any variable used as an indexing base must live in a slot.
+fn force_apply_bases(e: &Expr, d: &DisambiguatedFunction, forced_slot: &mut [bool]) {
+    e.walk(&mut |e| {
+        if let ExprKind::Apply { .. } = &e.kind {
+            match d.table.kind(e.id) {
+                SymbolKind::Variable(v) | SymbolKind::Ambiguous(v) => {
+                    forced_slot[v.index()] = true;
+                }
+                _ => {}
+            }
+        }
+    });
+}

@@ -1,0 +1,622 @@
+//! The MaJIC engine: front end, repository driver, and pipelines.
+
+use majic_analysis::{disambiguate, inline_function, DisambiguatedFunction, InlineOptions};
+use majic_ast::{parse_source, parse_statements, ExprKind, Function, LValue, Stmt, StmtKind};
+use majic_codegen::{compile_executable, CodegenOptions};
+use majic_infer::{infer_jit, infer_speculative, Annotations, CalleeOracle, InferOptions};
+use majic_interp::Interp;
+use majic_ir::passes::PassOptions;
+use majic_repo::{CodeQuality, CompiledVersion, Repository};
+use majic_runtime::builtins::CallCtx;
+use majic_runtime::{RuntimeError, RuntimeResult, Value};
+use majic_types::{Lattice, Range, Signature, Type};
+use majic_vm::{execute, Dispatcher, Executable, RegAllocMode};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// How function calls execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Pure interpretation (the measurement baseline).
+    Interpret,
+    /// Compile to generic library calls (`mcc` emulation).
+    Mcc,
+    /// Just-in-time compilation on repository miss.
+    Jit,
+    /// Speculative ahead-of-time compilation (run
+    /// [`Majic::speculate_all`] first); misses fall back to the JIT,
+    /// exactly as in the paper.
+    Spec,
+    /// FALCON emulation: exact-signature inference plus the optimizing
+    /// backend (batch compilation; callers exclude compile time).
+    Falcon,
+}
+
+/// Simulated host platform. The paper's SPARC/MIPS difference is the
+/// quality of the native backend ("On the SPARC platform the native
+/// Fortran-90 compiler generates relatively poor code … on the MIPS
+/// platform the native compiler is excellent"); we model it as the
+/// optimizing pipeline's pass budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Platform {
+    /// Weaker optimizing backend (no loop-invariant code motion).
+    Sparc,
+    /// Full optimizing backend.
+    Mips,
+}
+
+/// Engine configuration, including every ablation switch used by the
+/// evaluation harness.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Type-inference switches (Figure 7: "no ranges", "no min. shapes").
+    pub infer: InferOptions,
+    /// Register allocation (Figure 7: "no regalloc").
+    pub regalloc: RegAllocMode,
+    /// Array oversizing on resizes (§2.6.1).
+    pub oversize: bool,
+    /// Function inlining (§2.6.1; recursion ≤ 3 levels).
+    pub inline: bool,
+    /// Simulated platform (Figures 4 vs 5).
+    pub platform: Platform,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            mode: ExecMode::Jit,
+            infer: InferOptions::default(),
+            regalloc: RegAllocMode::LinearScan,
+            oversize: true,
+            inline: true,
+            platform: Platform::Sparc,
+        }
+    }
+}
+
+/// Cumulative per-phase timing, matching Figure 6's decomposition of JIT
+/// runtime into disambiguation / type inference / code generation /
+/// execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Parser + disambiguation + inlining time.
+    pub disambiguation: Duration,
+    /// Type-inference time.
+    pub inference: Duration,
+    /// Code selection + passes + register allocation time.
+    pub codegen: Duration,
+    /// Execution time of compiled code / interpreter.
+    pub execution: Duration,
+}
+
+impl PhaseTimes {
+    /// Total of all phases.
+    pub fn total(&self) -> Duration {
+        self.disambiguation + self.inference + self.codegen + self.execution
+    }
+
+    /// Compilation-only portion.
+    pub fn compile(&self) -> Duration {
+        self.disambiguation + self.inference + self.codegen
+    }
+}
+
+/// A MaJIC session.
+#[derive(Debug)]
+pub struct Majic {
+    interp: Interp,
+    repo: Repository,
+    registry: HashMap<String, Function>,
+    known: HashSet<String>,
+    next_node_id: u32,
+    /// Engine configuration (mutable between calls).
+    pub options: EngineOptions,
+    /// Cumulative phase times since the last [`Majic::reset_times`].
+    pub times: PhaseTimes,
+}
+
+impl Default for Majic {
+    fn default() -> Self {
+        Majic::new()
+    }
+}
+
+impl Majic {
+    /// A fresh session with default (JIT) options.
+    pub fn new() -> Majic {
+        Majic {
+            interp: Interp::new(),
+            repo: Repository::new(),
+            registry: HashMap::new(),
+            known: HashSet::new(),
+            next_node_id: 0,
+            options: EngineOptions::default(),
+            times: PhaseTimes::default(),
+        }
+    }
+
+    /// A fresh session in the given mode.
+    pub fn with_mode(mode: ExecMode) -> Majic {
+        let mut m = Majic::new();
+        m.options.mode = mode;
+        m
+    }
+
+    /// Load MATLAB source: functions are registered (this is the
+    /// repository's "source directory snoop"), script statements run
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors and script execution errors.
+    pub fn load_source(&mut self, src: &str) -> RuntimeResult<()> {
+        let file = parse_source(src)
+            .map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        self.next_node_id = self.next_node_id.max(file.node_count);
+        for f in &file.functions {
+            // Source changed → recompile later (repository dependency
+            // tracking).
+            self.repo.invalidate(&f.name);
+            self.known.insert(f.name.clone());
+            self.registry.insert(f.name.clone(), f.clone());
+            self.interp.define_function(f.clone());
+        }
+        if !file.script.is_empty() {
+            self.exec_statements(&file.script)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate command-window input. Function-call statements route
+    /// through the repository (the front end "defers computationally
+    /// complex tasks to the code repository"); everything else is
+    /// interpreted directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse and execution errors.
+    pub fn eval(&mut self, src: &str) -> RuntimeResult<()> {
+        let (stmts, next) = parse_statements(src)
+            .map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        self.next_node_id = self.next_node_id.max(next);
+        self.exec_statements(&stmts)
+    }
+
+    fn exec_statements(&mut self, stmts: &[Stmt]) -> RuntimeResult<()> {
+        for stmt in stmts {
+            if self.options.mode != ExecMode::Interpret {
+                if let Some(()) = self.try_deferred_call(stmt)? {
+                    continue;
+                }
+            }
+            let t0 = Instant::now();
+            self.interp.exec_statements(std::slice::from_ref(stmt))?;
+            self.times.execution += t0.elapsed();
+        }
+        Ok(())
+    }
+
+    /// Route `x = f(args)` / `[a,b] = f(args)` / `f(args)` statements
+    /// through the compiled path when `f` is a known user function.
+    fn try_deferred_call(&mut self, stmt: &Stmt) -> RuntimeResult<Option<()>> {
+        let (lhs_names, callee, args): (Vec<&LValue>, &str, &[majic_ast::Expr]) =
+            match &stmt.kind {
+                StmtKind::Assign {
+                    lhs: lhs @ LValue::Var { .. },
+                    rhs,
+                    ..
+                } => match &rhs.kind {
+                    ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
+                        (vec![lhs], callee, args)
+                    }
+                    _ => return Ok(None),
+                },
+                StmtKind::MultiAssign {
+                    lhs, callee, args, ..
+                } if self.registry.contains_key(callee)
+                    && lhs.iter().all(|l| matches!(l, LValue::Var { .. })) =>
+                {
+                    (lhs.iter().collect(), callee, args)
+                }
+                StmtKind::Expr { expr, .. } => match &expr.kind {
+                    ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
+                        (vec![], callee, args)
+                    }
+                    _ => return Ok(None),
+                },
+                _ => return Ok(None),
+            };
+        // Subscript-less arguments only (a `:` would mean indexing).
+        if args.iter().any(|a| matches!(a.kind, ExprKind::Colon | ExprKind::End)) {
+            return Ok(None);
+        }
+        let callee = callee.to_owned();
+        let mut argv = Vec::with_capacity(args.len());
+        for a in args {
+            argv.push(self.interp.eval_value(a)?);
+        }
+        let nargout = lhs_names.len().max(if lhs_names.is_empty() { 0 } else { 1 });
+        let outs = self.call(&callee, &argv, nargout)?;
+        for (lv, v) in lhs_names.iter().zip(outs) {
+            self.interp.set_var(lv.name(), v);
+        }
+        Ok(Some(()))
+    }
+
+    /// Invoke a user function through the configured execution mode.
+    /// This is the operation the evaluation measures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the function.
+    pub fn call(&mut self, name: &str, args: &[Value], nargout: usize) -> RuntimeResult<Vec<Value>> {
+        if self.options.mode == ExecMode::Interpret || self.reaches_uncompilable(name) {
+            let t0 = Instant::now();
+            let r = self.interp.call_function(name, args, nargout);
+            self.times.execution += t0.elapsed();
+            return r;
+        }
+        let mut disp = EngineDispatcher {
+            registry: &self.registry,
+            known: &self.known,
+            repo: &mut self.repo,
+            options: &self.options,
+            times: &mut self.times,
+            next_node_id: &mut self.next_node_id,
+            depth: 0,
+        };
+        let sig = signature_of(args);
+        let code = disp.ensure_code(name, &sig)?;
+        let t0 = Instant::now();
+        let r = execute(&code, args, nargout, &mut disp, &mut self.interp.ctx);
+        self.times.execution += t0.elapsed();
+        let mut outs = r?;
+        outs.truncate(nargout.max(1));
+        if outs.len() < nargout {
+            return Err(RuntimeError::BadArity {
+                name: name.to_owned(),
+                detail: format!("{nargout} outputs requested"),
+            });
+        }
+        Ok(outs)
+    }
+
+    /// Speculatively compile every registered function ahead of time
+    /// (paper §2.5), filling the repository with optimized versions for
+    /// the guessed signatures. Returns the hidden (ahead-of-time)
+    /// compile latency.
+    pub fn speculate_all(&mut self) -> Duration {
+        let names: Vec<String> = self.registry.keys().cloned().collect();
+        let t0 = Instant::now();
+        for name in names {
+            let mut disp = EngineDispatcher {
+                registry: &self.registry,
+                known: &self.known,
+                repo: &mut self.repo,
+                options: &self.options,
+                times: &mut self.times,
+                next_node_id: &mut self.next_node_id,
+                depth: 0,
+            };
+            // Failures (globals etc.) simply leave no speculative
+            // version; those calls interpret or JIT later.
+            if let Ok(version) = disp.compile_version(&name, None, Pipeline::Opt) {
+                disp.repo.insert(&name, version);
+            }
+        }
+        // Speculative compilation happens before the program runs: it is
+        // *hidden* latency, not charged to any phase.
+        let hidden = t0.elapsed();
+        self.times = PhaseTimes::default();
+        hidden
+    }
+
+    /// Does `name`'s static call graph reach a function compiled code
+    /// cannot express (`global` / `clear`)?
+    fn reaches_uncompilable(&self, name: &str) -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![name.to_owned()];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            let Some(f) = self.registry.get(&n) else {
+                continue;
+            };
+            if has_global_or_clear(&f.body) {
+                return true;
+            }
+            collect_callees(&f.body, &self.known, &mut stack);
+        }
+        false
+    }
+
+    /// The interpreter session (workspace access, captured output).
+    pub fn interp(&self) -> &Interp {
+        &self.interp
+    }
+
+    /// Mutable interpreter access.
+    pub fn interp_mut(&mut self) -> &mut Interp {
+        &mut self.interp
+    }
+
+    /// A base-workspace variable.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.interp.var(name)
+    }
+
+    /// Drain the captured `disp`/`fprintf` output.
+    pub fn take_printed(&mut self) -> String {
+        std::mem::take(&mut self.interp.ctx.printed)
+    }
+
+    /// The code repository (inspection).
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// Zero the cumulative phase timers.
+    pub fn reset_times(&mut self) {
+        self.times = PhaseTimes::default();
+    }
+}
+
+fn signature_of(args: &[Value]) -> Signature {
+    args.iter().map(Value::type_of).collect()
+}
+
+fn has_global_or_clear(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Global(_) | StmtKind::Clear(_) => true,
+        StmtKind::If {
+            branches,
+            else_body,
+        } => {
+            branches.iter().any(|(_, b)| has_global_or_clear(b))
+                || else_body.as_ref().is_some_and(|b| has_global_or_clear(b))
+        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => has_global_or_clear(body),
+        _ => false,
+    })
+}
+
+fn collect_callees(stmts: &[Stmt], known: &HashSet<String>, out: &mut Vec<String>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Expr { expr, .. } => collect_expr(expr, known, out),
+            StmtKind::Assign { rhs, lhs, .. } => {
+                collect_expr(rhs, known, out);
+                if let LValue::Index { args, .. } = lhs {
+                    for a in args {
+                        collect_expr(a, known, out);
+                    }
+                }
+            }
+            StmtKind::MultiAssign { callee, args, .. } => {
+                if known.contains(callee) {
+                    out.push(callee.clone());
+                }
+                for a in args {
+                    collect_expr(a, known, out);
+                }
+            }
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                for (c, b) in branches {
+                    collect_expr(c, known, out);
+                    collect_callees(b, known, out);
+                }
+                if let Some(b) = else_body {
+                    collect_callees(b, known, out);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                collect_expr(cond, known, out);
+                collect_callees(body, known, out);
+            }
+            StmtKind::For { iter, body, .. } => {
+                collect_expr(iter, known, out);
+                collect_callees(body, known, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_expr(e: &majic_ast::Expr, known: &HashSet<String>, out: &mut Vec<String>) {
+    e.walk(&mut |e| match &e.kind {
+        ExprKind::Apply { callee, .. } | ExprKind::Ident(callee) if known.contains(callee) => {
+            out.push(callee.clone());
+        }
+        _ => {}
+    });
+}
+
+/// Which pipeline to run on a repository miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pipeline {
+    Mcc,
+    Jit,
+    Opt,
+}
+
+/// Split-borrow helper: the dispatcher compiled code calls back into.
+struct EngineDispatcher<'a> {
+    registry: &'a HashMap<String, Function>,
+    known: &'a HashSet<String>,
+    repo: &'a mut Repository,
+    options: &'a EngineOptions,
+    times: &'a mut PhaseTimes,
+    next_node_id: &'a mut u32,
+    depth: usize,
+}
+
+struct RepoOracle<'a>(&'a Repository);
+
+impl CalleeOracle for RepoOracle<'_> {
+    fn call_types(&self, name: &str, args: &[Type], _nargout: usize) -> Option<Vec<Type>> {
+        self.0.call_types(name, &Signature::new(args.to_vec()))
+    }
+}
+
+impl EngineDispatcher<'_> {
+    /// Find or build code for an invocation.
+    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<Rc<Executable>> {
+        if let Some(v) = self.repo.lookup(name, sig) {
+            return Ok(Rc::clone(&v.code));
+        }
+        // Anti-explosion widening: recursive calls produce a fresh
+        // constant signature per depth (fib(20), fib(19), …). After two
+        // exact-signature versions exist, compile a range-widened version
+        // that admits every future scalar invocation of the same shapes.
+        let sig = if self.repo.version_count(name) >= 2 {
+            Signature::new(
+                sig.params()
+                    .iter()
+                    .map(|t| t.with_range(Range::top()))
+                    .collect(),
+            )
+        } else {
+            sig.clone()
+        };
+        let pipeline = match self.options.mode {
+            ExecMode::Mcc => Pipeline::Mcc,
+            ExecMode::Jit | ExecMode::Spec => Pipeline::Jit,
+            ExecMode::Falcon => Pipeline::Opt,
+            ExecMode::Interpret => Pipeline::Jit,
+        };
+        let version = self
+            .compile_version(name, Some(&sig), pipeline)
+            .map_err(|e| RuntimeError::Raised(e.to_string()))?;
+        self.repo.insert(name, version);
+        let v = self
+            .repo
+            .lookup(name, &sig)
+            .expect("freshly inserted version admits its own signature");
+        Ok(Rc::clone(&v.code))
+    }
+
+    /// Run one pipeline for `name`. `sig = None` selects speculative
+    /// inference (the signature is guessed).
+    fn compile_version(
+        &mut self,
+        name: &str,
+        sig: Option<&Signature>,
+        pipeline: Pipeline,
+    ) -> Result<CompiledVersion, RuntimeError> {
+        let f = self
+            .registry
+            .get(name)
+            .ok_or_else(|| RuntimeError::Undefined(name.to_owned()))?;
+        let t_start = Instant::now();
+
+        // Phase 1: (inlining +) disambiguation.
+        let t0 = Instant::now();
+        let inlined;
+        let to_analyze = if self.options.inline && pipeline != Pipeline::Mcc {
+            inlined = inline_function(
+                f,
+                self.registry,
+                InlineOptions::default(),
+                self.next_node_id,
+            );
+            &inlined
+        } else {
+            f
+        };
+        let d: DisambiguatedFunction = disambiguate(to_analyze, self.known);
+        self.times.disambiguation += t0.elapsed();
+
+        // Phase 2: type inference.
+        let t1 = Instant::now();
+        let (signature, ann): (Signature, Annotations) = match (pipeline, sig) {
+            (Pipeline::Mcc, s) => (
+                s.cloned().unwrap_or_default(),
+                Annotations::default(),
+            ),
+            (_, Some(s)) => {
+                let oracle = RepoOracle(self.repo);
+                let ann = infer_jit(&d, s, self.options.infer, &oracle);
+                (s.clone(), ann)
+            }
+            (_, None) => {
+                let oracle = RepoOracle(self.repo);
+                infer_speculative(&d, self.options.infer, &oracle)
+            }
+        };
+        self.times.inference += t1.elapsed();
+
+        // Phase 3: code generation.
+        let t2 = Instant::now();
+        let mut cg = match pipeline {
+            Pipeline::Mcc => CodegenOptions::mcc(),
+            Pipeline::Jit => CodegenOptions::jit(),
+            Pipeline::Opt => CodegenOptions::optimizing(),
+        };
+        cg.regalloc = self.options.regalloc;
+        if pipeline != Pipeline::Mcc {
+            cg.oversize = self.options.oversize;
+        }
+        if pipeline == Pipeline::Opt && self.options.platform == Platform::Sparc {
+            // The SPARC native compiler "generates relatively poor code".
+            cg.passes = PassOptions {
+                licm: false,
+                ..PassOptions::all()
+            };
+        }
+        let exe = compile_executable(&d, &ann, &cg)
+            .map_err(|e| RuntimeError::Raised(e.to_string()))?;
+        self.times.codegen += t2.elapsed();
+
+        let quality = match pipeline {
+            Pipeline::Mcc => CodeQuality::Generic,
+            Pipeline::Jit => CodeQuality::Jit,
+            Pipeline::Opt => CodeQuality::Optimized,
+        };
+        let mut outputs = ann.outputs.clone();
+        if outputs.is_empty() {
+            outputs = vec![Type::top(); d.function.outputs.len()];
+        }
+        Ok(CompiledVersion {
+            signature,
+            code: Rc::new(exe),
+            quality,
+            output_types: outputs,
+            compile_time: t_start.elapsed(),
+        })
+    }
+}
+
+impl Dispatcher for EngineDispatcher<'_> {
+    fn call_user(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        nargout: usize,
+        ctx: &mut CallCtx,
+    ) -> RuntimeResult<Vec<Value>> {
+        if self.depth > 4000 {
+            return Err(RuntimeError::Raised("recursion limit exceeded".to_owned()));
+        }
+        let sig = signature_of(args);
+        let code = self.ensure_code(name, &sig)?;
+        self.depth += 1;
+        let r = execute(&code, args, nargout, self, ctx);
+        self.depth -= 1;
+        let mut outs = r?;
+        outs.truncate(nargout.max(1));
+        if outs.len() < nargout {
+            return Err(RuntimeError::BadArity {
+                name: name.to_owned(),
+                detail: format!("{nargout} outputs requested"),
+            });
+        }
+        Ok(outs)
+    }
+}

@@ -1,0 +1,43 @@
+//! **MaJIC** — *MATLAB Just-In-time Compiler* — reproduced in Rust after
+//! Almási & Padua, PLDI 2002.
+//!
+//! MaJIC looks like MATLAB: an interactive front end interprets command
+//! input, but function calls are deferred to a *code repository* of
+//! compiled versions. On a repository miss the fast **JIT** pipeline
+//! compiles the function for the invocation's exact type signature; ahead
+//! of time, the **speculative** pipeline guesses likely signatures from
+//! syntactic type hints and fills the repository with aggressively
+//! optimized code, hiding compilation latency. The repository's
+//! signature check (`Qi ⊑ Ti`) guarantees a wrong guess can cost
+//! performance but never correctness.
+//!
+//! # Quick start
+//!
+//! ```
+//! use majic::{ExecMode, Majic};
+//!
+//! let mut session = Majic::with_mode(ExecMode::Jit);
+//! session
+//!     .load_source("function p = poly(x)\np = x.^5 + 3*x + 2;\n")
+//!     .unwrap();
+//! let out = session.call("poly", &[2.0f64.into()], 1).unwrap();
+//! assert_eq!(out[0].to_scalar().unwrap(), 40.0);
+//! ```
+//!
+//! # Execution modes
+//!
+//! | mode | compile when | pipeline | models |
+//! |---|---|---|---|
+//! | [`ExecMode::Interpret`] | never | — | MATLAB 6 interpreter (baseline `ti`) |
+//! | [`ExecMode::Mcc`] | on miss | generic calls | Mathworks `mcc` |
+//! | [`ExecMode::Jit`] | on miss | fast selection + linear scan | MaJIC JIT (compile time counts) |
+//! | [`ExecMode::Spec`] | ahead of time ([`Majic::speculate_all`]) | optimizing backend | MaJIC speculative |
+//! | [`ExecMode::Falcon`] | on miss, exact signature | optimizing backend | FALCON batch compiler |
+
+mod engine;
+
+pub use engine::{EngineOptions, ExecMode, Majic, PhaseTimes, Platform};
+
+pub use majic_infer::InferOptions;
+pub use majic_runtime::{Matrix, RuntimeError, RuntimeResult, Value};
+pub use majic_vm::RegAllocMode;

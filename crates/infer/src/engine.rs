@@ -1,0 +1,802 @@
+//! The forward (JIT) type-inference engine (paper §2.3, §2.4).
+
+use crate::calculator::{self, SubTy};
+use majic_analysis::{DisambiguatedFunction, SymbolKind};
+use majic_ast::{Expr, ExprKind, LValue, NodeId, Stmt, StmtKind};
+use majic_types::{Dim, Intrinsic, Lattice, Range, Signature, Type};
+use std::collections::HashMap;
+
+pub use crate::calculator::InferOptions;
+
+/// Resolves the output types of user-function calls. The engine wires
+/// the code repository in here so that inference can use the signatures
+/// of already-compiled callees; [`NoOracle`] answers `⊤`.
+pub trait CalleeOracle {
+    /// Output types of calling `name` with the given argument types, or
+    /// `None` when unknown.
+    fn call_types(&self, name: &str, args: &[Type], nargout: usize) -> Option<Vec<Type>>;
+}
+
+/// An oracle that knows nothing (every call returns `⊤`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoOracle;
+
+impl CalleeOracle for NoOracle {
+    fn call_types(&self, _name: &str, _args: &[Type], _nargout: usize) -> Option<Vec<Type>> {
+        None
+    }
+}
+
+/// The result of type inference: "a set of type annotations S, one type
+/// for each expression node in the abstract syntax tree … a conservative
+/// estimate of the types that expression nodes can assume during
+/// execution" (§2.3).
+#[derive(Clone, Debug, Default)]
+pub struct Annotations {
+    /// Result type per expression node (and per lvalue id: the variable's
+    /// type *after* the assignment).
+    pub types: HashMap<NodeId, Type>,
+    /// For `Apply` reads and `Index` lvalues: the type of the indexed
+    /// array *before* the operation (drives subscript-check removal).
+    pub base_types: HashMap<NodeId, Type>,
+    /// Types of the function outputs at exit.
+    pub outputs: Vec<Type>,
+    /// Parameter types the analysis ran with (JIT: the invocation
+    /// signature; speculative: the inferred guess).
+    pub params: Vec<Type>,
+}
+
+impl Annotations {
+    /// The annotation of a node (`⊤` when absent).
+    pub fn ty(&self, id: NodeId) -> Type {
+        self.types.get(&id).copied().unwrap_or_else(Type::top)
+    }
+
+    /// The base-array annotation of an indexing node (`⊤` when absent).
+    pub fn base_ty(&self, id: NodeId) -> Type {
+        self.base_types.get(&id).copied().unwrap_or_else(Type::top)
+    }
+}
+
+/// Environment: one type per variable (`⊥` = undefined so far).
+type Env = Vec<Type>;
+
+fn join_env(a: &Env, b: &Env) -> Env {
+    a.iter().zip(b).map(|(x, y)| x.join(y)).collect()
+}
+
+pub(crate) struct ForwardEngine<'a, O: CalleeOracle> {
+    pub(crate) d: &'a DisambiguatedFunction,
+    pub(crate) opts: InferOptions,
+    pub(crate) oracle: &'a O,
+    pub(crate) ann: Annotations,
+    pub(crate) break_envs: Vec<Env>,
+    pub(crate) continue_envs: Vec<Env>,
+}
+
+/// JIT type inference: propagate the invocation's type signature through
+/// the function body (paper §2.4).
+///
+/// Because the signature comes from actual runtime values, ranges are
+/// exact (constant propagation), shapes are exact, and subscript bounds
+/// become provable.
+pub fn infer_jit<O: CalleeOracle>(
+    d: &DisambiguatedFunction,
+    sig: &Signature,
+    opts: InferOptions,
+    oracle: &O,
+) -> Annotations {
+    let params: Vec<Type> = d
+        .function
+        .params
+        .iter()
+        .enumerate()
+        .map(|(k, _)| {
+            sig.params()
+                .get(k)
+                .copied()
+                .map(|t| opts.sanitize(t))
+                .unwrap_or_else(Type::bottom)
+        })
+        .collect();
+    let mut engine = ForwardEngine {
+        d,
+        opts,
+        oracle,
+        ann: Annotations::default(),
+        break_envs: Vec::new(),
+        continue_envs: Vec::new(),
+    };
+    engine.run(params)
+}
+
+impl<O: CalleeOracle> ForwardEngine<'_, O> {
+    pub(crate) fn run(&mut self, params: Vec<Type>) -> Annotations {
+        let nvars = self.d.table.var_count();
+        let mut env: Env = vec![Type::bottom(); nvars];
+        for (k, p) in self.d.function.params.iter().enumerate() {
+            if let Some(v) = self.d.table.var_id(p) {
+                env[v.index()] = params.get(k).copied().unwrap_or_else(Type::bottom);
+            }
+        }
+        self.ann.params = params;
+        let out_env = self.block(&self.d.function.body, env);
+        self.ann.outputs = self
+            .d
+            .function
+            .outputs
+            .iter()
+            .map(|o| {
+                self.d
+                    .table
+                    .var_id(o)
+                    .map(|v| out_env[v.index()])
+                    .unwrap_or_else(Type::top)
+            })
+            .collect();
+        std::mem::take(&mut self.ann)
+    }
+
+    fn block(&mut self, stmts: &[Stmt], mut env: Env) -> Env {
+        for s in stmts {
+            env = self.stmt(s, env);
+        }
+        env
+    }
+
+    fn stmt(&mut self, s: &Stmt, mut env: Env) -> Env {
+        match &s.kind {
+            StmtKind::Expr { expr, .. } => {
+                self.expr(expr, &env, None);
+                env
+            }
+            StmtKind::Assign { lhs, rhs, .. } => {
+                let t = self.expr(rhs, &env, None);
+                self.assign(lhs, t, &mut env);
+                env
+            }
+            StmtKind::MultiAssign {
+                lhs,
+                id,
+                callee,
+                args,
+                ..
+            } => {
+                let arg_tys: Vec<Type> = args
+                    .iter()
+                    .map(|a| self.expr(a, &env, None))
+                    .collect();
+                let outs = match self.d.table.kind(*id) {
+                    SymbolKind::Builtin(b) => {
+                        calculator::builtin(b, &arg_tys, lhs.len(), &self.opts)
+                    }
+                    SymbolKind::UserFunction => self
+                        .oracle
+                        .call_types(callee, &arg_tys, lhs.len())
+                        .unwrap_or_else(|| vec![Type::top(); lhs.len()]),
+                    _ => vec![Type::top(); lhs.len()],
+                };
+                self.ann.types.insert(*id, outs.first().copied().unwrap_or_else(Type::top));
+                for (k, lv) in lhs.iter().enumerate() {
+                    let t = outs.get(k).copied().unwrap_or_else(Type::top);
+                    self.assign(lv, t, &mut env);
+                }
+                env
+            }
+            StmtKind::If {
+                branches,
+                else_body,
+            } => {
+                let mut out: Option<Env> = None;
+                for (cond, body) in branches {
+                    self.expr(cond, &env, None);
+                    let b_out = self.block(body, env.clone());
+                    out = Some(match out {
+                        Some(o) => join_env(&o, &b_out),
+                        None => b_out,
+                    });
+                }
+                let else_out = match else_body {
+                    Some(body) => self.block(body, env.clone()),
+                    None => env,
+                };
+                match out {
+                    Some(o) => join_env(&o, &else_out),
+                    None => else_out,
+                }
+            }
+            StmtKind::While { cond, body } => self.fixpoint(env, |me, e| {
+                me.expr(cond, e, None);
+                me.block(body, e.clone())
+            }),
+            StmtKind::For {
+                var,
+                var_id,
+                iter,
+                body,
+            } => {
+                let iter_t = self.expr(iter, &env, None);
+                let elem_t = self.loop_element_type(&iter_t);
+                let vid = self.d.table.var_id(var);
+                self.ann.types.insert(*var_id, elem_t);
+                self.fixpoint(env, |me, e| {
+                    let mut e2 = e.clone();
+                    if let Some(v) = vid {
+                        e2[v.index()] = elem_t;
+                        me.ann.types.insert(*var_id, elem_t);
+                    }
+                    me.block(body, e2)
+                })
+            }
+            StmtKind::Break => {
+                self.break_envs.push(env.clone());
+                env
+            }
+            StmtKind::Continue => {
+                self.continue_envs.push(env.clone());
+                env
+            }
+            StmtKind::Return => env,
+            StmtKind::Global(names) => {
+                for n in names {
+                    if let Some(v) = self.d.table.var_id(n) {
+                        env[v.index()] = Type::top();
+                    }
+                }
+                env
+            }
+            StmtKind::Clear(names) => {
+                if names.is_empty() {
+                    for t in env.iter_mut() {
+                        *t = Type::bottom();
+                    }
+                } else {
+                    for n in names {
+                        if let Some(v) = self.d.table.var_id(n) {
+                            env[v.index()] = Type::bottom();
+                        }
+                    }
+                }
+                env
+            }
+        }
+    }
+
+    /// Iterate a loop body to a fixpoint under the iteration cap, widening
+    /// past it (paper §2.3: the engine "avoids symbolic computation and
+    /// caps the number of iterations").
+    fn fixpoint(&mut self, env_in: Env, mut body: impl FnMut(&mut Self, &Env) -> Env) -> Env {
+        let saved_breaks = std::mem::take(&mut self.break_envs);
+        let saved_continues = std::mem::take(&mut self.continue_envs);
+        let mut carried = env_in.clone();
+        let mut converged = false;
+        for iter in 0..self.opts.max_loop_iterations.max(4) {
+            self.break_envs.clear();
+            self.continue_envs.clear();
+            let out = body(self, &carried);
+            let mut next = join_env(&env_in, &out);
+            for c in &self.continue_envs {
+                next = join_env(&next, c);
+            }
+            if next == carried {
+                converged = true;
+                break;
+            }
+            if iter + 2 >= self.opts.max_loop_iterations {
+                // Widen the components that keep changing: moved range
+                // bounds jump to ±∞, grown shape bounds to their lattice
+                // extremes. Each component widens at most once, so the
+                // iteration terminates; stable components (e.g. an exact
+                // small-vector shape) survive — they are what the
+                // unrolling optimizations feed on.
+                next = next
+                    .iter()
+                    .zip(&carried)
+                    .map(|(n, c)| if n == c { *n } else { n.widen_from(c) })
+                    .collect();
+            }
+            carried = next;
+        }
+        if !converged {
+            // Soundness backstop: annotations must describe *every*
+            // iteration (unchecked accesses rely on them). If the cap was
+            // hit while still changing, send the unstable variables to ⊤
+            // and run one final annotation pass at the fixpoint.
+            self.break_envs.clear();
+            self.continue_envs.clear();
+            let out = body(self, &carried);
+            let probe = join_env(&env_in, &out);
+            for (slot, p) in carried.iter_mut().zip(&probe) {
+                if slot != p {
+                    *slot = Type::top();
+                }
+            }
+            self.break_envs.clear();
+            self.continue_envs.clear();
+            let _ = body(self, &carried);
+        }
+        let mut exit = carried;
+        for b in std::mem::replace(&mut self.break_envs, saved_breaks) {
+            exit = join_env(&exit, &b);
+        }
+        self.continue_envs = saved_continues;
+        exit
+    }
+
+    /// Type of the loop variable given the iteration-space type
+    /// (MATLAB iterates over columns).
+    fn loop_element_type(&self, iter_t: &Type) -> Type {
+        if iter_t.max_shape.rows == Dim::Finite(1) || iter_t.is_scalar() {
+            // Row vector (the common `for i = 1:n`): scalar elements whose
+            // range is the iteration range.
+            Type {
+                intrinsic: iter_t.intrinsic,
+                min_shape: majic_types::Shape::scalar(),
+                max_shape: majic_types::Shape::scalar(),
+                range: iter_t.range,
+            }
+        } else {
+            // Column-of-matrix iteration.
+            Type {
+                intrinsic: iter_t.intrinsic,
+                min_shape: majic_types::Shape {
+                    rows: iter_t.min_shape.rows,
+                    cols: Dim::Finite(1),
+                },
+                max_shape: majic_types::Shape {
+                    rows: iter_t.max_shape.rows,
+                    cols: Dim::Finite(1),
+                },
+                range: iter_t.range,
+            }
+        }
+    }
+
+    fn assign(&mut self, lhs: &LValue, rhs_t: Type, env: &mut Env) {
+        match lhs {
+            LValue::Var { name, id, .. } => {
+                if let Some(v) = self.d.table.var_id(name) {
+                    env[v.index()] = rhs_t;
+                }
+                self.ann.types.insert(*id, rhs_t);
+            }
+            LValue::Index { name, args, id, .. } => {
+                let base = self
+                    .d
+                    .table
+                    .var_id(name)
+                    .map(|v| env[v.index()])
+                    .unwrap_or_else(Type::top);
+                self.ann.base_types.insert(*id, base);
+                let subs = self.subscripts(args, &base, env);
+                let new_t = calculator::index_write(&base, &subs, &rhs_t, &self.opts);
+                if let Some(v) = self.d.table.var_id(name) {
+                    env[v.index()] = new_t;
+                }
+                self.ann.types.insert(*id, new_t);
+            }
+        }
+    }
+
+    fn subscripts(&mut self, args: &[Expr], base: &Type, env: &Env) -> Vec<SubTy> {
+        let n = args.len();
+        args.iter()
+            .enumerate()
+            .map(|(k, a)| match &a.kind {
+                ExprKind::Colon => SubTy::Colon,
+                _ => SubTy::Ty(self.expr(a, env, Some(end_type(base, k, n, &self.opts)))),
+            })
+            .collect()
+    }
+
+    fn expr(&mut self, e: &Expr, env: &Env, end_t: Option<Type>) -> Type {
+        let t = match &e.kind {
+            ExprKind::Number { value, imaginary } => {
+                if *imaginary {
+                    Type::scalar(Intrinsic::Complex)
+                } else {
+                    Type::constant(*value)
+                }
+            }
+            ExprKind::Str(s) => {
+                let n = s.len() as u64;
+                Type::string().with_exact_shape(majic_types::Shape::new(
+                    if n == 0 { 0 } else { 1 },
+                    n,
+                ))
+            }
+            ExprKind::Ident(name) => match self.d.table.kind(e.id) {
+                SymbolKind::Variable(v) => env[v.index()],
+                SymbolKind::Builtin(b) => calculator::builtin(b, &[], 1, &self.opts)
+                    .first()
+                    .copied()
+                    .unwrap_or_else(Type::top),
+                SymbolKind::UserFunction => self
+                    .oracle
+                    .call_types(name, &[], 1)
+                    .and_then(|v| v.first().copied())
+                    .unwrap_or_else(Type::top),
+                SymbolKind::Ambiguous(_) | SymbolKind::Unknown => Type::top(),
+            },
+            ExprKind::Apply { callee, args } => match self.d.table.kind(e.id) {
+                SymbolKind::Variable(v) | SymbolKind::Ambiguous(v) => {
+                    let base = env[v.index()];
+                    self.ann.base_types.insert(e.id, base);
+                    if matches!(self.d.table.kind(e.id), SymbolKind::Ambiguous(_)) {
+                        // Deferred to runtime: argument types still get
+                        // annotated, result is unknown.
+                        for a in args {
+                            self.expr(a, env, None);
+                        }
+                        Type::top()
+                    } else {
+                        let subs = self.subscripts(args, &base, env);
+                        calculator::index_read(&base, &subs, &self.opts)
+                    }
+                }
+                SymbolKind::Builtin(b) => {
+                    let arg_tys: Vec<Type> =
+                        args.iter().map(|a| self.expr(a, env, None)).collect();
+                    calculator::builtin(b, &arg_tys, 1, &self.opts)
+                        .first()
+                        .copied()
+                        .unwrap_or_else(Type::top)
+                }
+                SymbolKind::UserFunction => {
+                    let arg_tys: Vec<Type> =
+                        args.iter().map(|a| self.expr(a, env, None)).collect();
+                    self.oracle
+                        .call_types(callee, &arg_tys, 1)
+                        .and_then(|v| v.first().copied())
+                        .unwrap_or_else(Type::top)
+                }
+                SymbolKind::Unknown => {
+                    for a in args {
+                        self.expr(a, env, None);
+                    }
+                    Type::top()
+                }
+            },
+            ExprKind::Range { start, step, stop } => {
+                let st = self.expr(start, env, end_t);
+                let sp = step.as_ref().map(|s| self.expr(s, env, end_t));
+                let en = self.expr(stop, env, end_t);
+                calculator::range_expr(&st, sp.as_ref(), &en, &self.opts)
+            }
+            ExprKind::Colon => Type::top(),
+            ExprKind::End => end_t.unwrap_or_else(Type::top),
+            ExprKind::Unary { op, operand } => {
+                let t = self.expr(operand, env, end_t);
+                calculator::unary(*op, &t, &self.opts)
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.expr(lhs, env, end_t);
+                let rt = self.expr(rhs, env, end_t);
+                let mut t = calculator::binary(*op, &lt, &rt, &self.opts);
+                // `x*x` is non-negative even when x's range is unknown —
+                // the one piece of symbolic reasoning the numeric range
+                // lattice cannot express, and the one the benchmarks'
+                // `sqrt(x*x + y*y)` idiom depends on to stay real.
+                if matches!(op, majic_ast::BinOp::Mul | majic_ast::BinOp::ElemMul)
+                    && t.intrinsic.has_range()
+                    && !t.range.is_nonnegative()
+                    && same_shape_expr(lhs, rhs)
+                {
+                    t.range = t.range.meet(&Range::new(0.0, f64::INFINITY));
+                }
+                t
+            }
+            ExprKind::Matrix(rows) => {
+                let tys: Vec<Vec<Type>> = rows
+                    .iter()
+                    .map(|row| row.iter().map(|el| self.expr(el, env, end_t)).collect())
+                    .collect();
+                calculator::matrix_literal(&tys, &self.opts)
+            }
+            ExprKind::Transpose { operand, .. } => {
+                let t = self.expr(operand, env, end_t);
+                calculator::transpose(&t, &self.opts)
+            }
+        };
+        let t = self.opts.sanitize(t);
+        self.ann.types.insert(e.id, t);
+        t
+    }
+}
+
+/// Structural equality of two expressions, ignoring node ids and spans —
+/// used to recognize `x*x` squares. Conservative: any unhandled pair is
+/// "different".
+fn same_shape_expr(a: &Expr, b: &Expr) -> bool {
+    match (&a.kind, &b.kind) {
+        (ExprKind::Ident(x), ExprKind::Ident(y)) => x == y,
+        (
+            ExprKind::Number {
+                value: x,
+                imaginary: xi,
+            },
+            ExprKind::Number {
+                value: y,
+                imaginary: yi,
+            },
+        ) => x == y && xi == yi,
+        (
+            ExprKind::Apply {
+                callee: cx,
+                args: ax,
+            },
+            ExprKind::Apply {
+                callee: cy,
+                args: ay,
+            },
+        ) => {
+            cx == cy
+                && ax.len() == ay.len()
+                && ax.iter().zip(ay).all(|(p, q)| same_shape_expr(p, q))
+        }
+        (
+            ExprKind::Unary { op: ox, operand: px },
+            ExprKind::Unary { op: oy, operand: py },
+        ) => ox == oy && same_shape_expr(px, py),
+        (
+            ExprKind::Binary {
+                op: ox,
+                lhs: lx,
+                rhs: rx,
+            },
+            ExprKind::Binary {
+                op: oy,
+                lhs: ly,
+                rhs: ry,
+            },
+        ) => ox == oy && same_shape_expr(lx, ly) && same_shape_expr(rx, ry),
+        _ => false,
+    }
+}
+
+/// The type of `end` in subscript `k` of `n` against `base` (its value
+/// is the relevant extent, so its range is the extent's bounds).
+fn end_type(base: &Type, k: usize, n: usize, opts: &InferOptions) -> Type {
+    let (lo, hi) = if n == 1 {
+        (
+            base.min_shape.rows.saturating_mul(base.min_shape.cols),
+            base.max_shape.rows.saturating_mul(base.max_shape.cols),
+        )
+    } else if k == 0 {
+        (base.min_shape.rows, base.max_shape.rows)
+    } else {
+        (base.min_shape.cols, base.max_shape.cols)
+    };
+    let range = Range::new(
+        match lo {
+            Dim::Finite(v) => v as f64,
+            Dim::Inf => 0.0,
+        },
+        match hi {
+            Dim::Finite(v) => v as f64,
+            Dim::Inf => f64::INFINITY,
+        },
+    );
+    opts.sanitize(Type::scalar(Intrinsic::Int).with_range(range))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majic_analysis::disambiguate;
+    use majic_ast::parse_source;
+    use std::collections::HashSet;
+
+    fn setup(src: &str, sig: Vec<Type>) -> (DisambiguatedFunction, Annotations) {
+        let file = parse_source(src).unwrap();
+        let known: HashSet<String> = file.functions.iter().map(|f| f.name.clone()).collect();
+        let d = disambiguate(&file.functions[0], &known);
+        let ann = infer_jit(&d, &Signature::new(sig), InferOptions::default(), &NoOracle);
+        (d, ann)
+    }
+
+    /// The annotation of the rhs of the assignment to `name`.
+    fn type_of_assign(d: &DisambiguatedFunction, ann: &Annotations, name: &str) -> Type {
+        fn find(stmts: &[Stmt], name: &str, ann: &Annotations, out: &mut Option<Type>) {
+            for s in stmts {
+                match &s.kind {
+                    StmtKind::Assign { lhs, .. } if lhs.name() == name => {
+                        *out = Some(ann.ty(lhs.id()));
+                    }
+                    StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                        find(body, name, ann, out)
+                    }
+                    StmtKind::If {
+                        branches,
+                        else_body,
+                    } => {
+                        for (_, b) in branches {
+                            find(b, name, ann, out);
+                        }
+                        if let Some(b) = else_body {
+                            find(b, name, ann, out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = None;
+        find(&d.function.body, name, ann, &mut out);
+        out.expect("assignment found")
+    }
+
+    #[test]
+    fn constants_propagate_through_arithmetic() {
+        let (d, ann) = setup(
+            "function y = f(x)\na = 2;\nb = a * 3 + 1;\ny = b;\n",
+            vec![Type::constant(0.0)],
+        );
+        let t = type_of_assign(&d, &ann, "b");
+        assert_eq!(t.as_constant(), Some(7.0));
+        assert_eq!(ann.outputs[0].as_constant(), Some(7.0));
+    }
+
+    #[test]
+    fn signature_drives_precision() {
+        // With x = int constant 3, x+1 is the constant 4.
+        let (d, ann) = setup("function y = f(x)\ny = x + 1;\n", vec![Type::constant(3.0)]);
+        assert_eq!(type_of_assign(&d, &ann, "y").as_constant(), Some(4.0));
+        // With x an unknown real scalar, y is a real scalar, not constant.
+        let (d, ann) = setup(
+            "function y = f(x)\ny = x + 1;\n",
+            vec![Type::scalar(Intrinsic::Real)],
+        );
+        let t = type_of_assign(&d, &ann, "y");
+        assert_eq!(t.intrinsic, Intrinsic::Real);
+        assert!(t.as_constant().is_none());
+        assert!(t.is_scalar());
+    }
+
+    #[test]
+    fn exact_shape_inference_through_zeros() {
+        // Paper §2.4: "A = zeros(m,n): the value ranges of m and n may
+        // uniquely determine the shape of A".
+        let (d, ann) = setup(
+            "function y = f(m, n)\nA = zeros(m, n);\ny = A;\n",
+            vec![Type::constant(30.0), Type::constant(40.0)],
+        );
+        let t = type_of_assign(&d, &ann, "A");
+        assert_eq!(t.exact_shape(), Some(majic_types::Shape::new(30, 40)));
+    }
+
+    #[test]
+    fn loop_variable_gets_range_of_iteration_space() {
+        let (d, ann) = setup(
+            "function y = f(n)\ns = 0;\nfor k = 1:n\n s = s + k;\nend\ny = s;\n",
+            vec![Type::constant(100.0)],
+        );
+        // Find the for's var_id annotation.
+        let mut var_t = None;
+        for s in &d.function.body {
+            if let StmtKind::For { var_id, .. } = &s.kind {
+                var_t = Some(ann.ty(*var_id));
+            }
+        }
+        let var_t = var_t.unwrap();
+        assert_eq!(var_t.intrinsic, Intrinsic::Int);
+        assert_eq!(var_t.range, Range::new(1.0, 100.0));
+        assert!(var_t.is_scalar());
+    }
+
+    #[test]
+    fn loop_fixpoint_converges_with_widening() {
+        // s grows without bound; the range must widen rather than iterate
+        // forever, and the intrinsic stays int.
+        let (d, ann) = setup(
+            "function y = f(n)\ns = 0;\nfor k = 1:n\n s = s + 1;\nend\ny = s;\n",
+            vec![Type::constant(1000.0)],
+        );
+        let _ = &d;
+        let t = ann.outputs[0];
+        assert!(t.intrinsic.le(&Intrinsic::Real));
+        // Lower bound of s stays finite, upper widens to cover the loop.
+        assert!(t.range.hi().is_infinite() || t.range.hi() >= 1000.0);
+    }
+
+    #[test]
+    fn subscript_ranges_enable_check_removal_info() {
+        let (d, ann) = setup(
+            "function y = f(n)\nA = zeros(1, n);\nfor k = 1:n\n A(k) = k;\nend\ny = A;\n",
+            vec![Type::constant(50.0)],
+        );
+        // After the loop, A is exactly 1x50: stores at k ∈ [1,50] on a
+        // zeros(1,50) never resize.
+        let t = type_of_assign(&d, &ann, "y");
+        assert_eq!(t.exact_shape(), Some(majic_types::Shape::new(1, 50)));
+    }
+
+    #[test]
+    fn growing_array_bounds() {
+        // A starts empty and grows: max shape must cover [1, n].
+        let (d, ann) = setup(
+            "function y = f(n)\nA(1) = 0;\nfor k = 2:n\n A(k) = k;\nend\ny = A;\n",
+            vec![Type::constant(10.0)],
+        );
+        let t = type_of_assign(&d, &ann, "y");
+        assert_eq!(t.max_shape.cols, Dim::Finite(10));
+        assert!(t.min_shape.cols.le(Dim::Finite(1)));
+    }
+
+    #[test]
+    fn complex_seed_infects_results() {
+        let (d, ann) = setup(
+            "function y = f(z)\ny = z * 2 + 1;\n",
+            vec![Type::scalar(Intrinsic::Complex)],
+        );
+        assert_eq!(type_of_assign(&d, &ann, "y").intrinsic, Intrinsic::Complex);
+    }
+
+    #[test]
+    fn branch_join_merges_types() {
+        let (d, ann) = setup(
+            "function y = f(c)\nif c > 0\n t = 1;\nelse\n t = 2.5;\nend\ny = t;\n",
+            vec![Type::scalar(Intrinsic::Real)],
+        );
+        let t = type_of_assign(&d, &ann, "y");
+        assert_eq!(t.intrinsic, Intrinsic::Real);
+        assert_eq!(t.range, Range::new(1.0, 2.5));
+    }
+
+    #[test]
+    fn end_in_subscript_gets_extent_range() {
+        let (d, ann) = setup(
+            "function y = f(v)\ny = v(end);\n",
+            vec![Type::matrix(Intrinsic::Real, 1, 8)],
+        );
+        let t = type_of_assign(&d, &ann, "y");
+        assert!(t.is_scalar());
+        assert_eq!(t.intrinsic, Intrinsic::Real);
+    }
+
+    #[test]
+    fn unknown_call_defaults_to_top() {
+        let (d, ann) = setup(
+            "function y = f(x)\ny = helper(x);\nfunction y = helper(x)\ny = x;\n",
+            vec![Type::constant(1.0)],
+        );
+        assert_eq!(type_of_assign(&d, &ann, "y"), Type::top());
+    }
+
+    #[test]
+    fn oracle_supplies_call_types() {
+        struct Fixed;
+        impl CalleeOracle for Fixed {
+            fn call_types(&self, _: &str, _: &[Type], n: usize) -> Option<Vec<Type>> {
+                Some(vec![Type::constant(9.0); n])
+            }
+        }
+        let file = parse_source(
+            "function y = f(x)\ny = helper(x);\nfunction y = helper(x)\ny = x;\n",
+        )
+        .unwrap();
+        let known: HashSet<String> = file.functions.iter().map(|f| f.name.clone()).collect();
+        let d = disambiguate(&file.functions[0], &known);
+        let ann = infer_jit(
+            &d,
+            &Signature::new(vec![Type::constant(1.0)]),
+            InferOptions::default(),
+            &Fixed,
+        );
+        assert_eq!(ann.outputs[0].as_constant(), Some(9.0));
+    }
+
+    #[test]
+    fn range_ablation_defeats_constant_propagation() {
+        let file = parse_source("function y = f(x)\ny = x + 1;\n").unwrap();
+        let d = disambiguate(&file.functions[0], &HashSet::new());
+        let opts = InferOptions {
+            range_propagation: false,
+            ..Default::default()
+        };
+        let ann = infer_jit(&d, &Signature::new(vec![Type::constant(3.0)]), opts, &NoOracle);
+        assert!(ann.outputs[0].as_constant().is_none());
+        // Shape info survives.
+        assert!(ann.outputs[0].is_scalar());
+    }
+}

@@ -1,0 +1,26 @@
+//! The MaJIC front-end interpreter — "a compatible interpreter that can
+//! execute MATLAB code at approximately MATLAB's original speed"
+//! (paper §2).
+//!
+//! This tree-walking interpreter is intentionally faithful to what makes
+//! interpreted MATLAB slow: every variable access is a dynamic
+//! symbol-table lookup, every operation dispatches on runtime value
+//! kinds through the generic [`majic_runtime::ops`] library, and every
+//! array access is subscript-checked. It serves as the measurement
+//! baseline `ti` of the paper's speedup figures and as the semantic
+//! reference the compiled modes are tested against.
+//!
+//! # Examples
+//!
+//! ```
+//! use majic_interp::Interp;
+//!
+//! let mut interp = Interp::new();
+//! interp.load_source("function y = sq(x)\ny = x * x;\n").unwrap();
+//! interp.eval("a = sq(7);").unwrap();
+//! assert_eq!(interp.var("a").unwrap().to_scalar().unwrap(), 49.0);
+//! ```
+
+mod interp;
+
+pub use interp::{Flow, Interp};

@@ -1,0 +1,707 @@
+//! Instruction and function definitions.
+
+use majic_runtime::builtins::Builtin;
+use std::fmt;
+
+/// A register number. Virtual before register allocation (unbounded),
+/// physical afterwards (within the machine's register-file size, or a
+/// scratch register fed by spill code). `F` and `C` registers number
+/// independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register number as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A frame slot holding a whole runtime `Value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Slot(pub u32);
+
+impl Slot {
+    /// The slot number as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A basic-block id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Binary operations on `F` registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FBinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `a ^ b`
+    Pow,
+    /// `atan2(a, b)`
+    Atan2,
+    /// `min(a, b)` (NaN-ignoring, MATLAB style)
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `mod(a, b)` (sign of divisor)
+    Mod,
+    /// `rem(a, b)` (sign of dividend)
+    Rem,
+}
+
+/// Unary operations on `F` registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FUnOp {
+    /// `-a`
+    Neg,
+    /// `|a|`
+    Abs,
+    /// `√a`
+    Sqrt,
+    /// `sin a`
+    Sin,
+    /// `cos a`
+    Cos,
+    /// `tan a`
+    Tan,
+    /// `asin a`
+    Asin,
+    /// `acos a`
+    Acos,
+    /// `atan a`
+    Atan,
+    /// `eᵃ`
+    Exp,
+    /// `ln a`
+    Log,
+    /// `log₁₀ a`
+    Log10,
+    /// `⌊a⌋`
+    Floor,
+    /// `⌈a⌉`
+    Ceil,
+    /// `round a`
+    Round,
+    /// `trunc a` (MATLAB `fix`)
+    Fix,
+    /// `sign a`
+    Sign,
+    /// logical not (`a == 0` → 1.0 else 0.0)
+    Not,
+}
+
+/// Comparison operators (results are `F` values 0.0/1.0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+}
+
+/// Binary operations on `C` registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CBinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `a ^ b`
+    Pow,
+}
+
+/// Unary operations on `C` registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CUnOp {
+    /// `-a`
+    Neg,
+    /// complex conjugate
+    Conj,
+    /// `√a`
+    Sqrt,
+    /// `eᵃ`
+    Exp,
+    /// `ln a`
+    Log,
+    /// `sin a`
+    Sin,
+    /// `cos a`
+    Cos,
+}
+
+/// An argument to a generic (polymorphic) operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// A whole-value frame slot.
+    Slot(Slot),
+    /// A real scalar in an `F` register (boxed on use).
+    F(Reg),
+    /// A complex scalar in a `C` register (boxed on use).
+    C(Reg),
+    /// A real scalar in the `F` spill area (introduced by allocation).
+    FSpill(u32),
+    /// A complex scalar in the `C` spill area (introduced by allocation).
+    CSpill(u32),
+    /// A string literal.
+    Str(String),
+    /// A bare `:` subscript marker (only meaningful to indexing ops).
+    Colon,
+}
+
+/// Generic operations: calls into the polymorphic runtime library
+/// (`majic_runtime::ops` / builtins) — the `mlfPlus`-style fallback of
+/// the paper's Figure 3.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenOp {
+    /// `dst = op(args…)` for a binary operator named by its MATLAB
+    /// spelling (`+`, `*`, `.^`, `<`, `&`, …).
+    Binary(&'static str),
+    /// Unary operator (`-`, `~`).
+    Unary(&'static str),
+    /// Transpose; `true` = conjugating `'`.
+    Transpose(bool),
+    /// `start : step? : stop` (argument count decides).
+    Range,
+    /// Matrix literal: `rows` gives the element count of each row.
+    BuildMatrix {
+        /// Elements per literal row.
+        rows: Vec<u32>,
+    },
+    /// Indexed read: `dst = base(args…)`.
+    IndexGet,
+    /// Indexed write: `base(args…) = value` (last argument); `oversize`
+    /// enables growth headroom.
+    IndexSet {
+        /// Allocate ~10% slack on resize (paper §2.6.1).
+        oversize: bool,
+    },
+    /// Builtin call.
+    CallBuiltin(Builtin),
+    /// User-function call, dispatched through the engine.
+    CallUser(String),
+    /// Resolve a possibly-undefined symbol at runtime (the paper's
+    /// "ambiguous symbols … deferred until runtime"): if the slot is
+    /// defined use it, else call the builtin/function of that name.
+    ResolveAmbiguous(String),
+    /// `dst = alpha*A*x + beta*y` — the fused dgemv selection (§2.6.1).
+    Gemv,
+    /// Allocate a fresh real matrix of the given shape filled with zeros
+    /// (pre-allocation of small temporaries, §2.6.1).
+    AllocReal {
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// Ensure the destination slot holds a real matrix of exactly this
+    /// shape, reusing the existing buffer when it already does (the
+    /// `static tmp2[3]` of the paper's Figure 3 — unrolled stores then
+    /// overwrite every element in place, with no per-iteration
+    /// allocation).
+    EnsureReal {
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// Display `name = value` to the session transcript (unsuppressed
+    /// statement results).
+    Display(String),
+}
+
+/// One IR instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inst {
+    // --- F class ---
+    /// `d ← v`
+    FConst {
+        /// Destination.
+        d: Reg,
+        /// Constant value.
+        v: f64,
+    },
+    /// `d ← s`
+    FMov {
+        /// Destination.
+        d: Reg,
+        /// Source.
+        s: Reg,
+    },
+    /// `d ← a op b`
+    FBin {
+        /// Operation.
+        op: FBinOp,
+        /// Destination.
+        d: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `d ← op s`
+    FUn {
+        /// Operation.
+        op: FUnOp,
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        s: Reg,
+    },
+    /// `d ← (a op b) ? 1.0 : 0.0`
+    FCmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination.
+        d: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Spill reload `d ← spill[slot]` (inserted by the allocator).
+    FSpillLoad {
+        /// Destination register.
+        d: Reg,
+        /// Spill-area index.
+        slot: u32,
+    },
+    /// Spill store `spill[slot] ← s` (inserted by the allocator).
+    FSpillStore {
+        /// Spill-area index.
+        slot: u32,
+        /// Source register.
+        s: Reg,
+    },
+
+    // --- C class ---
+    /// `d ← re + im·i`
+    CConst {
+        /// Destination.
+        d: Reg,
+        /// Real part.
+        re: f64,
+        /// Imaginary part.
+        im: f64,
+    },
+    /// `d ← s`
+    CMov {
+        /// Destination.
+        d: Reg,
+        /// Source.
+        s: Reg,
+    },
+    /// `d ← a op b`
+    CBin {
+        /// Operation.
+        op: CBinOp,
+        /// Destination.
+        d: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `d ← op s`
+    CUn {
+        /// Operation.
+        op: CUnOp,
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        s: Reg,
+    },
+    /// `d(F) ← |s|`
+    CAbs {
+        /// Destination (`F` class).
+        d: Reg,
+        /// Operand (`C` class).
+        s: Reg,
+    },
+    /// `d(F) ← Re s` / `Im s`
+    CPart {
+        /// Destination (`F` class).
+        d: Reg,
+        /// Operand (`C` class).
+        s: Reg,
+        /// `false` = real part, `true` = imaginary part.
+        imag: bool,
+    },
+    /// `d(C) ← re + im·i` from `F` registers.
+    CMake {
+        /// Destination (`C` class).
+        d: Reg,
+        /// Real part (`F` class).
+        re: Reg,
+        /// Imaginary part (`F` class).
+        im: Reg,
+    },
+    /// Spill reload for `C` registers.
+    CSpillLoad {
+        /// Destination register.
+        d: Reg,
+        /// Spill-area index.
+        slot: u32,
+    },
+    /// Spill store for `C` registers.
+    CSpillStore {
+        /// Spill-area index.
+        slot: u32,
+        /// Source register.
+        s: Reg,
+    },
+
+    // --- array accesses (the subscript-check-removal surface) ---
+    /// `d(F) ← arr(i)` or `arr(i, j)`; 1-based f64 indices in `F` regs.
+    /// `checked` validates integrality and bounds (MATLAB semantics);
+    /// unchecked accesses were proven safe by type inference.
+    ALoadF {
+        /// Destination (`F`).
+        d: Reg,
+        /// Array slot (must hold a real matrix).
+        arr: Slot,
+        /// Row (or linear) index.
+        i: Reg,
+        /// Column index for 2-D accesses.
+        j: Option<Reg>,
+        /// Emit the MATLAB subscript check?
+        checked: bool,
+    },
+    /// `arr(i[, j]) ← v(F)`, growing the array when a checked store
+    /// overflows (with optional oversizing).
+    AStoreF {
+        /// Array slot.
+        arr: Slot,
+        /// Row (or linear) index.
+        i: Reg,
+        /// Column index for 2-D accesses.
+        j: Option<Reg>,
+        /// Value to store.
+        v: Reg,
+        /// Emit the check (and growth path)?
+        checked: bool,
+        /// Oversize on growth?
+        oversize: bool,
+    },
+    /// Complex-array variants of the above.
+    ALoadC {
+        /// Destination (`C`).
+        d: Reg,
+        /// Array slot (complex matrix).
+        arr: Slot,
+        /// Row (or linear) index.
+        i: Reg,
+        /// Column index.
+        j: Option<Reg>,
+        /// Checked?
+        checked: bool,
+    },
+    /// Store a complex scalar into a complex array.
+    AStoreC {
+        /// Array slot.
+        arr: Slot,
+        /// Row (or linear) index.
+        i: Reg,
+        /// Column index.
+        j: Option<Reg>,
+        /// Value (`C`).
+        v: Reg,
+        /// Checked?
+        checked: bool,
+        /// Oversize on growth?
+        oversize: bool,
+    },
+    /// Unchecked constant-linear-index load (small-vector unrolling).
+    ALoadConstF {
+        /// Destination.
+        d: Reg,
+        /// Array slot.
+        arr: Slot,
+        /// 0-based linear index.
+        lin: u32,
+    },
+    /// Unchecked constant-linear-index store.
+    AStoreConstF {
+        /// Array slot.
+        arr: Slot,
+        /// 0-based linear index.
+        lin: u32,
+        /// Value.
+        v: Reg,
+    },
+
+    // --- slot/register traffic ---
+    /// Box an `F` scalar into a slot (`Value::scalar`).
+    FToSlot {
+        /// Destination slot.
+        slot: Slot,
+        /// Source register.
+        s: Reg,
+    },
+    /// Unbox a slot into an `F` register (errors unless the slot holds a
+    /// real scalar — type inference guarantees it does).
+    SlotToF {
+        /// Destination register.
+        d: Reg,
+        /// Source slot.
+        slot: Slot,
+    },
+    /// Box a `C` scalar into a slot.
+    CToSlot {
+        /// Destination slot.
+        slot: Slot,
+        /// Source register.
+        s: Reg,
+    },
+    /// Unbox a numeric scalar slot into a `C` register.
+    SlotToC {
+        /// Destination register.
+        d: Reg,
+        /// Source slot.
+        slot: Slot,
+    },
+    /// Copy between slots.
+    SlotMov {
+        /// Destination slot.
+        d: Slot,
+        /// Source slot.
+        s: Slot,
+    },
+
+    /// MATLAB truthiness of a slot value (nonempty, all nonzero) → `F`
+    /// 0/1.
+    TruthF {
+        /// Destination (`F`).
+        d: Reg,
+        /// Tested value.
+        slot: Slot,
+    },
+    /// Extent query into an `F` register: numel (`dim = 0`), rows (`1`)
+    /// or cols (`2`).
+    ExtentF {
+        /// Destination (`F`).
+        d: Reg,
+        /// Queried array.
+        arr: Slot,
+        /// Dimension selector.
+        dim: u8,
+    },
+
+    /// Generic polymorphic operation (see [`GenOp`]).
+    Gen {
+        /// Operation.
+        op: GenOp,
+        /// Result slots (calls may produce several).
+        dsts: Vec<Slot>,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Raise "undefined function or variable".
+    ErrUndefined(String),
+}
+
+/// Block terminators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on an `F` register (nonzero = then).
+    Branch {
+        /// Condition (`F`, 0.0 = false).
+        cond: Reg,
+        /// Nonzero target.
+        then_bb: BlockId,
+        /// Zero target.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Return,
+}
+
+/// A basic block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// Loop metadata recorded by the code generator (used by LICM and by
+/// diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopInfo {
+    /// The block that runs once before the loop.
+    pub preheader: BlockId,
+    /// The loop header (condition test).
+    pub header: BlockId,
+    /// All blocks of the loop body, header included.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Where a function parameter or output lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarBinding {
+    /// An `F` register (real scalar variable).
+    F(Reg),
+    /// A `C` register (complex scalar variable).
+    C(Reg),
+    /// A whole-value frame slot.
+    Slot(Slot),
+    /// A spilled `F` value (introduced by register allocation).
+    FSpill(u32),
+    /// A spilled `C` value (introduced by register allocation).
+    CSpill(u32),
+}
+
+/// An IR function: blocks plus frame layout metadata.
+#[derive(Clone, Debug, Default)]
+pub struct Function {
+    /// Function name (diagnostics).
+    pub name: String,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+    /// Loop metadata.
+    pub loops: Vec<LoopInfo>,
+    /// Number of virtual `F` registers.
+    pub f_regs: u32,
+    /// Number of virtual `C` registers.
+    pub c_regs: u32,
+    /// Number of value slots.
+    pub slots: u32,
+    /// Parameter bindings, in order.
+    pub params: Vec<VarBinding>,
+    /// Output bindings, in order.
+    pub outputs: Vec<VarBinding>,
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Return,
+        }
+    }
+}
+
+impl Function {
+    /// Count instructions across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl Inst {
+    /// Is this a pure `F`-class computation (no side effects, result
+    /// depends only on `F` inputs)? These are the CSE/LICM/DCE
+    /// candidates.
+    pub fn pure_f(&self) -> bool {
+        matches!(
+            self,
+            Inst::FConst { .. }
+                | Inst::FMov { .. }
+                | Inst::FBin { .. }
+                | Inst::FUn { .. }
+                | Inst::FCmp { .. }
+        )
+    }
+
+    /// The `F`-class destination register, if any.
+    pub fn f_dest(&self) -> Option<Reg> {
+        match self {
+            Inst::FConst { d, .. }
+            | Inst::FMov { d, .. }
+            | Inst::FBin { d, .. }
+            | Inst::FUn { d, .. }
+            | Inst::FCmp { d, .. }
+            | Inst::FSpillLoad { d, .. }
+            | Inst::CAbs { d, .. }
+            | Inst::CPart { d, .. }
+            | Inst::ALoadF { d, .. }
+            | Inst::ALoadConstF { d, .. }
+            | Inst::TruthF { d, .. }
+            | Inst::ExtentF { d, .. }
+            | Inst::SlotToF { d, .. } => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// `F`-class source registers.
+    pub fn f_sources(&self) -> Vec<Reg> {
+        match self {
+            Inst::FMov { s, .. } | Inst::FUn { s, .. } | Inst::FSpillStore { s, .. } => {
+                vec![*s]
+            }
+            Inst::FBin { a, b, .. } | Inst::FCmp { a, b, .. } => vec![*a, *b],
+            Inst::CMake { re, im, .. } => vec![*re, *im],
+            Inst::ALoadF { i, j, .. } | Inst::ALoadC { i, j, .. } => {
+                let mut v = vec![*i];
+                if let Some(j) = j {
+                    v.push(*j);
+                }
+                v
+            }
+            Inst::AStoreF { i, j, v, .. } => {
+                let mut out = vec![*i, *v];
+                if let Some(j) = j {
+                    out.push(*j);
+                }
+                out
+            }
+            Inst::AStoreC { i, j, .. } => {
+                let mut out = vec![*i];
+                if let Some(j) = j {
+                    out.push(*j);
+                }
+                out
+            }
+            Inst::AStoreConstF { v, .. } | Inst::FToSlot { s: v, .. } => vec![*v],
+            Inst::Gen { args, .. } => args
+                .iter()
+                .filter_map(|a| match a {
+                    Operand::F(r) => Some(*r),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! The optimizing backend's IR passes.
+//!
+//! The paper's speculative pipeline leans on a slow, aggressive backend
+//! (the platform C/Fortran compiler at `-O`-max). These passes are our
+//! equivalent: constant folding, local common-subexpression elimination,
+//! loop-invariant code motion and dead-code elimination over the pure
+//! `F`-register subset of the IR. They are deliberately *not* run by the
+//! JIT pipeline — "no loop optimizations or instruction scheduling are
+//! performed" there (§2.6) — which is exactly the JIT-vs-optimized gap
+//! the evaluation measures.
+
+use crate::inst::{FBinOp, FUnOp, Function, Inst, Reg, Terminator, VarBinding};
+use std::collections::HashMap;
+
+/// Which passes to run.
+#[derive(Clone, Copy, Debug)]
+pub struct PassOptions {
+    /// Constant folding.
+    pub const_fold: bool,
+    /// Local common-subexpression elimination.
+    pub cse: bool,
+    /// Loop-invariant code motion.
+    pub licm: bool,
+    /// Dead-code elimination.
+    pub dce: bool,
+}
+
+impl PassOptions {
+    /// Everything on (the optimizing backend).
+    pub fn all() -> PassOptions {
+        PassOptions {
+            const_fold: true,
+            cse: true,
+            licm: true,
+            dce: true,
+        }
+    }
+
+    /// Everything off (the JIT backend).
+    pub fn none() -> PassOptions {
+        PassOptions {
+            const_fold: false,
+            cse: false,
+            licm: false,
+            dce: false,
+        }
+    }
+}
+
+/// Run the selected passes to a fixpoint (two rounds are enough for the
+/// pass set's interactions: folding exposes CSE, CSE exposes DCE).
+pub fn optimize(f: &mut Function, opts: PassOptions) {
+    for _ in 0..2 {
+        if opts.const_fold {
+            const_fold(f);
+        }
+        if opts.cse {
+            local_cse(f);
+        }
+        if opts.licm {
+            licm(f);
+        }
+        if opts.dce {
+            dce(f);
+        }
+    }
+}
+
+fn eval_fbin(op: FBinOp, a: f64, b: f64) -> f64 {
+    match op {
+        FBinOp::Add => a + b,
+        FBinOp::Sub => a - b,
+        FBinOp::Mul => a * b,
+        FBinOp::Div => a / b,
+        FBinOp::Pow => a.powf(b),
+        FBinOp::Atan2 => a.atan2(b),
+        FBinOp::Min => {
+            if a.is_nan() {
+                b
+            } else if b.is_nan() || a < b {
+                a
+            } else {
+                b
+            }
+        }
+        FBinOp::Max => {
+            if a.is_nan() {
+                b
+            } else if b.is_nan() || a > b {
+                a
+            } else {
+                b
+            }
+        }
+        FBinOp::Mod => {
+            if b == 0.0 {
+                a
+            } else {
+                a - (a / b).floor() * b
+            }
+        }
+        FBinOp::Rem => {
+            if b == 0.0 {
+                f64::NAN
+            } else {
+                a - (a / b).trunc() * b
+            }
+        }
+    }
+}
+
+fn eval_fun(op: FUnOp, s: f64) -> f64 {
+    match op {
+        FUnOp::Neg => -s,
+        FUnOp::Abs => s.abs(),
+        FUnOp::Sqrt => s.sqrt(),
+        FUnOp::Sin => s.sin(),
+        FUnOp::Cos => s.cos(),
+        FUnOp::Tan => s.tan(),
+        FUnOp::Asin => s.asin(),
+        FUnOp::Acos => s.acos(),
+        FUnOp::Atan => s.atan(),
+        FUnOp::Exp => s.exp(),
+        FUnOp::Log => s.ln(),
+        FUnOp::Log10 => s.log10(),
+        FUnOp::Floor => s.floor(),
+        FUnOp::Ceil => s.ceil(),
+        FUnOp::Round => s.round(),
+        FUnOp::Fix => s.trunc(),
+        FUnOp::Sign => {
+            if s > 0.0 {
+                1.0
+            } else if s < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }
+        FUnOp::Not => {
+            if s == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Fold constant `F` computations, block-locally.
+pub fn const_fold(f: &mut Function) {
+    for block in &mut f.blocks {
+        let mut known: HashMap<Reg, f64> = HashMap::new();
+        for inst in &mut block.insts {
+            let replacement = match &*inst {
+                Inst::FConst { d, v } => {
+                    known.insert(*d, *v);
+                    None
+                }
+                Inst::FMov { d, s } => known.get(s).copied().map(|v| (*d, v)),
+                Inst::FBin { op, d, a, b } => match (known.get(a), known.get(b)) {
+                    (Some(&x), Some(&y)) => Some((*d, eval_fbin(*op, x, y))),
+                    _ => None,
+                },
+                Inst::FUn { op, d, s } => known.get(s).map(|&x| (*d, eval_fun(*op, x))),
+                Inst::FCmp { op, d, a, b } => match (known.get(a), known.get(b)) {
+                    (Some(&x), Some(&y)) => {
+                        let t = match op {
+                            crate::CmpOp::Lt => x < y,
+                            crate::CmpOp::Le => x <= y,
+                            crate::CmpOp::Gt => x > y,
+                            crate::CmpOp::Ge => x >= y,
+                            crate::CmpOp::Eq => x == y,
+                            crate::CmpOp::Ne => x != y,
+                        };
+                        Some((*d, if t { 1.0 } else { 0.0 }))
+                    }
+                    _ => None,
+                },
+                other => {
+                    if let Some(d) = other.f_dest() {
+                        known.remove(&d);
+                    }
+                    None
+                }
+            };
+            if let Some((d, v)) = replacement {
+                known.insert(d, v);
+                *inst = Inst::FConst { d, v };
+            } else if let Some(d) = inst.f_dest() {
+                if !matches!(inst, Inst::FConst { .. }) {
+                    known.remove(&d);
+                }
+            }
+        }
+    }
+}
+
+/// Expression key for local CSE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(FBinOp, Reg, Reg),
+    Un(FUnOp, Reg),
+    Cmp(crate::CmpOp, Reg, Reg),
+    Const(u64),
+}
+
+/// Local (per-block) common-subexpression elimination on pure `F` ops.
+pub fn local_cse(f: &mut Function) {
+    for block in &mut f.blocks {
+        let mut available: HashMap<ExprKey, Reg> = HashMap::new();
+        for inst in &mut block.insts {
+            let key = match inst {
+                Inst::FBin { op, a, b, .. } => Some(ExprKey::Bin(*op, *a, *b)),
+                Inst::FUn { op, s, .. } => Some(ExprKey::Un(*op, *s)),
+                Inst::FCmp { op, a, b, .. } => Some(ExprKey::Cmp(*op, *a, *b)),
+                Inst::FConst { v, .. } => Some(ExprKey::Const(v.to_bits())),
+                _ => None,
+            };
+            let dest = inst.f_dest();
+            if let (Some(key), Some(d)) = (key, dest) {
+                if let Some(&prev) = available.get(&key) {
+                    if prev != d {
+                        *inst = Inst::FMov { d, s: prev };
+                    }
+                    // The redefinition of d invalidates entries built on d.
+                    available.retain(|k, v| *v != d && !key_uses(k, d));
+                    if !key_uses(&key, d) {
+                        available.insert(key, if prev == d { d } else { prev });
+                    }
+                    continue;
+                }
+                available.retain(|k, v| *v != d && !key_uses(k, d));
+                if !key_uses(&key, d) {
+                    available.insert(key, d);
+                }
+            } else if let Some(d) = dest {
+                available.retain(|k, v| *v != d && !key_uses(k, d));
+            }
+        }
+    }
+}
+
+fn key_uses(k: &ExprKey, r: Reg) -> bool {
+    match k {
+        ExprKey::Bin(_, a, b) | ExprKey::Cmp(_, a, b) => *a == r || *b == r,
+        ExprKey::Un(_, s) => *s == r,
+        ExprKey::Const(_) => false,
+    }
+}
+
+/// Loop-invariant code motion: move pure `F` instructions whose inputs
+/// are not defined anywhere in the loop — and whose destination is
+/// defined exactly once in the whole function — into the preheader.
+pub fn licm(f: &mut Function) {
+    // Whole-function def counts.
+    let mut def_count: HashMap<Reg, u32> = HashMap::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let Some(d) = i.f_dest() {
+                *def_count.entry(d).or_default() += 1;
+            }
+        }
+    }
+    for p in &f.params {
+        if let VarBinding::F(r) = p {
+            *def_count.entry(*r).or_default() += 1;
+        }
+    }
+
+    let loops = f.loops.clone();
+    for lp in &loops {
+        loop {
+            // Defs inside the loop.
+            let mut in_loop_defs: HashMap<Reg, u32> = HashMap::new();
+            for &bid in &lp.blocks {
+                for i in &f.blocks[bid.index()].insts {
+                    if let Some(d) = i.f_dest() {
+                        *in_loop_defs.entry(d).or_default() += 1;
+                    }
+                }
+            }
+            // Find one hoistable instruction.
+            let mut found: Option<(usize, usize)> = None;
+            'search: for &bid in &lp.blocks {
+                for (k, i) in f.blocks[bid.index()].insts.iter().enumerate() {
+                    if !i.pure_f() {
+                        continue;
+                    }
+                    let Some(d) = i.f_dest() else { continue };
+                    if def_count.get(&d).copied().unwrap_or(0) != 1 {
+                        continue;
+                    }
+                    if i.f_sources()
+                        .iter()
+                        .any(|s| in_loop_defs.contains_key(s))
+                    {
+                        continue;
+                    }
+                    found = Some((bid.index(), k));
+                    break 'search;
+                }
+            }
+            match found {
+                Some((bi, k)) => {
+                    let inst = f.blocks[bi].insts.remove(k);
+                    f.blocks[lp.preheader.index()].insts.push(inst);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Dead-code elimination: drop pure `F`/`C` instructions whose result is
+/// never used.
+pub fn dce(f: &mut Function) {
+    loop {
+        let mut used: HashMap<Reg, u32> = HashMap::new();
+        let mut bump = |r: Reg| *used.entry(r).or_default() += 1;
+        for b in &f.blocks {
+            for i in &b.insts {
+                for s in i.f_sources() {
+                    bump(s);
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &b.term {
+                bump(*cond);
+            }
+        }
+        for o in &f.outputs {
+            if let VarBinding::F(r) = o {
+                bump(*r);
+            }
+        }
+        // C-class uses keep their F feeders alive through CMake, which
+        // f_sources already covers; C registers themselves are kept
+        // conservatively (C code is rare and cheap).
+        let mut removed = false;
+        for b in &mut f.blocks {
+            b.insts.retain(|i| {
+                let dead = i.pure_f()
+                    && i.f_dest()
+                        .is_some_and(|d| used.get(&d).copied().unwrap_or(0) == 0);
+                if dead {
+                    removed = true;
+                }
+                !dead
+            });
+        }
+        if !removed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Block, BlockId, LoopInfo};
+
+    fn func(blocks: Vec<Block>) -> Function {
+        Function {
+            name: "t".into(),
+            f_regs: 32,
+            blocks,
+            ..Function::default()
+        }
+    }
+
+    fn bin(op: FBinOp, d: u32, a: u32, b: u32) -> Inst {
+        Inst::FBin {
+            op,
+            d: Reg(d),
+            a: Reg(a),
+            b: Reg(b),
+        }
+    }
+
+    fn konst(d: u32, v: f64) -> Inst {
+        Inst::FConst { d: Reg(d), v }
+    }
+
+    #[test]
+    fn const_folding_collapses_chains() {
+        let mut f = func(vec![Block {
+            insts: vec![
+                konst(0, 2.0),
+                konst(1, 3.0),
+                bin(FBinOp::Mul, 2, 0, 1),
+                bin(FBinOp::Add, 3, 2, 2),
+            ],
+            term: Terminator::Return,
+        }]);
+        const_fold(&mut f);
+        assert_eq!(f.blocks[0].insts[2], konst(2, 6.0));
+        assert_eq!(f.blocks[0].insts[3], konst(3, 12.0));
+    }
+
+    #[test]
+    fn cse_reuses_common_subexpressions() {
+        let mut f = func(vec![Block {
+            insts: vec![
+                bin(FBinOp::Add, 2, 0, 1),
+                bin(FBinOp::Add, 3, 0, 1), // same expr
+            ],
+            term: Terminator::Return,
+        }]);
+        local_cse(&mut f);
+        assert_eq!(f.blocks[0].insts[1], Inst::FMov { d: Reg(3), s: Reg(2) });
+    }
+
+    #[test]
+    fn cse_respects_redefinition() {
+        let mut f = func(vec![Block {
+            insts: vec![
+                bin(FBinOp::Add, 2, 0, 1),
+                konst(0, 9.0), // redefines an input
+                bin(FBinOp::Add, 3, 0, 1),
+            ],
+            term: Terminator::Return,
+        }]);
+        local_cse(&mut f);
+        // Second add must NOT become a move.
+        assert_eq!(f.blocks[0].insts[2], bin(FBinOp::Add, 3, 0, 1));
+    }
+
+    #[test]
+    fn dce_removes_unused_results() {
+        let mut f = func(vec![Block {
+            insts: vec![
+                konst(0, 1.0),
+                bin(FBinOp::Add, 1, 0, 0), // dead
+                konst(2, 5.0),             // kept: feeds the output
+            ],
+            term: Terminator::Return,
+        }]);
+        f.outputs = vec![VarBinding::F(Reg(2))];
+        dce(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 1);
+        assert_eq!(f.blocks[0].insts[0], konst(2, 5.0));
+    }
+
+    #[test]
+    fn dce_keeps_branch_conditions() {
+        let mut f = func(vec![
+            Block {
+                insts: vec![konst(0, 1.0)],
+                term: Terminator::Branch {
+                    cond: Reg(0),
+                    then_bb: BlockId(1),
+                    else_bb: BlockId(1),
+                },
+            },
+            Block {
+                insts: vec![],
+                term: Terminator::Return,
+            },
+        ]);
+        dce(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn licm_hoists_invariant_computation() {
+        // Block 0: preheader; block 1: loop header/body with an invariant
+        // mul (r3 = r0*r1, inputs defined outside).
+        let mut f = func(vec![
+            Block {
+                insts: vec![konst(0, 2.0), konst(1, 3.0), konst(4, 0.0)],
+                term: Terminator::Jump(BlockId(1)),
+            },
+            Block {
+                insts: vec![
+                    bin(FBinOp::Mul, 3, 0, 1),     // invariant
+                    bin(FBinOp::Add, 4, 4, 3),     // varying accumulator
+                ],
+                term: Terminator::Branch {
+                    cond: Reg(4),
+                    then_bb: BlockId(1),
+                    else_bb: BlockId(2),
+                },
+            },
+            Block {
+                insts: vec![],
+                term: Terminator::Return,
+            },
+        ]);
+        f.loops = vec![LoopInfo {
+            preheader: BlockId(0),
+            header: BlockId(1),
+            blocks: vec![BlockId(1)],
+        }];
+        f.outputs = vec![VarBinding::F(Reg(4))];
+        licm(&mut f);
+        // The mul moved to block 0; the accumulator stayed.
+        assert!(f.blocks[0]
+            .insts
+            .contains(&bin(FBinOp::Mul, 3, 0, 1)));
+        assert_eq!(f.blocks[1].insts.len(), 1);
+    }
+
+    #[test]
+    fn licm_leaves_multiply_defined_registers() {
+        // r3 is defined both inside and outside the loop: not hoistable.
+        let mut f = func(vec![
+            Block {
+                insts: vec![konst(0, 2.0), konst(3, 0.0)],
+                term: Terminator::Jump(BlockId(1)),
+            },
+            Block {
+                insts: vec![bin(FBinOp::Mul, 3, 0, 0)],
+                term: Terminator::Branch {
+                    cond: Reg(3),
+                    then_bb: BlockId(1),
+                    else_bb: BlockId(2),
+                },
+            },
+            Block {
+                insts: vec![],
+                term: Terminator::Return,
+            },
+        ]);
+        f.loops = vec![LoopInfo {
+            preheader: BlockId(0),
+            header: BlockId(1),
+            blocks: vec![BlockId(1)],
+        }];
+        licm(&mut f);
+        assert_eq!(f.blocks[1].insts.len(), 1, "must not hoist");
+    }
+
+    #[test]
+    fn optimize_pipeline_composes() {
+        let mut f = func(vec![Block {
+            insts: vec![
+                konst(0, 2.0),
+                konst(1, 3.0),
+                bin(FBinOp::Mul, 2, 0, 1),
+                bin(FBinOp::Mul, 3, 0, 1), // CSE → then folded/dead
+                bin(FBinOp::Add, 4, 2, 3),
+            ],
+            term: Terminator::Return,
+        }]);
+        f.outputs = vec![VarBinding::F(Reg(4))];
+        optimize(&mut f, PassOptions::all());
+        // Everything folds to constants; the output def remains.
+        let last = f.blocks[0].insts.last().unwrap();
+        assert_eq!(*last, konst(4, 12.0));
+    }
+}

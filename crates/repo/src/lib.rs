@@ -1,0 +1,254 @@
+//! The code repository (paper §2, §2.2.1).
+//!
+//! "The code repository is a database of compiled code. … The code
+//! repository may contain, at any time, several compiled versions of the
+//! same code, differing only in the assumptions about the types of input
+//! parameters. The function locator has to match a given invocation to a
+//! version of compiled code in the repository that is safe to execute
+//! (i.e. preserves the semantics of the program), and at the same time
+//! is optimal performance-wise. … When several matching objects exist,
+//! the code repository uses simple heuristics to find the best matching
+//! candidate for a particular call, based on a Manhattan-like 'distance'
+//! between the type signature of the invocation and the matching
+//! compiled code."
+//!
+//! Safety is the subtype check `Qi ⊑ Ti` per parameter; it is what makes
+//! speculation *safe*: "a wrong guess by the compiler results, at worst,
+//! in degraded performance, but never affects program correctness".
+
+use majic_types::{Signature, Type};
+use majic_vm::Executable;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// How a version was produced — used as a tie-breaker among equally
+/// close candidates (optimized code wins) and reported in diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CodeQuality {
+    /// `mcc`-style generic code.
+    Generic,
+    /// Fast JIT pipeline (no backend optimization).
+    Jit,
+    /// Optimizing pipeline (speculative / batch backend).
+    Optimized,
+}
+
+/// One compiled version of a function.
+#[derive(Clone, Debug)]
+pub struct CompiledVersion {
+    /// The type signature the code was compiled for.
+    pub signature: Signature,
+    /// The executable code.
+    pub code: Rc<Executable>,
+    /// Pipeline that produced it.
+    pub quality: CodeQuality,
+    /// Inferred output types (fed back into inference as the callee
+    /// oracle).
+    pub output_types: Vec<Type>,
+    /// Time spent compiling this version.
+    pub compile_time: Duration,
+}
+
+/// The repository: compiled versions per function name.
+#[derive(Debug, Default)]
+pub struct Repository {
+    versions: HashMap<String, Vec<CompiledVersion>>,
+    /// Lookup statistics: (hits, misses).
+    stats: (u64, u64),
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Register a compiled version.
+    pub fn insert(&mut self, name: &str, version: CompiledVersion) {
+        self.versions.entry(name.to_owned()).or_default().push(version);
+    }
+
+    /// The function locator: find the best safe version for an
+    /// invocation, or `None` (triggering a JIT compilation).
+    pub fn lookup(&mut self, name: &str, actuals: &Signature) -> Option<&CompiledVersion> {
+        let found = self.versions.get(name).and_then(|versions| {
+            versions
+                .iter()
+                .filter(|v| v.signature.admits(actuals))
+                .min_by_key(|v| {
+                    (
+                        v.signature.distance(actuals).unwrap_or(u64::MAX),
+                        std::cmp::Reverse(v.quality),
+                    )
+                })
+        });
+        if found.is_some() {
+            self.stats.0 += 1;
+        } else {
+            self.stats.1 += 1;
+        }
+        found
+    }
+
+    /// Inference oracle: output types of the best version admitting the
+    /// given argument types.
+    pub fn call_types(&self, name: &str, args: &Signature) -> Option<Vec<Type>> {
+        self.versions.get(name).and_then(|versions| {
+            versions
+                .iter()
+                .filter(|v| v.signature.admits(args))
+                .min_by_key(|v| v.signature.distance(args).unwrap_or(u64::MAX))
+                .map(|v| v.output_types.clone())
+        })
+    }
+
+    /// Number of compiled versions of `name`.
+    pub fn version_count(&self, name: &str) -> usize {
+        self.versions.get(name).map_or(0, Vec::len)
+    }
+
+    /// `(hits, misses)` of the function locator.
+    pub fn stats(&self) -> (u64, u64) {
+        self.stats
+    }
+
+    /// Drop every version of `name` (source changed — the repository
+    /// "triggers recompilations when the source code changes").
+    pub fn invalidate(&mut self, name: &str) {
+        self.versions.remove(name);
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.versions.clear();
+        self.stats = (0, 0);
+    }
+
+    /// Total compile time recorded across all versions.
+    pub fn total_compile_time(&self) -> Duration {
+        self.versions
+            .values()
+            .flatten()
+            .map(|v| v.compile_time)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majic_ir::Function;
+    use majic_types::{Intrinsic, Lattice};
+    use majic_vm::Executable;
+
+    fn dummy_code() -> Rc<Executable> {
+        Rc::new(Executable::new(
+            &Function {
+                name: "f".into(),
+                blocks: vec![majic_ir::Block::default()],
+                ..Function::default()
+            },
+            0,
+            0,
+        ))
+    }
+
+    fn version(sig: Vec<Type>, quality: CodeQuality) -> CompiledVersion {
+        CompiledVersion {
+            signature: Signature::new(sig),
+            code: dummy_code(),
+            quality,
+            output_types: vec![Type::top()],
+            compile_time: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn lookup_requires_safety() {
+        let mut repo = Repository::new();
+        repo.insert(
+            "poly",
+            version(vec![Type::scalar(Intrinsic::Int)], CodeQuality::Jit),
+        );
+        // Integer invocation: safe.
+        let ok = Signature::new(vec![Type::constant(3.0)]);
+        assert!(repo.lookup("poly", &ok).is_some());
+        // Real invocation: 3.5 is not ⊑ int scalar.
+        let bad = Signature::new(vec![Type::constant(3.5)]);
+        assert!(repo.lookup("poly", &bad).is_none());
+        assert_eq!(repo.stats(), (1, 1));
+    }
+
+    #[test]
+    fn best_candidate_wins() {
+        // The Figure 3 ladder: an int-scalar invocation must pick the
+        // int-scalar version over the real-scalar and complex-anything
+        // versions.
+        let mut repo = Repository::new();
+        repo.insert(
+            "poly",
+            version(vec![Type::top().with_intrinsic(Intrinsic::Complex)], CodeQuality::Jit),
+        );
+        repo.insert(
+            "poly",
+            version(vec![Type::scalar(Intrinsic::Real)], CodeQuality::Jit),
+        );
+        repo.insert(
+            "poly",
+            version(vec![Type::scalar(Intrinsic::Int)], CodeQuality::Jit),
+        );
+        let inv = Signature::new(vec![Type::constant(3.0)]);
+        let found = repo.lookup("poly", &inv).unwrap();
+        assert_eq!(found.signature, Signature::new(vec![Type::scalar(Intrinsic::Int)]));
+    }
+
+    #[test]
+    fn quality_breaks_ties() {
+        let mut repo = Repository::new();
+        repo.insert(
+            "f",
+            version(vec![Type::scalar(Intrinsic::Real)], CodeQuality::Jit),
+        );
+        repo.insert(
+            "f",
+            version(vec![Type::scalar(Intrinsic::Real)], CodeQuality::Optimized),
+        );
+        let inv = Signature::new(vec![Type::scalar(Intrinsic::Real)]);
+        assert_eq!(
+            repo.lookup("f", &inv).unwrap().quality,
+            CodeQuality::Optimized
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_never_matches() {
+        let mut repo = Repository::new();
+        repo.insert("f", version(vec![Type::scalar(Intrinsic::Real)], CodeQuality::Jit));
+        let inv = Signature::new(vec![]);
+        assert!(repo.lookup("f", &inv).is_none());
+    }
+
+    #[test]
+    fn invalidation_forgets_versions() {
+        let mut repo = Repository::new();
+        repo.insert("f", version(vec![], CodeQuality::Jit));
+        assert_eq!(repo.version_count("f"), 1);
+        repo.invalidate("f");
+        assert_eq!(repo.version_count("f"), 0);
+    }
+
+    #[test]
+    fn oracle_returns_output_types() {
+        let mut repo = Repository::new();
+        let mut v = version(vec![Type::scalar(Intrinsic::Int)], CodeQuality::Jit);
+        v.output_types = vec![Type::scalar(Intrinsic::Real)];
+        repo.insert("f", v);
+        let args = Signature::new(vec![Type::constant(1.0)]);
+        assert_eq!(
+            repo.call_types("f", &args),
+            Some(vec![Type::scalar(Intrinsic::Real)])
+        );
+        assert_eq!(repo.call_types("g", &args), None);
+    }
+}

@@ -1,0 +1,509 @@
+//! Dense linear algebra: matrix products, LU solves, norms and
+//! eigenvalues.
+//!
+//! The paper's generated code leans on the platform BLAS/LAPACK (`dgemv`,
+//! `eig`); this module is our self-contained substitute. Routines are
+//! generic over [`Scalar`] so the same code serves real and complex
+//! matrices.
+
+use crate::{Complex, Matrix, RuntimeError, RuntimeResult};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Field operations required by the generic routines.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Magnitude as a real double (pivot selection, norms).
+    fn abs_val(self) -> f64;
+    /// Embed a real double.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    fn abs_val(self) -> f64 {
+        self.abs()
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+impl Scalar for Complex {
+    fn abs_val(self) -> f64 {
+        self.abs()
+    }
+    fn from_f64(v: f64) -> Self {
+        Complex::new(v, 0.0)
+    }
+}
+
+/// General matrix–matrix product `A·B`.
+///
+/// # Errors
+///
+/// Fails when the inner dimensions disagree.
+pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> RuntimeResult<Matrix<T>> {
+    if a.cols() != b.rows() {
+        return Err(RuntimeError::DimensionMismatch(format!(
+            "{}x{} * {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![T::default(); m * n];
+    for j in 0..n {
+        let bcol = b.col(j);
+        let ocol = &mut out[j * m..(j + 1) * m];
+        for l in 0..k {
+            let blj = bcol[l];
+            if blj == T::default() {
+                continue;
+            }
+            let acol = a.col(l);
+            for i in 0..m {
+                ocol[i] = ocol[i] + acol[i] * blj;
+            }
+        }
+    }
+    Ok(Matrix::from_vec(m, n, out))
+}
+
+/// Matrix–vector product `A·x` where `x` is a column vector.
+///
+/// # Errors
+///
+/// Fails when dimensions disagree.
+pub fn gemv<T: Scalar>(a: &Matrix<T>, x: &[T]) -> RuntimeResult<Vec<T>> {
+    if a.cols() != x.len() {
+        return Err(RuntimeError::DimensionMismatch(format!(
+            "{}x{} * {}x1",
+            a.rows(),
+            a.cols(),
+            x.len()
+        )));
+    }
+    let m = a.rows();
+    let mut y = vec![T::default(); m];
+    for (l, &xl) in x.iter().enumerate() {
+        if xl == T::default() {
+            continue;
+        }
+        let acol = a.col(l);
+        for i in 0..m {
+            y[i] = y[i] + acol[i] * xl;
+        }
+    }
+    Ok(y)
+}
+
+/// Fused `alpha·A·x + beta·y` — the `dgemv` pattern the paper's code
+/// selector recognizes in expressions like `a*X + b*C*Y` (§2.6.1).
+///
+/// # Errors
+///
+/// Fails when dimensions disagree.
+pub fn gemv_fused<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    x: &[T],
+    beta: T,
+    y: &[T],
+) -> RuntimeResult<Vec<T>> {
+    if a.rows() != y.len() {
+        return Err(RuntimeError::DimensionMismatch(format!(
+            "gemv update length {} vs {}",
+            a.rows(),
+            y.len()
+        )));
+    }
+    let mut out = gemv(a, x)?;
+    for (o, &yv) in out.iter_mut().zip(y) {
+        *o = alpha * *o + beta * yv;
+    }
+    Ok(out)
+}
+
+/// LU factorization with partial pivoting, in place over a copy.
+/// Returns `(lu, perm)` where `perm[i]` is the source row of row `i`.
+///
+/// # Errors
+///
+/// Fails on non-square or numerically singular input.
+pub fn lu_factor<T: Scalar>(a: &Matrix<T>) -> RuntimeResult<(Vec<T>, Vec<usize>)> {
+    if a.rows() != a.cols() {
+        return Err(RuntimeError::DimensionMismatch(format!(
+            "matrix must be square for LU, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    let mut lu = a.to_contiguous();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        // Pivot search in column k.
+        let mut p = k;
+        let mut best = lu[k * n + k].abs_val();
+        for i in k + 1..n {
+            let v = lu[k * n + i].abs_val();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            return Err(RuntimeError::Raised("matrix is singular".to_owned()));
+        }
+        if p != k {
+            perm.swap(k, p);
+            for j in 0..n {
+                lu.swap(j * n + k, j * n + p);
+            }
+        }
+        let pivot = lu[k * n + k];
+        for i in k + 1..n {
+            let factor = lu[k * n + i] / pivot;
+            lu[k * n + i] = factor;
+            for j in k + 1..n {
+                let u = lu[j * n + k];
+                lu[j * n + i] = lu[j * n + i] - factor * u;
+            }
+        }
+    }
+    Ok((lu, perm))
+}
+
+/// Solve `A·X = B` by LU with partial pivoting (the `\` operator).
+///
+/// # Errors
+///
+/// Fails on non-square `A`, dimension mismatch, or singular `A`.
+pub fn lu_solve<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> RuntimeResult<Matrix<T>> {
+    let n = a.rows();
+    if b.rows() != n {
+        return Err(RuntimeError::DimensionMismatch(format!(
+            "A\\B with A {}x{} and B {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let (lu, perm) = lu_factor(a)?;
+    let mut out = vec![T::default(); n * b.cols()];
+    for col in 0..b.cols() {
+        let bcol = b.col(col);
+        let x = &mut out[col * n..(col + 1) * n];
+        // Apply permutation.
+        for i in 0..n {
+            x[i] = bcol[perm[i]];
+        }
+        // Forward substitution (unit lower).
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s = s - lu[j * n + i] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s = s - lu[j * n + i] * x[j];
+            }
+            x[i] = s / lu[i * n + i];
+        }
+    }
+    Ok(Matrix::from_vec(n, b.cols(), out))
+}
+
+/// Vector/matrix 2-norm: Euclidean norm for vectors, Frobenius norm for
+/// matrices (MATLAB's `norm(A)` is the spectral norm; Frobenius is the
+/// standard inexpensive substitute and is what the benchmarks' residual
+/// tests need).
+pub fn norm2<T: Scalar>(a: &Matrix<T>) -> f64 {
+    a.iter()
+        .map(|v| {
+            let m = v.abs_val();
+            m * m
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Eigenvalues of a square real matrix, via Hessenberg reduction and the
+/// shifted QR iteration (Francis double-shift on real data would avoid
+/// complex arithmetic; we run the single-shift iteration in complex
+/// arithmetic for simplicity — the matrices in the benchmarks are tiny).
+///
+/// # Errors
+///
+/// Fails on non-square input or when the iteration does not converge.
+pub fn eig(a: &Matrix<f64>) -> RuntimeResult<Vec<Complex>> {
+    if a.rows() != a.cols() {
+        return Err(RuntimeError::DimensionMismatch(
+            "eig requires a square matrix".to_owned(),
+        ));
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Work in complex arithmetic.
+    let mut h: Vec<Complex> = a.to_contiguous().iter().map(|&v| Complex::from(v)).collect();
+
+    // Reduce to upper Hessenberg form with Householder-like eliminations
+    // (Gaussian similarity transforms with pivoting are fine numerically
+    // for the small matrices we target).
+    let at = |h: &Vec<Complex>, i: usize, j: usize| h[j * n + i];
+    for k in 1..n.saturating_sub(1) {
+        // Pivot: bring largest |h(i,k-1)|, i>=k, to row k.
+        let mut p = k;
+        let mut best = at(&h, k, k - 1).abs();
+        for i in k + 1..n {
+            if at(&h, i, k - 1).abs() > best {
+                best = at(&h, i, k - 1).abs();
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            continue;
+        }
+        if p != k {
+            for j in 0..n {
+                h.swap(j * n + k, j * n + p);
+            }
+            for i in 0..n {
+                h.swap(k * n + i, p * n + i);
+            }
+        }
+        let pivot = at(&h, k, k - 1);
+        for i in k + 1..n {
+            let m = at(&h, i, k - 1) / pivot;
+            if m == Complex::ZERO {
+                continue;
+            }
+            // Row op: row_i -= m * row_k.
+            for j in 0..n {
+                let v = at(&h, k, j) * m;
+                h[j * n + i] = h[j * n + i] - v;
+            }
+            // Column op: col_k += m * col_i (inverse similarity).
+            for r in 0..n {
+                let v = at(&h, r, i) * m;
+                h[k * n + r] = h[k * n + r] + v;
+            }
+        }
+    }
+
+    // Shifted QR on the Hessenberg matrix, deflating from the bottom.
+    let mut eigs = Vec::with_capacity(n);
+    let mut m = n;
+    let mut iters = 0usize;
+    while m > 0 {
+        if m == 1 {
+            eigs.push(at(&h, 0, 0));
+            break;
+        }
+        // Check for a negligible subdiagonal to deflate.
+        let mut deflated = false;
+        for k in (1..m).rev() {
+            let s = at(&h, k - 1, k - 1).abs() + at(&h, k, k).abs();
+            if at(&h, k, k - 1).abs() <= 1e-14 * s.max(1e-300) {
+                if k == m - 1 {
+                    eigs.push(at(&h, m - 1, m - 1));
+                    m -= 1;
+                    deflated = true;
+                    break;
+                }
+            }
+        }
+        if deflated {
+            continue;
+        }
+        iters += 1;
+        if iters > 200 * n {
+            return Err(RuntimeError::Raised(
+                "eig failed to converge".to_owned(),
+            ));
+        }
+        // Wilkinson shift from the trailing 2x2 block.
+        let a11 = at(&h, m - 2, m - 2);
+        let a12 = at(&h, m - 2, m - 1);
+        let a21 = at(&h, m - 1, m - 2);
+        let a22 = at(&h, m - 1, m - 1);
+        let tr = a11 + a22;
+        let det = a11 * a22 - a12 * a21;
+        let disc = (tr * tr - Complex::from(4.0) * det).sqrt();
+        let l1 = (tr + disc) / Complex::from(2.0);
+        let l2 = (tr - disc) / Complex::from(2.0);
+        let shift = if (l1 - a22).abs() < (l2 - a22).abs() {
+            l1
+        } else {
+            l2
+        };
+        // QR step via Givens rotations on the shifted matrix (complex
+        // Givens: we use 2x2 eliminations computed from the subdiagonal).
+        for i in 0..m {
+            h[i * n + i] = h[i * n + i] - shift;
+        }
+        // Factor: eliminate subdiagonal with row rotations, remember them.
+        let mut rots: Vec<(usize, Complex, Complex)> = Vec::with_capacity(m - 1);
+        for k in 0..m - 1 {
+            let x = at(&h, k, k);
+            let y = at(&h, k + 1, k);
+            let r = (x * x.conj() + y * y.conj()).sqrt();
+            if r.abs() == 0.0 {
+                rots.push((k, Complex::from(1.0), Complex::ZERO));
+                continue;
+            }
+            let c = x / r;
+            let s = y / r;
+            rots.push((k, c, s));
+            for j in k..m {
+                let hk = at(&h, k, j);
+                let hk1 = at(&h, k + 1, j);
+                h[j * n + k] = c.conj() * hk + s.conj() * hk1;
+                h[j * n + k + 1] = -s * hk + c * hk1;
+            }
+        }
+        // Multiply back: H = R·Q, applying the rotations on columns.
+        for &(k, c, s) in &rots {
+            for i in 0..(k + 2).min(m) {
+                let hik = at(&h, i, k);
+                let hik1 = at(&h, i, k + 1);
+                h[k * n + i] = hik * c + hik1 * s;
+                h[(k + 1) * n + i] = hik * (-s.conj()) + hik1 * c.conj();
+            }
+        }
+        for i in 0..m {
+            h[i * n + i] = h[i * n + i] + shift;
+        }
+    }
+    eigs.reverse();
+    Ok(eigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: Vec<Vec<f64>>) -> Matrix<f64> {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn gemm_small() {
+        let a = mat(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = mat(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c, mat(vec![vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_dimension_check() {
+        let a = mat(vec![vec![1.0, 2.0]]);
+        assert!(gemm(&a, &a).is_err());
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let a = mat(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let y = gemv(&a, &[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn gemv_fused_computes_axpy() {
+        let a = mat(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let out = gemv_fused(2.0, &a, &[1.0, 2.0], 3.0, &[10.0, 20.0]).unwrap();
+        assert_eq!(out, vec![2.0 + 30.0, 4.0 + 60.0]);
+    }
+
+    #[test]
+    fn lu_solves_linear_system() {
+        let a = mat(vec![vec![4.0, 3.0], vec![6.0, 3.0]]);
+        let b = mat(vec![vec![10.0], vec![12.0]]);
+        let x = lu_solve(&a, &b).unwrap();
+        // 4x + 3y = 10, 6x + 3y = 12 → x = 1, y = 2
+        assert!((x.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((x.get(1, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = mat(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let b = mat(vec![vec![1.0], vec![2.0]]);
+        assert!(lu_solve(&a, &b).is_err());
+    }
+
+    #[test]
+    fn lu_needs_square() {
+        let a = mat(vec![vec![1.0, 2.0, 3.0]]);
+        let b = mat(vec![vec![1.0]]);
+        assert!(lu_solve(&a, &b).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let v = mat(vec![vec![3.0], vec![4.0]]);
+        assert_eq!(norm2(&v), 5.0);
+    }
+
+    #[test]
+    fn eig_diagonal() {
+        let a = mat(vec![vec![2.0, 0.0], vec![0.0, 5.0]]);
+        let mut e: Vec<f64> = eig(&a).unwrap().iter().map(|z| z.re).collect();
+        e.sort_by(f64::total_cmp);
+        assert!((e[0] - 2.0).abs() < 1e-8);
+        assert!((e[1] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eig_symmetric() {
+        // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+        let a = mat(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let mut e: Vec<f64> = eig(&a).unwrap().iter().map(|z| z.re).collect();
+        e.sort_by(f64::total_cmp);
+        assert!((e[0] - 1.0).abs() < 1e-8, "{e:?}");
+        assert!((e[1] - 3.0).abs() < 1e-8, "{e:?}");
+    }
+
+    #[test]
+    fn eig_complex_pair() {
+        // [[0,-1],[1,0]] has eigenvalues ±i.
+        let a = mat(vec![vec![0.0, -1.0], vec![1.0, 0.0]]);
+        let e = eig(&a).unwrap();
+        let mut ims: Vec<f64> = e.iter().map(|z| z.im).collect();
+        ims.sort_by(f64::total_cmp);
+        assert!((ims[0] + 1.0).abs() < 1e-8, "{e:?}");
+        assert!((ims[1] - 1.0).abs() < 1e-8, "{e:?}");
+        assert!(e.iter().all(|z| z.re.abs() < 1e-8));
+    }
+
+    #[test]
+    fn eig_larger_matrix_trace_matches() {
+        // Trace = sum of eigenvalues.
+        let a = mat(vec![
+            vec![4.0, 1.0, 0.0, 2.0],
+            vec![1.0, 3.0, 1.0, 0.0],
+            vec![0.0, 1.0, 2.0, 1.0],
+            vec![2.0, 0.0, 1.0, 1.0],
+        ]);
+        let e = eig(&a).unwrap();
+        let tr: f64 = e.iter().map(|z| z.re).sum();
+        assert!((tr - 10.0).abs() < 1e-6, "{e:?}");
+        assert!(e.iter().map(|z| z.im).sum::<f64>().abs() < 1e-6);
+    }
+}

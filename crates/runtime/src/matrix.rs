@@ -1,0 +1,419 @@
+//! Column-major dense matrices with MATLAB resize semantics.
+
+use std::rc::Rc;
+
+/// Arrays above this element count are never oversized (paper §2.6.1:
+/// "Large arrays are never oversized").
+const OVERSIZE_LIMIT: usize = 1 << 20;
+
+/// A column-major matrix with an explicit leading dimension.
+///
+/// The logical extent is `rows × cols`; the allocation holds
+/// `lda × alloc_cols` elements with `lda ≥ rows`. Keeping slack between
+/// logical and allocated extents implements the paper's *oversizing*
+/// optimization: growing an array within its allocation only bumps the
+/// logical extent, avoiding the re-layout that makes repeated MATLAB
+/// resizes "tremendously expensive".
+///
+/// Cloning is cheap (shared buffer); mutation copies when shared
+/// (copy-on-write, as in MATLAB itself).
+#[derive(Clone, Debug)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    lda: usize,
+    data: Rc<Vec<T>>,
+}
+
+impl<T: Clone + Default + PartialEq> Matrix<T> {
+    /// A `rows × cols` matrix of default elements (zeros).
+    pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        Matrix {
+            rows,
+            cols,
+            lda: rows,
+            data: Rc::new(vec![T::default(); rows * cols]),
+        }
+    }
+
+    /// A matrix from column-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Matrix<T> {
+        assert_eq!(data.len(), rows * cols, "column-major data length");
+        Matrix {
+            rows,
+            cols,
+            lda: rows,
+            data: Rc::new(data),
+        }
+    }
+
+    /// A `1 × 1` matrix.
+    pub fn scalar(v: T) -> Matrix<T> {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    /// A matrix from row-major nested vectors (test convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Matrix<T> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = vec![T::default(); r * c];
+        for (i, row) in rows.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                data[j * r + i] = v.clone();
+            }
+        }
+        Matrix::from_vec(r, c, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the allocation (`≥ rows`).
+    pub fn lda(&self) -> usize {
+        self.lda
+    }
+
+    /// Total logical element count.
+    pub fn numel(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Is the logical extent empty?
+    pub fn is_empty(&self) -> bool {
+        self.numel() == 0
+    }
+
+    /// Is this `1 × 1`?
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// Is this a row or column vector (or scalar)?
+    pub fn is_vector(&self) -> bool {
+        self.rows == 1 || self.cols == 1
+    }
+
+    /// Element at 0-based `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of the logical extent.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[c * self.lda + r].clone()
+    }
+
+    /// Element at 0-based column-major linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of the logical extent.
+    pub fn get_linear(&self, k: usize) -> T {
+        assert!(k < self.numel(), "linear index out of range");
+        self.get(k % self.rows, k / self.rows)
+    }
+
+    /// Overwrite element at 0-based `(r, c)` (copy-on-write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of the logical extent.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        let lda = self.lda;
+        Rc::make_mut(&mut self.data)[c * lda + r] = v;
+    }
+
+    /// Overwrite element at 0-based linear index (copy-on-write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of the logical extent.
+    pub fn set_linear(&mut self, k: usize, v: T) {
+        assert!(k < self.numel(), "linear index out of range");
+        let (r, c) = (k % self.rows, k / self.rows);
+        self.set(r, c, v);
+    }
+
+    /// The first element (MATLAB scalar coercion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty.
+    pub fn first(&self) -> T {
+        assert!(!self.is_empty(), "empty matrix has no first element");
+        self.data[0].clone()
+    }
+
+    /// Iterate elements in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.cols).flat_map(move |c| {
+            self.data[c * self.lda..c * self.lda + self.rows].iter()
+        })
+    }
+
+    /// Collect the logical contents into a contiguous column-major vector.
+    pub fn to_contiguous(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+
+    /// One column as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn col(&self, c: usize) -> &[T] {
+        assert!(c < self.cols);
+        &self.data[c * self.lda..c * self.lda + self.rows]
+    }
+
+    /// Mutable access to the full allocation, with its leading dimension.
+    /// Copy-on-write: unshares first.
+    pub fn raw_mut(&mut self) -> (&mut [T], usize) {
+        let lda = self.lda;
+        (Rc::make_mut(&mut self.data).as_mut_slice(), lda)
+    }
+
+    /// Element read without the logical-extent check.
+    ///
+    /// # Safety
+    ///
+    /// `r < self.rows()` and `c < self.cols()` must hold; compiled code
+    /// may only emit this access when type inference proved the bounds
+    /// (paper §2.4, subscript check removal).
+    #[inline]
+    pub unsafe fn get_unchecked(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        // SAFETY: caller guarantees the logical bounds, and the
+        // allocation always covers the logical extent.
+        unsafe { self.data.get_unchecked(c * self.lda + r).clone() }
+    }
+
+    /// Element write without the logical-extent check (still
+    /// copy-on-write).
+    ///
+    /// # Safety
+    ///
+    /// `r < self.rows()` and `c < self.cols()` must hold.
+    #[inline]
+    pub unsafe fn set_unchecked(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let lda = self.lda;
+        let data = Rc::make_mut(&mut self.data);
+        // SAFETY: caller guarantees the logical bounds.
+        unsafe {
+            *data.get_unchecked_mut(c * lda + r) = v;
+        }
+    }
+
+    /// Map every element.
+    pub fn map<U: Clone + Default + PartialEq>(&self, mut f: impl FnMut(&T) -> U) -> Matrix<U> {
+        let data = self.iter().map(&mut f).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Zip two equal-shape matrices elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ (callers check first and raise a proper
+    /// runtime error).
+    pub fn zip<U: Clone + Default + PartialEq, V: Clone + Default + PartialEq>(
+        &self,
+        other: &Matrix<U>,
+        mut f: impl FnMut(&T, &U) -> V,
+    ) -> Matrix<V> {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .iter()
+            .zip(other.iter())
+            .map(|(a, b)| f(a, b))
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Transpose (copies).
+    pub fn transpose(&self) -> Matrix<T> {
+        let mut data = vec![T::default(); self.numel()];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                data[r * self.cols + c] = self.get(r, c);
+            }
+        }
+        Matrix::from_vec(self.cols, self.rows, data)
+    }
+
+    /// Grow the logical extent to at least `(new_rows, new_cols)`,
+    /// zero-filling new cells.
+    ///
+    /// With `oversize` set, a re-layout allocates ~10% slack in each grown
+    /// dimension so that subsequent growth stays within the allocation
+    /// (paper §2.6.1). Oversizing is skipped for large arrays. Growth
+    /// within the existing allocation never copies.
+    pub fn grow(&mut self, new_rows: usize, new_cols: usize, oversize: bool) {
+        let new_rows = new_rows.max(self.rows);
+        let new_cols = new_cols.max(self.cols);
+        if new_rows == self.rows && new_cols == self.cols {
+            return;
+        }
+        let alloc_cols = if self.lda == 0 {
+            0
+        } else {
+            self.data.len() / self.lda
+        };
+        if new_rows <= self.lda && new_cols <= alloc_cols {
+            // Fits: bump the logical extent. Cells inside the allocation
+            // start zeroed and are re-zeroed on shrink-free growth paths,
+            // so no fill is needed.
+            self.rows = new_rows;
+            self.cols = new_cols;
+            return;
+        }
+        // Re-layout required.
+        let big = new_rows.saturating_mul(new_cols) > OVERSIZE_LIMIT;
+        let headroom = |n: usize, grew: bool| {
+            if oversize && !big && grew {
+                n + n / 10 + 1
+            } else {
+                n
+            }
+        };
+        let new_lda = headroom(new_rows, new_rows > self.rows).max(self.lda);
+        let new_alloc_cols = headroom(new_cols, new_cols > self.cols).max(alloc_cols);
+        let mut data = vec![T::default(); new_lda * new_alloc_cols];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                data[c * new_lda + r] = self.data[c * self.lda + r].clone();
+            }
+        }
+        self.data = Rc::new(data);
+        self.lda = new_lda;
+        self.rows = new_rows;
+        self.cols = new_cols;
+    }
+
+    /// Does the allocation have slack beyond the logical extent?
+    /// (Observable effect of oversizing; used by tests and benches.)
+    pub fn has_slack(&self) -> bool {
+        self.lda > self.rows || self.data.len() > self.lda * self.cols
+    }
+}
+
+impl<T: Clone + Default + PartialEq> PartialEq for Matrix<T> {
+    /// Logical-content equality: allocation slack is invisible.
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        // Column-major linear indexing.
+        assert_eq!(m.get_linear(1), 3.0);
+        assert_eq!(m.get_linear(2), 2.0);
+    }
+
+    #[test]
+    fn copy_on_write() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0]]);
+        let mut b = a.clone();
+        b.set(0, 0, 9.0);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(b.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn grow_zero_fills() {
+        let mut m = Matrix::from_rows(vec![vec![1.0, 2.0]]);
+        m.grow(2, 3, false);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn oversized_growth_avoids_relayout() {
+        let mut m: Matrix<f64> = Matrix::zeros(10, 1);
+        m.grow(11, 1, true);
+        assert!(m.has_slack());
+        let lda_after_first = m.lda();
+        // Growing within the slack must not re-layout.
+        m.grow(12, 1, true);
+        assert_eq!(m.lda(), lda_after_first);
+    }
+
+    #[test]
+    fn unoversized_growth_relayouts_every_time() {
+        let mut m: Matrix<f64> = Matrix::zeros(10, 1);
+        m.grow(11, 1, false);
+        assert_eq!(m.lda(), 11);
+        m.grow(12, 1, false);
+        assert_eq!(m.lda(), 12);
+    }
+
+    #[test]
+    fn equality_ignores_slack() {
+        let mut a: Matrix<f64> = Matrix::zeros(2, 2);
+        let mut b: Matrix<f64> = Matrix::zeros(1, 1);
+        b.grow(2, 2, true);
+        a.set(1, 1, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transpose() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn growth_preserves_contents_across_relayout() {
+        let mut m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.grow(5, 5, true);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.get(4, 4), 0.0);
+    }
+
+    #[test]
+    fn iter_respects_lda() {
+        let mut m = Matrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        m.grow(3, 1, true); // introduces lda slack
+        m.grow(3, 2, true);
+        let v = m.to_contiguous();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 0.0);
+    }
+}

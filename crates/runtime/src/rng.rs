@@ -1,0 +1,85 @@
+//! A deterministic linear congruential generator for the `rand` builtin.
+//!
+//! MaJIC's interpreted and compiled executions of the same benchmark must
+//! produce *identical* random streams so that results can be compared
+//! bit-for-bit in tests; using our own LCG (rather than an external crate)
+//! also keeps compiled code free of foreign state.
+
+/// A 64-bit LCG (Knuth MMIX constants) producing doubles in `[0, 1)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// A generator with the default seed (MATLAB-style fresh session).
+    pub fn new() -> Lcg {
+        Lcg::seeded(0x9E3779B97F4A7C15)
+    }
+
+    /// A generator with an explicit seed.
+    pub fn seeded(seed: u64) -> Lcg {
+        Lcg {
+            state: seed.wrapping_mul(2862933555777941757).wrapping_add(1),
+        }
+    }
+
+    /// Next raw 64-bit state.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    /// Next double uniformly distributed in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniform double.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Default for Lcg {
+    fn default() -> Self {
+        Lcg::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Lcg::seeded(42);
+        let mut b = Lcg::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_f64(), b.next_f64());
+        }
+    }
+
+    #[test]
+    fn in_unit_interval() {
+        let mut g = Lcg::new();
+        for _ in 0..1000 {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut g = Lcg::seeded(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Lcg::seeded(1);
+        let mut b = Lcg::seeded(2);
+        assert_ne!(a.next_f64(), b.next_f64());
+    }
+}

@@ -1,0 +1,313 @@
+//! The polymorphic MATLAB value.
+
+use crate::{Complex, Matrix, RuntimeError, RuntimeResult};
+use majic_types::{Intrinsic, Lattice, Range, Shape, Type};
+use std::fmt;
+
+/// A MATLAB value: a real, complex or logical matrix, or a character
+/// string.
+///
+/// Everything — including scalars — is a matrix, exactly as in MATLAB;
+/// this uniform, heap-backed representation is what makes interpreted
+/// execution slow and typed compiled code fast.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Real (double) matrix.
+    Real(Matrix<f64>),
+    /// Complex matrix.
+    Complex(Matrix<Complex>),
+    /// Logical matrix.
+    Bool(Matrix<bool>),
+    /// Character row vector.
+    Str(String),
+}
+
+impl Value {
+    /// A real scalar.
+    pub fn scalar(v: f64) -> Value {
+        Value::Real(Matrix::scalar(v))
+    }
+
+    /// A complex scalar.
+    pub fn complex_scalar(z: Complex) -> Value {
+        Value::Complex(Matrix::scalar(z))
+    }
+
+    /// A logical scalar.
+    pub fn bool_scalar(b: bool) -> Value {
+        Value::Bool(Matrix::scalar(b))
+    }
+
+    /// The empty `0 × 0` real matrix (`[]`).
+    pub fn empty() -> Value {
+        Value::Real(Matrix::zeros(0, 0))
+    }
+
+    /// `(rows, cols)` of the value.
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            Value::Real(m) => (m.rows(), m.cols()),
+            Value::Complex(m) => (m.rows(), m.cols()),
+            Value::Bool(m) => (m.rows(), m.cols()),
+            Value::Str(s) => (if s.is_empty() { 0 } else { 1 }, s.len()),
+        }
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        let (r, c) = self.dims();
+        r * c
+    }
+
+    /// Is this a `1 × 1` value?
+    pub fn is_scalar(&self) -> bool {
+        self.dims() == (1, 1)
+    }
+
+    /// Is this value empty?
+    pub fn is_empty(&self) -> bool {
+        self.numel() == 0
+    }
+
+    /// MATLAB truthiness: nonempty and all elements nonzero.
+    pub fn is_true(&self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        match self {
+            Value::Real(m) => m.iter().all(|&v| v != 0.0),
+            Value::Complex(m) => m.iter().all(|z| z.re != 0.0 || z.im != 0.0),
+            Value::Bool(m) => m.iter().all(|&b| b),
+            Value::Str(s) => s.bytes().all(|b| b != 0),
+        }
+    }
+
+    /// Scalar coercion to a real double (complex values keep the real
+    /// part, as MATLAB does for subscripts and relational operands).
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty values and strings.
+    pub fn to_scalar(&self) -> RuntimeResult<f64> {
+        match self {
+            Value::Real(m) if !m.is_empty() => Ok(m.first()),
+            Value::Complex(m) if !m.is_empty() => Ok(m.first().re),
+            Value::Bool(m) if !m.is_empty() => Ok(if m.first() { 1.0 } else { 0.0 }),
+            _ => Err(RuntimeError::TypeMismatch(
+                "expected a numeric scalar".to_owned(),
+            )),
+        }
+    }
+
+    /// View as a real matrix, promoting logicals; errors on complex and
+    /// string values.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value has an imaginary part or is a string.
+    pub fn to_real_matrix(&self) -> RuntimeResult<Matrix<f64>> {
+        match self {
+            Value::Real(m) => Ok(m.clone()),
+            Value::Bool(m) => Ok(m.map(|&b| if b { 1.0 } else { 0.0 })),
+            Value::Complex(m) if m.iter().all(|z| z.im == 0.0) => Ok(m.map(|z| z.re)),
+            Value::Complex(_) => Err(RuntimeError::TypeMismatch(
+                "expected a real value".to_owned(),
+            )),
+            Value::Str(_) => Err(RuntimeError::TypeMismatch(
+                "expected a numeric value".to_owned(),
+            )),
+        }
+    }
+
+    /// View as a complex matrix, promoting reals and logicals.
+    ///
+    /// # Errors
+    ///
+    /// Fails on strings.
+    pub fn to_complex_matrix(&self) -> RuntimeResult<Matrix<Complex>> {
+        match self {
+            Value::Real(m) => Ok(m.map(|&v| Complex::new(v, 0.0))),
+            Value::Complex(m) => Ok(m.clone()),
+            Value::Bool(m) => Ok(m.map(|&b| Complex::new(if b { 1.0 } else { 0.0 }, 0.0))),
+            Value::Str(_) => Err(RuntimeError::TypeMismatch(
+                "expected a numeric value".to_owned(),
+            )),
+        }
+    }
+
+    /// Demote a complex matrix whose imaginary parts are all zero to a
+    /// real matrix (MATLAB results are stored real whenever possible).
+    pub fn normalized(self) -> Value {
+        match self {
+            Value::Complex(m) if m.iter().all(|z| z.im == 0.0) => Value::Real(m.map(|z| z.re)),
+            other => other,
+        }
+    }
+
+    /// The exact runtime [`Type`] of this value, used to form invocation
+    /// signatures: exact shape bounds and, for real data, the exact value
+    /// range (a scalar constant gets a degenerate range).
+    pub fn type_of(&self) -> Type {
+        let (r, c) = self.dims();
+        let shape = Shape::new(r as u64, c as u64);
+        match self {
+            Value::Real(m) => {
+                let mut intrinsic = Intrinsic::Int;
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &v in m.iter() {
+                    if v.fract() != 0.0 || !v.is_finite() {
+                        intrinsic = Intrinsic::Real;
+                    }
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                let range = if m.is_empty() {
+                    Range::top()
+                } else {
+                    Range::new(lo, hi)
+                };
+                Type {
+                    intrinsic,
+                    min_shape: shape,
+                    max_shape: shape,
+                    range,
+                }
+            }
+            Value::Complex(_) => Type {
+                intrinsic: Intrinsic::Complex,
+                min_shape: shape,
+                max_shape: shape,
+                range: Range::top(),
+            },
+            Value::Bool(m) => {
+                let range = if m.is_empty() {
+                    Range::new(0.0, 1.0)
+                } else {
+                    let any_true = m.iter().any(|&b| b);
+                    let any_false = m.iter().any(|&b| !b);
+                    Range::new(
+                        if any_false { 0.0 } else { 1.0 },
+                        if any_true { 1.0 } else { 0.0 },
+                    )
+                };
+                Type {
+                    intrinsic: Intrinsic::Bool,
+                    min_shape: shape,
+                    max_shape: shape,
+                    range,
+                }
+            }
+            Value::Str(_) => Type {
+                intrinsic: Intrinsic::Str,
+                min_shape: shape,
+                max_shape: shape,
+                range: Range::top(),
+            },
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::scalar(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::bool_scalar(b)
+    }
+}
+
+impl From<Complex> for Value {
+    fn from(z: Complex) -> Self {
+        Value::complex_scalar(z)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn grid<T: Clone + Default + PartialEq + fmt::Display>(
+            f: &mut fmt::Formatter<'_>,
+            m: &Matrix<T>,
+        ) -> fmt::Result {
+            for r in 0..m.rows() {
+                f.write_str("  ")?;
+                for c in 0..m.cols() {
+                    if c > 0 {
+                        f.write_str("  ")?;
+                    }
+                    write!(f, "{}", m.get(r, c))?;
+                }
+                writeln!(f)?;
+            }
+            Ok(())
+        }
+        match self {
+            Value::Real(m) if m.is_scalar() => write!(f, "{}", m.first()),
+            Value::Complex(m) if m.is_scalar() => write!(f, "{}", m.first()),
+            Value::Bool(m) if m.is_scalar() => write!(f, "{}", u8::from(m.first())),
+            Value::Real(m) => grid(f, m),
+            Value::Complex(m) => grid(f, m),
+            Value::Bool(m) => grid(f, &m.map(|&b| u8::from(b))),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::scalar(1.0).is_true());
+        assert!(!Value::scalar(0.0).is_true());
+        assert!(!Value::empty().is_true());
+        assert!(Value::Real(Matrix::from_rows(vec![vec![1.0, 2.0]])).is_true());
+        assert!(!Value::Real(Matrix::from_rows(vec![vec![1.0, 0.0]])).is_true());
+        assert!(Value::bool_scalar(true).is_true());
+    }
+
+    #[test]
+    fn scalar_coercion_takes_real_part() {
+        let z = Value::complex_scalar(Complex::new(2.0, 5.0));
+        assert_eq!(z.to_scalar().unwrap(), 2.0);
+        assert!(Value::Str("x".into()).to_scalar().is_err());
+    }
+
+    #[test]
+    fn normalization_demotes_pure_real_complex() {
+        let z = Value::Complex(Matrix::scalar(Complex::new(3.0, 0.0)));
+        assert_eq!(z.normalized(), Value::scalar(3.0));
+        let z = Value::Complex(Matrix::scalar(Complex::new(3.0, 1.0)));
+        assert!(matches!(z.normalized(), Value::Complex(_)));
+    }
+
+    #[test]
+    fn type_extraction() {
+        use majic_types::Intrinsic;
+        let t = Value::scalar(3.0).type_of();
+        assert_eq!(t.intrinsic, Intrinsic::Int);
+        assert_eq!(t.as_constant(), Some(3.0));
+
+        let t = Value::scalar(3.5).type_of();
+        assert_eq!(t.intrinsic, Intrinsic::Real);
+
+        let m = Value::Real(Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let t = m.type_of();
+        assert_eq!(t.exact_shape(), Some(Shape::new(2, 2)));
+        assert_eq!(t.range, Range::new(1.0, 4.0));
+
+        let t = Value::bool_scalar(true).type_of();
+        assert_eq!(t.intrinsic, Intrinsic::Bool);
+        assert_eq!(t.range, Range::constant(1.0));
+    }
+
+    #[test]
+    fn string_dims() {
+        assert_eq!(Value::Str("abc".into()).dims(), (1, 3));
+        assert_eq!(Value::Str(String::new()).dims(), (0, 0));
+    }
+}

@@ -1,0 +1,255 @@
+//! The intrinsic-type lattice `Li` (paper §2.2).
+
+use crate::Lattice;
+use std::fmt;
+
+/// Intrinsic type of a MATLAB expression.
+///
+/// The lattice is a diamond: the numeric chain
+/// `Bottom ⊑ Bool ⊑ Int ⊑ Real ⊑ Complex ⊑ Top` plus the side chain
+/// `Bottom ⊑ Str ⊑ Top`. `Str` is incomparable with every numeric element.
+///
+/// Note that `Int` here means "a double holding an integral value" — MATLAB
+/// stores everything in doubles; the compiler exploits integrality for index
+/// arithmetic and loop counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Intrinsic {
+    /// `⊥` — no value / unreachable.
+    #[default]
+    Bottom,
+    /// Logical (0/1) values.
+    Bool,
+    /// Integral real values.
+    Int,
+    /// Real (double) values.
+    Real,
+    /// Complex values.
+    Complex,
+    /// Character strings.
+    Str,
+    /// `⊤` — unknown; could be anything.
+    Top,
+}
+
+impl Intrinsic {
+    /// Height of the element within its chain, used by the Manhattan
+    /// distance heuristic of the code repository.
+    ///
+    /// `Bottom = 0`, `Bool = 1`, `Int = 2`, `Real = 3`, `Complex = 4`,
+    /// `Top = 5`; `Str` sits at level 1 of its own chain but is scored 4 so
+    /// that matching a string against `Top` costs something.
+    pub fn level(self) -> u32 {
+        match self {
+            Intrinsic::Bottom => 0,
+            Intrinsic::Bool => 1,
+            Intrinsic::Int => 2,
+            Intrinsic::Real => 3,
+            Intrinsic::Complex => 4,
+            Intrinsic::Str => 4,
+            Intrinsic::Top => 5,
+        }
+    }
+
+    /// Is this a numeric element (`Bool`, `Int`, `Real` or `Complex`)?
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::Bool | Intrinsic::Int | Intrinsic::Real | Intrinsic::Complex
+        )
+    }
+
+    /// Does a value of this intrinsic type admit a (real) value range?
+    ///
+    /// The paper defines ranges only for real numbers; strings and complex
+    /// expressions have no associated range.
+    pub fn has_range(self) -> bool {
+        matches!(self, Intrinsic::Bool | Intrinsic::Int | Intrinsic::Real)
+    }
+
+    /// The smallest numeric element at or above both operands, used by
+    /// arithmetic transfer functions (`int + real = real`, …).
+    ///
+    /// Returns `Top` if either operand is `Str` or `Top`.
+    pub fn numeric_join(self, other: Intrinsic) -> Intrinsic {
+        if self == Intrinsic::Str || other == Intrinsic::Str {
+            return Intrinsic::Top;
+        }
+        self.join(&other)
+    }
+}
+
+impl Lattice for Intrinsic {
+    fn bottom() -> Self {
+        Intrinsic::Bottom
+    }
+
+    fn top() -> Self {
+        Intrinsic::Top
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        use Intrinsic::*;
+        match (*self, *other) {
+            (a, b) if a == b => a,
+            (Bottom, x) | (x, Bottom) => x,
+            (Top, _) | (_, Top) => Top,
+            (Str, _) | (_, Str) => Top, // Str vs numeric: only common upper bound is ⊤
+            (a, b) => {
+                // Both on the numeric chain: totally ordered by level.
+                if a.level() >= b.level() {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        use Intrinsic::*;
+        match (*self, *other) {
+            (a, b) if a == b => a,
+            (Top, x) | (x, Top) => x,
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Str, _) | (_, Str) => Bottom,
+            (a, b) => {
+                if a.level() <= b.level() {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        use Intrinsic::*;
+        match (*self, *other) {
+            (a, b) if a == b => true,
+            (Bottom, _) => true,
+            (_, Top) => true,
+            (Top, _) => false,
+            (_, Bottom) => false,
+            (Str, _) | (_, Str) => false,
+            (a, b) => a.level() <= b.level(),
+        }
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Intrinsic::Bottom => "⊥",
+            Intrinsic::Bool => "bool",
+            Intrinsic::Int => "int",
+            Intrinsic::Real => "real",
+            Intrinsic::Complex => "cplx",
+            Intrinsic::Str => "strg",
+            Intrinsic::Top => "⊤",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Intrinsic; 7] = [
+        Intrinsic::Bottom,
+        Intrinsic::Bool,
+        Intrinsic::Int,
+        Intrinsic::Real,
+        Intrinsic::Complex,
+        Intrinsic::Str,
+        Intrinsic::Top,
+    ];
+
+    #[test]
+    fn numeric_chain_is_totally_ordered() {
+        use Intrinsic::*;
+        assert!(Bool.le(&Int));
+        assert!(Int.le(&Real));
+        assert!(Real.le(&Complex));
+        assert!(Complex.le(&Top));
+        assert!(!Real.le(&Int));
+    }
+
+    #[test]
+    fn string_is_incomparable_with_numerics() {
+        use Intrinsic::*;
+        assert!(!Str.le(&Real));
+        assert!(!Real.le(&Str));
+        assert!(Str.le(&Top));
+        assert!(Bottom.le(&Str));
+        assert_eq!(Str.join(&Real), Top);
+        assert_eq!(Str.meet(&Real), Bottom);
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        for a in ALL {
+            for b in ALL {
+                let j = a.join(&b);
+                assert!(a.le(&j), "{a} ⊑ {a}⊔{b}");
+                assert!(b.le(&j), "{b} ⊑ {a}⊔{b}");
+                // Minimality: no strictly smaller upper bound exists.
+                for c in ALL {
+                    if a.le(&c) && b.le(&c) {
+                        assert!(j.le(&c), "join {a}⊔{b}={j} not minimal vs {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound() {
+        for a in ALL {
+            for b in ALL {
+                let m = a.meet(&b);
+                assert!(m.le(&a));
+                assert!(m.le(&b));
+                for c in ALL {
+                    if c.le(&a) && c.le(&b) {
+                        assert!(c.le(&m));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_reflexive_antisymmetric_transitive() {
+        for a in ALL {
+            assert!(a.le(&a));
+            for b in ALL {
+                if a.le(&b) && b.le(&a) {
+                    assert_eq!(a, b);
+                }
+                for c in ALL {
+                    if a.le(&b) && b.le(&c) {
+                        assert!(a.le(&c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_join_promotes_through_the_chain() {
+        use Intrinsic::*;
+        assert_eq!(Int.numeric_join(Real), Real);
+        assert_eq!(Bool.numeric_join(Bool), Bool);
+        assert_eq!(Real.numeric_join(Complex), Complex);
+        assert_eq!(Real.numeric_join(Str), Top);
+    }
+
+    #[test]
+    fn range_admission() {
+        assert!(Intrinsic::Real.has_range());
+        assert!(Intrinsic::Int.has_range());
+        assert!(!Intrinsic::Complex.has_range());
+        assert!(!Intrinsic::Str.has_range());
+    }
+}

@@ -1,0 +1,234 @@
+//! The shape lattice `Ls` (paper §2.2).
+
+use crate::Lattice;
+use std::fmt;
+
+/// One dimension extent: a natural number or `∞`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// A known finite extent.
+    Finite(u64),
+    /// Unbounded (`∞`).
+    Inf,
+}
+
+impl Dim {
+    /// Componentwise order: `Finite(a) ≤ Finite(b)` iff `a ≤ b`;
+    /// everything is `≤ Inf`.
+    pub fn le(self, other: Dim) -> bool {
+        match (self, other) {
+            (_, Dim::Inf) => true,
+            (Dim::Inf, _) => false,
+            (Dim::Finite(a), Dim::Finite(b)) => a <= b,
+        }
+    }
+
+    /// Maximum of the two extents.
+    pub fn max(self, other: Dim) -> Dim {
+        if self.le(other) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Minimum of the two extents.
+    pub fn min(self, other: Dim) -> Dim {
+        if self.le(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The finite extent, if any.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Dim::Finite(n) => Some(n),
+            Dim::Inf => None,
+        }
+    }
+
+    /// Saturating product of two extents (used for `numel`-style reasoning).
+    pub fn saturating_mul(self, other: Dim) -> Dim {
+        match (self, other) {
+            (Dim::Finite(a), Dim::Finite(b)) => Dim::Finite(a.saturating_mul(b)),
+            _ => Dim::Inf,
+        }
+    }
+}
+
+impl From<u64> for Dim {
+    fn from(n: u64) -> Self {
+        Dim::Finite(n)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Finite(n) => write!(f, "{n}"),
+            Dim::Inf => f.write_str("∞"),
+        }
+    }
+}
+
+/// A two-dimensional (Fortran-like) shape `<rows, cols>`.
+///
+/// Ordered componentwise: `<a,b> ⊑ <c,d>` iff `a ≤ c` and `b ≤ d`.
+/// `⊥ = <0,0>`, `⊤ = <∞,∞>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: Dim,
+    /// Number of columns.
+    pub cols: Dim,
+}
+
+impl Shape {
+    /// An exact finite shape.
+    pub fn new(rows: u64, cols: u64) -> Shape {
+        Shape {
+            rows: Dim::Finite(rows),
+            cols: Dim::Finite(cols),
+        }
+    }
+
+    /// The `1 × 1` scalar shape.
+    pub fn scalar() -> Shape {
+        Shape::new(1, 1)
+    }
+
+    /// The empty `0 × 0` shape (also the lattice bottom).
+    pub fn empty() -> Shape {
+        Shape::new(0, 0)
+    }
+
+    /// Is this exactly `1 × 1`?
+    pub fn is_scalar(self) -> bool {
+        self == Shape::scalar()
+    }
+
+    /// Both extents known?
+    pub fn is_finite(self) -> bool {
+        matches!(
+            (self.rows, self.cols),
+            (Dim::Finite(_), Dim::Finite(_))
+        )
+    }
+
+    /// Total element count when finite.
+    pub fn numel(self) -> Option<u64> {
+        Some(self.rows.finite()? * self.cols.finite()?)
+    }
+
+    /// Transposed shape.
+    pub fn transpose(self) -> Shape {
+        Shape {
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+
+    /// A looseness score for the Manhattan distance heuristic: 0 for an
+    /// exact finite shape, growing with unbounded extents.
+    pub fn slack_vs(self, other: Shape) -> u64 {
+        fn dim_slack(a: Dim, b: Dim) -> u64 {
+            match (a, b) {
+                (Dim::Finite(x), Dim::Finite(y)) => x.abs_diff(y),
+                (Dim::Finite(_), Dim::Inf) | (Dim::Inf, Dim::Finite(_)) => 1000,
+                (Dim::Inf, Dim::Inf) => 0,
+            }
+        }
+        dim_slack(self.rows, other.rows) + dim_slack(self.cols, other.cols)
+    }
+}
+
+impl Lattice for Shape {
+    fn bottom() -> Self {
+        Shape::empty()
+    }
+
+    fn top() -> Self {
+        Shape {
+            rows: Dim::Inf,
+            cols: Dim::Inf,
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Shape {
+            rows: self.rows.max(other.rows),
+            cols: self.cols.max(other.cols),
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        Shape {
+            rows: self.rows.min(other.rows),
+            cols: self.cols.min(other.cols),
+        }
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        self.rows.le(other.rows) && self.cols.le(other.cols)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn componentwise_order() {
+        assert!(Shape::new(2, 3).le(&Shape::new(2, 3)));
+        assert!(Shape::new(2, 3).le(&Shape::new(5, 3)));
+        assert!(!Shape::new(2, 3).le(&Shape::new(1, 10)));
+        assert!(Shape::new(2, 3).le(&Shape::top()));
+        assert!(Shape::bottom().le(&Shape::new(0, 1)));
+    }
+
+    #[test]
+    fn join_meet() {
+        let a = Shape::new(2, 5);
+        let b = Shape::new(4, 3);
+        assert_eq!(a.join(&b), Shape::new(4, 5));
+        assert_eq!(a.meet(&b), Shape::new(2, 3));
+        assert_eq!(a.join(&Shape::top()), Shape::top());
+        assert_eq!(a.meet(&Shape::bottom()), Shape::bottom());
+    }
+
+    #[test]
+    fn scalar_and_numel() {
+        assert!(Shape::scalar().is_scalar());
+        assert!(!Shape::new(1, 2).is_scalar());
+        assert_eq!(Shape::new(3, 4).numel(), Some(12));
+        assert_eq!(Shape::top().numel(), None);
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        assert_eq!(Shape::new(2, 3).transpose(), Shape::new(3, 2));
+        assert_eq!(Shape::top().transpose(), Shape::top());
+    }
+
+    #[test]
+    fn slack_scoring() {
+        assert_eq!(Shape::new(3, 3).slack_vs(Shape::new(3, 3)), 0);
+        assert_eq!(Shape::new(3, 3).slack_vs(Shape::new(3, 5)), 2);
+        assert!(Shape::new(3, 3).slack_vs(Shape::top()) >= 2000);
+    }
+
+    #[test]
+    fn dim_arith() {
+        assert_eq!(Dim::Finite(3).saturating_mul(Dim::Finite(4)), Dim::Finite(12));
+        assert_eq!(Dim::Inf.saturating_mul(Dim::Finite(4)), Dim::Inf);
+        assert_eq!(Dim::from(7u64), Dim::Finite(7));
+    }
+}

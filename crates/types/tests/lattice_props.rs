@@ -1,0 +1,167 @@
+//! Property-based tests of the lattice laws for all four component lattices
+//! and the product type.
+
+use majic_types::{Dim, Intrinsic, Lattice, Range, Shape, Type};
+use proptest::prelude::*;
+
+fn arb_intrinsic() -> impl Strategy<Value = Intrinsic> {
+    prop_oneof![
+        Just(Intrinsic::Bottom),
+        Just(Intrinsic::Bool),
+        Just(Intrinsic::Int),
+        Just(Intrinsic::Real),
+        Just(Intrinsic::Complex),
+        Just(Intrinsic::Str),
+        Just(Intrinsic::Top),
+    ]
+}
+
+fn arb_dim() -> impl Strategy<Value = Dim> {
+    prop_oneof![(0u64..20).prop_map(Dim::Finite), Just(Dim::Inf)]
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (arb_dim(), arb_dim()).prop_map(|(rows, cols)| Shape { rows, cols })
+}
+
+fn arb_range() -> impl Strategy<Value = Range> {
+    prop_oneof![
+        Just(Range::bottom()),
+        Just(Range::top()),
+        (-100i64..100, 0i64..50).prop_map(|(lo, w)| Range::new(lo as f64, (lo + w) as f64)),
+        (-100i64..100).prop_map(|lo| Range::new(lo as f64, f64::INFINITY)),
+        (-100i64..100).prop_map(|hi| Range::new(f64::NEG_INFINITY, hi as f64)),
+    ]
+}
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    (arb_intrinsic(), arb_shape(), arb_shape(), arb_range()).prop_map(
+        |(intrinsic, a, b, range)| Type {
+            intrinsic,
+            min_shape: a.meet(&b),
+            max_shape: a.join(&b),
+            range,
+        },
+    )
+}
+
+macro_rules! lattice_laws {
+    ($modname:ident, $strat:expr, $ty:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn join_commutative(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.join(&b), b.join(&a));
+                }
+
+                #[test]
+                fn meet_commutative(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.meet(&b), b.meet(&a));
+                }
+
+                #[test]
+                fn join_idempotent(a in $strat) {
+                    prop_assert_eq!(a.join(&a), a);
+                }
+
+                #[test]
+                fn join_associative(a in $strat, b in $strat, c in $strat) {
+                    prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+                }
+
+                #[test]
+                fn join_is_upper_bound(a in $strat, b in $strat) {
+                    let j = a.join(&b);
+                    prop_assert!(a.le(&j));
+                    prop_assert!(b.le(&j));
+                }
+
+                #[test]
+                fn bottom_below_top(a in $strat) {
+                    prop_assert!(<$ty as Lattice>::bottom().le(&a));
+                    prop_assert!(a.le(&<$ty as Lattice>::top()));
+                }
+
+                #[test]
+                fn le_consistent_with_join(a in $strat, b in $strat) {
+                    // a ⊑ b  ⟺  a ⊔ b = b
+                    prop_assert_eq!(a.le(&b), a.join(&b) == b);
+                }
+            }
+        }
+    };
+}
+
+lattice_laws!(intrinsic_laws, arb_intrinsic(), Intrinsic);
+lattice_laws!(shape_laws, arb_shape(), Shape);
+lattice_laws!(range_laws, arb_range(), Range);
+
+mod type_laws {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn join_commutative(a in arb_type(), b in arb_type()) {
+            prop_assert_eq!(a.join(&b), b.join(&a));
+        }
+
+        #[test]
+        fn join_idempotent(a in arb_type()) {
+            prop_assert_eq!(a.join(&a), a);
+        }
+
+        #[test]
+        fn subtype_reflexive(a in arb_type()) {
+            prop_assert!(a.is_subtype_of(&a));
+        }
+
+        #[test]
+        fn subtype_transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
+            if a.is_subtype_of(&b) && b.is_subtype_of(&c) {
+                prop_assert!(a.is_subtype_of(&c));
+            }
+        }
+
+        #[test]
+        fn distance_zero_on_self(a in arb_type()) {
+            prop_assert_eq!(a.distance(&a), 0);
+        }
+    }
+}
+
+mod range_arith_props {
+    use super::*;
+
+    proptest! {
+        /// Soundness of interval arithmetic: for values drawn inside the
+        /// operand ranges, the concrete result lies inside the result range.
+        #[test]
+        fn add_sound(a_lo in -50i64..50, a_w in 0i64..20, b_lo in -50i64..50, b_w in 0i64..20,
+                     ta in 0.0f64..=1.0, tb in 0.0f64..=1.0) {
+            let ra = Range::new(a_lo as f64, (a_lo + a_w) as f64);
+            let rb = Range::new(b_lo as f64, (b_lo + b_w) as f64);
+            let x = ra.lo() + ta * (ra.hi() - ra.lo());
+            let y = rb.lo() + tb * (rb.hi() - rb.lo());
+            let sum = ra.add(rb);
+            prop_assert!(Range::constant(x + y).le(&sum));
+        }
+
+        #[test]
+        fn mul_sound(a_lo in -50i64..50, a_w in 0i64..20, b_lo in -50i64..50, b_w in 0i64..20,
+                     ta in 0.0f64..=1.0, tb in 0.0f64..=1.0) {
+            let ra = Range::new(a_lo as f64, (a_lo + a_w) as f64);
+            let rb = Range::new(b_lo as f64, (b_lo + b_w) as f64);
+            let x = ra.lo() + ta * (ra.hi() - ra.lo());
+            let y = rb.lo() + tb * (rb.hi() - rb.lo());
+            prop_assert!(Range::constant(x * y).le(&ra.mul(rb)));
+        }
+
+        #[test]
+        fn widen_is_upper_bound(a in arb_range(), b in arb_range()) {
+            let w = b.widen_from(a);
+            prop_assert!(b.le(&w));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The MaJIC virtual machine.
+//!
+//! Plays the role of `vcode` in the paper: compiled MATLAB functions
+//! become RISC-like register code executed by a tight dispatch loop over
+//! fixed register files. Two pieces live here:
+//!
+//! * [`allocate`] — the **linear-scan register allocator** of Poletto &
+//!   Sarkar, re-implemented from the `tcc` design exactly as the paper
+//!   did ("we … re-implemented the register allocator used by tcc").
+//!   Virtual registers get physical `F`/`C` registers; excess intervals
+//!   spill, with reloads through reserved scratch registers. The
+//!   spill-everything mode reproduces Figure 7's "no regalloc" bars
+//!   ("roughly equivalent to compiling with the -g flag").
+//! * [`execute`] — the executor: a program-counter loop over flattened
+//!   instructions. Scalar arithmetic runs on raw `f64`/complex register
+//!   files; polymorphic operations fall back to the generic runtime
+//!   library, exactly mirroring the paper's generated-code tiers
+//!   (Figure 3).
+
+mod exec;
+mod regalloc;
+
+pub use exec::{execute, Dispatcher, Executable, NoDispatch};
+pub use regalloc::{allocate, RegAllocMode};

@@ -1,0 +1,683 @@
+//! Linear-scan register allocation (Poletto & Sarkar, TOPLAS 1999).
+
+use majic_ir::{Function, Inst, Reg, Terminator, VarBinding};
+use std::collections::HashMap;
+
+/// Physical `F` register-file size.
+pub const NUM_F_REGS: u32 = 32;
+/// Physical `C` register-file size.
+pub const NUM_C_REGS: u32 = 16;
+/// Scratch registers reserved per class for spill traffic.
+const SCRATCH: u32 = 3;
+
+/// Allocation mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegAllocMode {
+    /// Normal linear scan.
+    LinearScan,
+    /// Spill every virtual register — Figure 7's "no regalloc" ablation
+    /// ("forcing the linear-scan register allocator to spill every
+    /// variable … roughly equivalent to compiling with the -g flag").
+    SpillEverything,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    vreg: u32,
+    start: u32,
+    end: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    Reg(u32),
+    Spill(u32),
+}
+
+/// Rewrite `f` in place: virtual `F`/`C` registers become physical ones,
+/// with spill loads/stores through scratch registers. Returns the spill
+/// area sizes `(f_spill, c_spill)`.
+pub fn allocate(f: &mut Function, mode: RegAllocMode) -> (u32, u32) {
+    let f_spill = allocate_class(f, Class::F, mode);
+    let c_spill = allocate_class(f, Class::C, mode);
+    f.f_regs = NUM_F_REGS;
+    f.c_regs = NUM_C_REGS;
+    (f_spill, c_spill)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    F,
+    C,
+}
+
+/// Positions are instruction indices over the linearized block list,
+/// ×2 so that spill code slots between them conceptually.
+fn allocate_class(f: &mut Function, class: Class, mode: RegAllocMode) -> u32 {
+    let vreg_count = match class {
+        Class::F => f.f_regs,
+        Class::C => f.c_regs,
+    };
+    if vreg_count == 0 {
+        return 0;
+    }
+    let (num_regs, scratch_base) = match class {
+        Class::F => (NUM_F_REGS - SCRATCH, NUM_F_REGS - SCRATCH),
+        Class::C => (NUM_C_REGS - SCRATCH, NUM_C_REGS - SCRATCH),
+    };
+
+    // ---- build live intervals ----
+    let mut first: HashMap<u32, u32> = HashMap::new();
+    let mut last: HashMap<u32, u32> = HashMap::new();
+    let touch = |r: Reg, pos: u32, first: &mut HashMap<u32, u32>, last: &mut HashMap<u32, u32>| {
+        first.entry(r.0).or_insert(pos);
+        let e = last.entry(r.0).or_insert(pos);
+        if *e < pos {
+            *e = pos;
+        }
+    };
+
+    // Parameters are live from position 0.
+    for b in &f.params {
+        match (class, b) {
+            (Class::F, VarBinding::F(r)) | (Class::C, VarBinding::C(r)) => {
+                touch(*r, 0, &mut first, &mut last);
+            }
+            _ => {}
+        }
+    }
+
+    let mut pos = 1u32;
+    let mut block_ranges = Vec::with_capacity(f.blocks.len());
+    for block in &f.blocks {
+        let start = pos;
+        for inst in &block.insts {
+            for r in regs_of(inst, class) {
+                touch(r, pos, &mut first, &mut last);
+            }
+            pos += 1;
+        }
+        if class == Class::F {
+            if let Terminator::Branch { cond, .. } = &block.term {
+                touch(*cond, pos, &mut first, &mut last);
+            }
+        }
+        pos += 1;
+        block_ranges.push((start, pos));
+    }
+    let end_pos = pos;
+
+    // Outputs are live to the end.
+    for b in &f.outputs {
+        match (class, b) {
+            (Class::F, VarBinding::F(r)) | (Class::C, VarBinding::C(r)) => {
+                touch(*r, end_pos, &mut first, &mut last);
+            }
+            _ => {}
+        }
+    }
+
+    // Loop extension: an interval that pokes into a loop extends over the
+    // whole loop (live across the backedge).
+    let loop_ranges: Vec<(u32, u32)> = f
+        .loops
+        .iter()
+        .map(|lp| {
+            let mut lo = u32::MAX;
+            let mut hi = 0;
+            for b in &lp.blocks {
+                let (s, e) = block_ranges[b.index()];
+                lo = lo.min(s);
+                hi = hi.max(e);
+            }
+            (lo, hi)
+        })
+        .collect();
+
+    let mut intervals: Vec<Interval> = first
+        .iter()
+        .map(|(&vreg, &s)| Interval {
+            vreg,
+            start: s,
+            end: last[&vreg],
+        })
+        .collect();
+    // Iterate: extension into one loop may overlap another.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for iv in &mut intervals {
+            for &(lo, hi) in &loop_ranges {
+                // Inclusive on both sides: a value whose last use is the
+                // loop header's first instruction is still live around
+                // the backedge.
+                let overlaps = iv.start <= hi && iv.end >= lo;
+                let inside = iv.start >= lo && iv.end <= hi;
+                if overlaps && !inside && (iv.start > lo || iv.end < hi) {
+                    let ns = iv.start.min(lo);
+                    let ne = iv.end.max(hi);
+                    if ns != iv.start || ne != iv.end {
+                        iv.start = ns;
+                        iv.end = ne;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- linear scan ----
+    let mut assignment: HashMap<u32, Loc> = HashMap::new();
+    let mut next_spill = 0u32;
+    match mode {
+        RegAllocMode::SpillEverything => {
+            for iv in &intervals {
+                assignment.insert(iv.vreg, Loc::Spill(next_spill));
+                next_spill += 1;
+            }
+        }
+        RegAllocMode::LinearScan => {
+            intervals.sort_by_key(|iv| (iv.start, iv.end));
+            let mut active: Vec<Interval> = Vec::new();
+            let mut free: Vec<u32> = (0..num_regs).rev().collect();
+            for iv in &intervals {
+                // Expire old intervals.
+                active.retain(|a| {
+                    if a.end < iv.start {
+                        if let Some(Loc::Reg(r)) = assignment.get(&a.vreg) {
+                            free.push(*r);
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if let Some(r) = free.pop() {
+                    assignment.insert(iv.vreg, Loc::Reg(r));
+                    active.push(*iv);
+                } else {
+                    // Spill the interval with the furthest end.
+                    let (far_idx, far) = active
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, a)| a.end)
+                        .map(|(i, a)| (i, *a))
+                        .expect("active nonempty when out of registers");
+                    if far.end > iv.end {
+                        let r = match assignment[&far.vreg] {
+                            Loc::Reg(r) => r,
+                            Loc::Spill(_) => unreachable!("active holds registers"),
+                        };
+                        assignment.insert(far.vreg, Loc::Spill(next_spill));
+                        next_spill += 1;
+                        assignment.insert(iv.vreg, Loc::Reg(r));
+                        active.remove(far_idx);
+                        active.push(*iv);
+                    } else {
+                        assignment.insert(iv.vreg, Loc::Spill(next_spill));
+                        next_spill += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- rewrite ----
+    let loc = |r: Reg| -> Loc {
+        assignment.get(&r.0).copied().unwrap_or(Loc::Reg(0))
+    };
+    for block in &mut f.blocks {
+        let mut out: Vec<Inst> = Vec::with_capacity(block.insts.len());
+        for mut inst in block.insts.drain(..) {
+            // Generic ops may carry arbitrarily many scalar operands; the
+            // spill area is addressed directly instead of going through
+            // the (finite) scratch registers.
+            if let Inst::Gen { args, .. } = &mut inst {
+                for a in args.iter_mut() {
+                    match (class, &a) {
+                        (Class::F, majic_ir::Operand::F(r)) => match loc(*r) {
+                            Loc::Reg(p) => *a = majic_ir::Operand::F(Reg(p)),
+                            Loc::Spill(s) => *a = majic_ir::Operand::FSpill(s),
+                        },
+                        (Class::C, majic_ir::Operand::C(r)) => match loc(*r) {
+                            Loc::Reg(p) => *a = majic_ir::Operand::C(Reg(p)),
+                            Loc::Spill(s) => *a = majic_ir::Operand::CSpill(s),
+                        },
+                        _ => {}
+                    }
+                }
+                out.push(inst);
+                continue;
+            }
+            let mut scratch_used = 0u32;
+            let sources = regs_of_mut(&mut inst, class, RegRole::Source);
+            let mut loads: Vec<Inst> = Vec::new();
+            for r in sources {
+                match loc(*r) {
+                    Loc::Reg(p) => *r = Reg(p),
+                    Loc::Spill(slot) => {
+                        // Re-use a scratch if this vreg was already loaded
+                        // for this instruction.
+                        let phys = scratch_base + scratch_used;
+                        scratch_used = (scratch_used + 1) % SCRATCH;
+                        loads.push(match class {
+                            Class::F => Inst::FSpillLoad { d: Reg(phys), slot },
+                            Class::C => Inst::CSpillLoad { d: Reg(phys), slot },
+                        });
+                        *r = Reg(phys);
+                    }
+                }
+            }
+            let mut stores: Vec<Inst> = Vec::new();
+            for r in regs_of_mut(&mut inst, class, RegRole::Dest) {
+                match loc(*r) {
+                    Loc::Reg(p) => *r = Reg(p),
+                    Loc::Spill(slot) => {
+                        let phys = scratch_base + SCRATCH - 1; // last scratch for defs
+                        stores.push(match class {
+                            Class::F => Inst::FSpillStore { slot, s: Reg(phys) },
+                            Class::C => Inst::CSpillStore { slot, s: Reg(phys) },
+                        });
+                        *r = Reg(phys);
+                    }
+                }
+            }
+            out.extend(loads);
+            out.push(inst);
+            out.extend(stores);
+        }
+        // Branch condition.
+        if class == Class::F {
+            if let Terminator::Branch { cond, .. } = &mut block.term {
+                match loc(*cond) {
+                    Loc::Reg(p) => *cond = Reg(p),
+                    Loc::Spill(slot) => {
+                        let phys = scratch_base;
+                        out.push(Inst::FSpillLoad { d: Reg(phys), slot });
+                        *cond = Reg(phys);
+                    }
+                }
+            }
+        }
+        block.insts = out;
+    }
+
+    // Bindings.
+    let map_binding = |b: &mut VarBinding| {
+        let r = match (class, &b) {
+            (Class::F, VarBinding::F(r)) | (Class::C, VarBinding::C(r)) => *r,
+            _ => return,
+        };
+        match loc(r) {
+            Loc::Reg(p) => {
+                *b = match class {
+                    Class::F => VarBinding::F(Reg(p)),
+                    Class::C => VarBinding::C(Reg(p)),
+                }
+            }
+            Loc::Spill(slot) => {
+                *b = match class {
+                    Class::F => VarBinding::FSpill(slot),
+                    Class::C => VarBinding::CSpill(slot),
+                }
+            }
+        }
+    };
+    for b in &mut f.params {
+        map_binding(b);
+    }
+    for b in &mut f.outputs {
+        map_binding(b);
+    }
+
+    next_spill
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RegRole {
+    Source,
+    Dest,
+}
+
+/// All register references of an instruction in the given class.
+fn regs_of(inst: &Inst, class: Class) -> Vec<Reg> {
+    let mut i = inst.clone();
+    let mut v: Vec<Reg> = regs_of_mut(&mut i, class, RegRole::Source)
+        .into_iter()
+        .map(|r| *r)
+        .collect();
+    v.extend(
+        regs_of_mut(&mut i, class, RegRole::Dest)
+            .into_iter()
+            .map(|r| *r),
+    );
+    v
+}
+
+/// Mutable references to the instruction's registers of one class/role.
+fn regs_of_mut(inst: &mut Inst, class: Class, role: RegRole) -> Vec<&mut Reg> {
+    use Inst::*;
+    let src = role == RegRole::Source;
+    let dst = role == RegRole::Dest;
+    match class {
+        Class::F => match inst {
+            FConst { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            FMov { d, s } | FUn { d, s, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(s);
+                }
+                if dst {
+                    v.push(d);
+                }
+                v
+            }
+            FBin { d, a, b, .. } | FCmp { d, a, b, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(a);
+                    v.push(b);
+                }
+                if dst {
+                    v.push(d);
+                }
+                v
+            }
+            CAbs { d, .. } | CPart { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            CMake { re, im, .. } => {
+                if src {
+                    vec![re, im]
+                } else {
+                    vec![]
+                }
+            }
+            ALoadF { d, i, j, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(i);
+                    if let Some(j) = j {
+                        v.push(j);
+                    }
+                }
+                if dst {
+                    v.push(d);
+                }
+                v
+            }
+            ALoadC { i, j, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(i);
+                    if let Some(j) = j {
+                        v.push(j);
+                    }
+                }
+                v
+            }
+            AStoreF { i, j, v: val, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(i);
+                    if let Some(j) = j {
+                        v.push(j);
+                    }
+                    v.push(val);
+                }
+                v
+            }
+            AStoreC { i, j, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(i);
+                    if let Some(j) = j {
+                        v.push(j);
+                    }
+                }
+                v
+            }
+            ALoadConstF { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            AStoreConstF { v, .. } | FToSlot { s: v, .. } => {
+                if src {
+                    vec![v]
+                } else {
+                    vec![]
+                }
+            }
+            SlotToF { d, .. } | TruthF { d, .. } | ExtentF { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            Gen { args, .. } => {
+                if src {
+                    args.iter_mut()
+                        .filter_map(|a| match a {
+                            majic_ir::Operand::F(r) => Some(r),
+                            _ => None,
+                        })
+                        .collect()
+                } else {
+                    vec![]
+                }
+            }
+            FSpillLoad { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            FSpillStore { s, .. } => {
+                if src {
+                    vec![s]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        },
+        Class::C => match inst {
+            CConst { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            CMov { d, s } | CUn { d, s, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(s);
+                }
+                if dst {
+                    v.push(d);
+                }
+                v
+            }
+            CBin { d, a, b, .. } => {
+                let mut v = Vec::new();
+                if src {
+                    v.push(a);
+                    v.push(b);
+                }
+                if dst {
+                    v.push(d);
+                }
+                v
+            }
+            CAbs { s, .. } | CPart { s, .. } => {
+                if src {
+                    vec![s]
+                } else {
+                    vec![]
+                }
+            }
+            CMake { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            ALoadC { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            AStoreC { v, .. } | CToSlot { s: v, .. } => {
+                if src {
+                    vec![v]
+                } else {
+                    vec![]
+                }
+            }
+            SlotToC { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            Gen { args, .. } => {
+                if src {
+                    args.iter_mut()
+                        .filter_map(|a| match a {
+                            majic_ir::Operand::C(r) => Some(r),
+                            _ => None,
+                        })
+                        .collect()
+                } else {
+                    vec![]
+                }
+            }
+            CSpillLoad { d, .. } => {
+                if dst {
+                    vec![d]
+                } else {
+                    vec![]
+                }
+            }
+            CSpillStore { s, .. } => {
+                if src {
+                    vec![s]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use majic_ir::{Block, FBinOp};
+
+    /// Build a straight-line function with `n` simultaneously-live vregs.
+    fn many_live(n: u32) -> Function {
+        let mut insts = Vec::new();
+        for k in 0..n {
+            insts.push(Inst::FConst {
+                d: Reg(k),
+                v: k as f64,
+            });
+        }
+        // One big sum keeps them all live to the end.
+        let mut acc = Reg(n);
+        insts.push(Inst::FMov { d: acc, s: Reg(0) });
+        for k in 1..n {
+            let next = Reg(n + k);
+            insts.push(Inst::FBin {
+                op: FBinOp::Add,
+                d: next,
+                a: acc,
+                b: Reg(k),
+            });
+            acc = next;
+        }
+        Function {
+            name: "t".into(),
+            blocks: vec![Block {
+                insts,
+                term: Terminator::Return,
+            }],
+            f_regs: 2 * n,
+            outputs: vec![VarBinding::F(acc)],
+            ..Function::default()
+        }
+    }
+
+    #[test]
+    fn no_spills_when_pressure_is_low() {
+        let mut f = many_live(5);
+        let (fs, _) = allocate(&mut f, RegAllocMode::LinearScan);
+        assert_eq!(fs, 0);
+        // All register numbers now within the physical file.
+        for b in &f.blocks {
+            for i in &b.insts {
+                if let Some(d) = i.f_dest() {
+                    assert!(d.0 < NUM_F_REGS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spills_appear_under_pressure() {
+        let mut f = many_live(64);
+        let (fs, _) = allocate(&mut f, RegAllocMode::LinearScan);
+        assert!(fs > 0, "64 live values must spill on a 32-register file");
+        let spill_insts = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::FSpillLoad { .. } | Inst::FSpillStore { .. }))
+            .count();
+        assert!(spill_insts > 0);
+    }
+
+    #[test]
+    fn spill_everything_spills_everything() {
+        let mut f = many_live(4);
+        let before = f.inst_count();
+        let (fs, _) = allocate(&mut f, RegAllocMode::SpillEverything);
+        assert!(fs >= 4);
+        assert!(
+            f.inst_count() > before * 2,
+            "spill-everything must add heavy spill traffic"
+        );
+    }
+
+    #[test]
+    fn bindings_are_remapped() {
+        let mut f = many_live(64);
+        allocate(&mut f, RegAllocMode::LinearScan);
+        match f.outputs[0] {
+            VarBinding::F(r) => assert!(r.0 < NUM_F_REGS),
+            VarBinding::FSpill(_) => {}
+            other => panic!("unexpected binding {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Differential testing: the compiled modes must agree with the
+//! interpreter on randomly generated straight-line scalar programs and on
+//! a set of adversarial snippets. This is the repository's safety claim
+//! exercised in bulk — "a wrong guess … never affects program
+//! correctness".
+
+use majic::{ExecMode, Majic, Value};
+use proptest::prelude::*;
+
+fn run(mode: ExecMode, src: &str, func: &str, args: &[f64]) -> Result<f64, String> {
+    let mut m = Majic::with_mode(mode);
+    m.load_source(src).map_err(|e| e.to_string())?;
+    if mode == ExecMode::Spec {
+        m.speculate_all();
+    }
+    let argv: Vec<Value> = args.iter().map(|&v| Value::scalar(v)).collect();
+    let out = m.call(func, &argv, 1).map_err(|e| e.to_string())?;
+    out[0].to_scalar().map_err(|e| e.to_string())
+}
+
+fn agree(src: &str, func: &str, args: &[f64]) {
+    let reference = run(ExecMode::Interpret, src, func, args);
+    for mode in [ExecMode::Mcc, ExecMode::Jit, ExecMode::Spec, ExecMode::Falcon] {
+        let got = run(mode, src, func, args);
+        match (&reference, &got) {
+            (Ok(a), Ok(b)) => {
+                let close = a == b
+                    || (a - b).abs() <= 1e-9 * a.abs().max(1.0)
+                    || (a.is_nan() && b.is_nan());
+                assert!(close, "{mode:?}: {b} vs interpreter {a}\n{src}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("{mode:?} disagreement: interp {a:?}, compiled {b:?}\n{src}"),
+        }
+    }
+}
+
+/// A tiny expression generator over two scalar parameters.
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        prop_oneof![
+            Just("x".to_owned()),
+            Just("y".to_owned()),
+            (-5i32..20).prop_map(|k| format!("{k}")),
+            (1u32..5).prop_map(|k| format!("{k}.5")),
+        ]
+        .boxed()
+    } else {
+        let sub = arb_expr(depth - 1);
+        prop_oneof![
+            4 => (sub.clone(), sub.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("/")
+            ]).prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            1 => sub.clone().prop_map(|a| format!("(-{a})")),
+            1 => sub.clone().prop_map(|a| format!("abs({a})")),
+            1 => sub.clone().prop_map(|a| format!("floor({a})")),
+            1 => sub.clone().prop_map(|a| format!("({a})^2")),
+            1 => (sub.clone(), sub).prop_map(|(a, b)| format!("max({a}, {b})")),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_scalar_expressions_agree(e in arb_expr(3), x in -10.0f64..10.0, y in -10.0f64..10.0) {
+        let src = format!("function r = probe(x, y)\nr = {e};\n");
+        agree(&src, "probe", &[x, y]);
+    }
+
+    #[test]
+    fn random_loops_agree(
+        n in 1u32..20,
+        add in -3i32..4,
+        thresh in 0i32..15,
+    ) {
+        let src = format!(
+            "function s = lp(n)\ns = 0;\nfor k = 1:n\n if k > {thresh}\n  s = s + k * {add};\n else\n  s = s - 1;\n end\nend\n"
+        );
+        agree(&src, "lp", &[f64::from(n)]);
+    }
+
+    #[test]
+    fn random_array_programs_agree(n in 1u32..15, stride in 1u32..4) {
+        let src = format!(
+            "function s = ap(n)\nv = zeros(1, n);\nfor k = 1:n\n v(k) = k * {stride};\nend\ns = sum(v) + v(1) + v(n);\n"
+        );
+        agree(&src, "ap", &[f64::from(n)]);
+    }
+}
+
+#[test]
+fn division_by_zero_agrees() {
+    agree("function r = dz(x, y)\nr = x / y;\n", "dz", &[1.0, 0.0]);
+    agree("function r = dz(x, y)\nr = x / y;\n", "dz", &[0.0, 0.0]);
+}
+
+#[test]
+fn negative_sqrt_agrees() {
+    // Result is complex; compare |.| via abs.
+    agree(
+        "function r = ns(x, y)\nr = abs(sqrt(x) + y);\n",
+        "ns",
+        &[-4.0, 1.0],
+    );
+}
+
+#[test]
+fn empty_range_loops_agree() {
+    agree(
+        "function s = er(n)\ns = 0;\nfor k = 1:n\n s = s + 1;\nend\n",
+        "er",
+        &[0.0],
+    );
+    agree(
+        "function s = er2(n)\ns = 5;\nfor k = 3:n\n s = s + k;\nend\n",
+        "er2",
+        &[2.0],
+    );
+}
+
+#[test]
+fn fractional_steps_agree() {
+    agree(
+        "function s = fs(n)\ns = 0;\nfor t = 0:0.1:n\n s = s + t;\nend\n",
+        "fs",
+        &[1.0],
+    );
+}
+
+#[test]
+fn descending_ranges_agree() {
+    agree(
+        "function s = dr(n)\ns = 0;\nfor k = n:-1:1\n s = s + k * k;\nend\n",
+        "dr",
+        &[7.0],
+    );
+}
+
+#[test]
+fn nested_breaks_agree() {
+    agree(
+        "function s = nb(n)\ns = 0;\nfor i = 1:n\n for j = 1:n\n  if j > i\n   break\n  end\n  s = s + 1;\n end\n if s > 40\n  break\n end\nend\n",
+        "nb",
+        &[10.0],
+    );
+}
+
+#[test]
+fn continue_agrees() {
+    agree(
+        "function s = ct(n)\ns = 0;\nfor k = 1:n\n if mod(k, 3) == 0\n  continue\n end\n s = s + k;\nend\n",
+        "ct",
+        &[20.0],
+    );
+}
+
+#[test]
+fn shadowed_builtin_agrees() {
+    agree(
+        "function r = sh(x)\npi = x;\nr = pi * 2;\n",
+        "sh",
+        &[5.0],
+    );
+}
+
+#[test]
+fn ambiguous_symbol_agrees() {
+    // Paper Figure 2 (left): `i` ambiguous between √−1 and a variable.
+    agree(
+        "function r = amb(n)\nk = 0;\nwhile k < n\n z = i;\n i = z + 1;\n k = k + 1;\nend\nr = abs(i) + abs(z);\n",
+        "amb",
+        &[3.0],
+    );
+}
+
+#[test]
+fn vector_growth_orientation_agrees() {
+    agree(
+        "function r = vg(n)\nv = [1 2];\nv(n) = 9;\n[rr, cc] = size(v);\nr = rr * 1000 + cc;\n",
+        "vg",
+        &[6.0],
+    );
+    agree(
+        "function r = cg(n)\nv = [1; 2];\nv(n) = 9;\n[rr, cc] = size(v);\nr = rr * 1000 + cc;\n",
+        "cg",
+        &[6.0],
+    );
+}
+
+#[test]
+fn matrix_linear_growth_errors_agree() {
+    agree(
+        "function r = mg(n)\nA = [1 2; 3 4];\nA(n) = 7;\nr = A(n);\n",
+        "mg",
+        &[9.0], // error in both worlds
+    );
+    agree(
+        "function r = mg2(n)\nA = [1 2; 3 4];\nA(n) = 7;\nr = A(n);\n",
+        "mg2",
+        &[3.0], // in-bounds linear write works in both worlds
+    );
+}
+
+#[test]
+fn two_d_growth_agrees() {
+    agree(
+        "function r = g2(n)\nB(2, n) = 5;\n[rr, cc] = size(B);\nr = rr * 100 + cc + B(2, n);\n",
+        "g2",
+        &[4.0],
+    );
+}
+
+#[test]
+fn logical_operators_agree() {
+    for (x, y) in [(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (3.0, 4.0)] {
+        agree(
+            "function r = lg(x, y)\nr = (x & y) * 100 + (x | y) * 10 + (~x);\n",
+            "lg",
+            &[x, y],
+        );
+        agree(
+            "function r = sc(x, y)\nif x > 0 && y > 0\n r = 1;\nelseif x > 0 || y > 0\n r = 2;\nelse\n r = 3;\nend\n",
+            "sc",
+            &[x, y],
+        );
+    }
+}
+
+#[test]
+fn integer_overflowing_powers_agree() {
+    agree("function r = pw(x, y)\nr = x ^ y;\n", "pw", &[2.0, 40.0]);
+    agree("function r = pw2(x, y)\nr = x ^ y;\n", "pw2", &[-2.0, 3.0]);
+}
