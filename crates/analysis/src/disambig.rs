@@ -63,7 +63,10 @@ impl SymbolTable {
 
     /// The meaning recorded for a node (defaults to `Unknown`).
     pub fn kind(&self, id: NodeId) -> SymbolKind {
-        self.symbols.get(&id).copied().unwrap_or(SymbolKind::Unknown)
+        self.symbols
+            .get(&id)
+            .copied()
+            .unwrap_or(SymbolKind::Unknown)
     }
 }
 
@@ -356,7 +359,9 @@ impl<'a> Analyzer<'a> {
             } => {
                 self.visit_expr(iter, &state);
                 let vid = self.intern(var);
-                self.table.symbols.insert(*var_id, SymbolKind::Variable(vid));
+                self.table
+                    .symbols
+                    .insert(*var_id, SymbolKind::Variable(vid));
                 // The induction variable is definitely assigned inside the
                 // body; after the loop it is only maybe-assigned (empty
                 // ranges skip the body entirely).
@@ -541,9 +546,7 @@ mod tests {
     fn paper_figure2_left_i_is_ambiguous() {
         // First use of `i` in the loop body: builtin √−1 on iteration 1,
         // the variable thereafter → Ambiguous.
-        let d = analyze(
-            "function f()\nwhile (1 < 2)\n z = i;\n i = z + 1;\nend\n",
-        );
+        let d = analyze("function f()\nwhile (1 < 2)\n z = i;\n i = z + 1;\nend\n");
         let kinds = kind_of(&d, "i");
         assert!(
             matches!(kinds[0], SymbolKind::Ambiguous(_)),

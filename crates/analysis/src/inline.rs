@@ -125,16 +125,12 @@ fn count_statements(stmts: &[Stmt]) -> usize {
 fn has_return_in_loop(stmts: &[Stmt], in_loop: bool) -> bool {
     stmts.iter().any(|s| match &s.kind {
         StmtKind::Return => in_loop,
-        StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-            has_return_in_loop(body, true)
-        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => has_return_in_loop(body, true),
         StmtKind::If {
             branches,
             else_body,
         } => {
-            branches
-                .iter()
-                .any(|(_, b)| has_return_in_loop(b, in_loop))
+            branches.iter().any(|(_, b)| has_return_in_loop(b, in_loop))
                 || else_body
                     .as_ref()
                     .is_some_and(|b| has_return_in_loop(b, in_loop))
@@ -295,9 +291,7 @@ impl<'a> Inliner<'a> {
                     };
                     new_branches.push((cond, self.expand_block(body, locals)));
                 }
-                let else_body = else_body
-                    .as_ref()
-                    .map(|b| self.expand_block(b, locals));
+                let else_body = else_body.as_ref().map(|b| self.expand_block(b, locals));
                 out.push(Stmt {
                     span: s.span,
                     kind: StmtKind::If {
@@ -453,10 +447,7 @@ impl<'a> Inliner<'a> {
                 None => {
                     // Missing actual: leave undefined (runtime error if
                     // used, same as MATLAB).
-                    rename.insert(
-                        formal.clone(),
-                        RenameTo::Name(format!("{prefix}{formal}")),
-                    );
+                    rename.insert(formal.clone(), RenameTo::Name(format!("{prefix}{formal}")));
                 }
             }
         }
@@ -560,7 +551,10 @@ impl<'a> Inliner<'a> {
                 suppressed,
                 ..
             } => StmtKind::MultiAssign {
-                lhs: lhs.iter().map(|lv| self.rewrite_lvalue(lv, rename)).collect(),
+                lhs: lhs
+                    .iter()
+                    .map(|lv| self.rewrite_lvalue(lv, rename))
+                    .collect(),
                 id: self.fresh_id(),
                 callee: callee.clone(),
                 args: args.iter().map(|a| self.rewrite_expr(a, rename)).collect(),
@@ -579,13 +573,16 @@ impl<'a> Inliner<'a> {
                         )
                     })
                     .collect(),
-                else_body: else_body.as_ref().map(|b| {
-                    b.iter().map(|st| self.rewrite_stmt(st, rename)).collect()
-                }),
+                else_body: else_body
+                    .as_ref()
+                    .map(|b| b.iter().map(|st| self.rewrite_stmt(st, rename)).collect()),
             },
             StmtKind::While { cond, body } => StmtKind::While {
                 cond: self.rewrite_expr(cond, rename),
-                body: body.iter().map(|st| self.rewrite_stmt(st, rename)).collect(),
+                body: body
+                    .iter()
+                    .map(|st| self.rewrite_stmt(st, rename))
+                    .collect(),
             },
             StmtKind::For {
                 var, iter, body, ..
@@ -598,7 +595,10 @@ impl<'a> Inliner<'a> {
                     var: new_var,
                     var_id: self.fresh_id(),
                     iter: self.rewrite_expr(iter, rename),
-                    body: body.iter().map(|st| self.rewrite_stmt(st, rename)).collect(),
+                    body: body
+                        .iter()
+                        .map(|st| self.rewrite_stmt(st, rename))
+                        .collect(),
                 }
             }
             other => other.clone(),
@@ -685,7 +685,9 @@ impl<'a> Inliner<'a> {
             },
             ExprKind::Range { start, step, stop } => ExprKind::Range {
                 start: Box::new(self.rewrite_expr(start, rename)),
-                step: step.as_ref().map(|s| Box::new(self.rewrite_expr(s, rename))),
+                step: step
+                    .as_ref()
+                    .map(|s| Box::new(self.rewrite_expr(s, rename))),
                 stop: Box::new(self.rewrite_expr(stop, rename)),
             },
             ExprKind::Matrix(rows) => ExprKind::Matrix(
@@ -919,8 +921,7 @@ mod tests {
         for k in 0..250 {
             body.push_str(&format!("z = {k};\n"));
         }
-        let src =
-            format!("function y = main(x)\ny = big(x);\nfunction z = big(a)\n{body}z = a;\n");
+        let src = format!("function y = main(x)\ny = big(x);\nfunction z = big(a)\n{body}z = a;\n");
         let (f, _) = inline_first(&src, InlineOptions::default());
         assert!(render(&f).contains("big("));
     }
@@ -957,7 +958,12 @@ mod tests {
             .map(|f| (f.name.clone(), f.clone()))
             .collect();
         let mut next = file.node_count;
-        let f = inline_function(&file.functions[0], &registry, InlineOptions::default(), &mut next);
+        let f = inline_function(
+            &file.functions[0],
+            &registry,
+            InlineOptions::default(),
+            &mut next,
+        );
         let mut seen = std::collections::HashSet::new();
         fn walk_stmts(stmts: &[Stmt], seen: &mut std::collections::HashSet<NodeId>) {
             for s in stmts {
@@ -970,7 +976,10 @@ mod tests {
                         iter.walk(&mut |e| assert!(seen.insert(e.id), "dup id {}", e.id));
                         walk_stmts(body, seen);
                     }
-                    StmtKind::If { branches, else_body } => {
+                    StmtKind::If {
+                        branches,
+                        else_body,
+                    } => {
                         for (c, b) in branches {
                             c.walk(&mut |e| assert!(seen.insert(e.id), "dup id {}", e.id));
                             walk_stmts(b, seen);

@@ -91,7 +91,11 @@ impl Stmt {
                 lhs,
                 rhs,
                 suppressed,
-            } => writeln!(f, "{pad}{lhs} = {rhs}{}", if *suppressed { ";" } else { "" }),
+            } => writeln!(
+                f,
+                "{pad}{lhs} = {rhs}{}",
+                if *suppressed { ";" } else { "" }
+            ),
             StmtKind::MultiAssign {
                 lhs,
                 callee,

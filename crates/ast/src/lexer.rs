@@ -78,7 +78,8 @@ impl<'src> Lexer<'src> {
                         self.pos += 1;
                     }
                 }
-                b'.' if self.peek2() == b'.' && *self.src.get(self.pos + 2).unwrap_or(&0) == b'.' =>
+                b'.' if self.peek2() == b'.'
+                    && *self.src.get(self.pos + 2).unwrap_or(&0) == b'.' =>
                 {
                     // Line continuation: skip to and including the newline.
                     while self.peek() != b'\n' && self.pos < self.src.len() {
@@ -505,7 +506,11 @@ mod tests {
         // After an identifier: transpose.
         assert_eq!(
             kinds("A'"),
-            vec![TokenKind::Ident("A".into()), TokenKind::Quote, TokenKind::Eof]
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::Quote,
+                TokenKind::Eof
+            ]
         );
         // After `(`: string.
         assert_eq!(

@@ -184,7 +184,9 @@ impl Parser {
                 let t = self.bump();
                 match t.kind {
                     TokenKind::Ident(s) => outputs.push(s),
-                    other => return Err(self.error(format!("expected output name, found '{other}'"))),
+                    other => {
+                        return Err(self.error(format!("expected output name, found '{other}'")))
+                    }
                 }
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -656,7 +658,10 @@ impl Parser {
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
         self.binary_level(
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
             Parser::multiplicative,
         )
     }
@@ -812,10 +817,7 @@ impl Parser {
             }
             loop {
                 if self.at(&TokenKind::Colon)
-                    && matches!(
-                        self.peek_at(1).kind,
-                        TokenKind::Comma | TokenKind::RParen
-                    )
+                    && matches!(self.peek_at(1).kind, TokenKind::Comma | TokenKind::RParen)
                 {
                     let span = self.bump().span;
                     args.push(self.mk(span, ExprKind::Colon));

@@ -35,7 +35,10 @@ impl fmt::Display for Span {
 #[derive(Clone, Debug, PartialEq)]
 pub enum TokenKind {
     /// Numeric literal; `imaginary` is set for `3i` / `2.5j` forms.
-    Number { value: f64, imaginary: bool },
+    Number {
+        value: f64,
+        imaginary: bool,
+    },
     /// String literal (single-quoted, `''` escapes a quote).
     Str(String),
     /// Identifier (variable, builtin or function name).

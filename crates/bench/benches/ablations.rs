@@ -1,11 +1,13 @@
-//! Criterion ablations of the design choices DESIGN.md calls out:
-//! oversizing on resize-heavy code, small-vector unrolling, and
-//! subscript-check removal.
+//! Ablations of the design choices DESIGN.md calls out (testkit
+//! harness — the offline replacement for criterion): oversizing on
+//! resize-heavy code, small-vector unrolling, and subscript-check
+//! removal.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use majic::{ExecMode, InferOptions, Majic, Value};
+use majic_testkit::bench::{bench, group};
 
-const GROWER: &str = "function n = grower(k)\nv(1) = 0;\nfor i = 2:k\n v(i) = v(i-1) + 1;\nend\nn = v(k);\n";
+const GROWER: &str =
+    "function n = grower(k)\nv(1) = 0;\nfor i = 2:k\n v(i) = v(i-1) + 1;\nend\nn = v(k);\n";
 
 const SMALLVEC: &str = "function e = smallvec(n)\nr = [1 0];\nv = [0 6.28];\nfor k = 1:n\n v = v + 0.001 * r;\n r = r + 0.001 * v;\nend\ne = r(1) + v(2);\n";
 
@@ -23,33 +25,38 @@ fn warm(src: &str, entry: &str, oversize: bool, ranges: bool) -> Majic {
     m
 }
 
-fn bench_oversizing(c: &mut Criterion) {
+fn bench_oversizing() {
     let n = Value::scalar(20_000.0);
-    let mut g = c.benchmark_group("oversizing");
+    group("oversizing");
     for (label, oversize) in [("with_headroom", true), ("exact_resize", false)] {
         let mut m = warm(GROWER, "grower", oversize, true);
-        g.bench_function(label, |b| b.iter(|| m.call("grower", &[n.clone()], 1).unwrap()));
+        bench(label, || {
+            m.call("grower", std::slice::from_ref(&n), 1).unwrap();
+        });
     }
-    g.finish();
 }
 
-fn bench_small_vectors(c: &mut Criterion) {
+fn bench_small_vectors() {
     let n = Value::scalar(20_000.0);
     let mut m = warm(SMALLVEC, "smallvec", true, true);
-    c.bench_function("small_vector_loop", |b| {
-        b.iter(|| m.call("smallvec", &[n.clone()], 1).unwrap())
+    bench("small_vector_loop", || {
+        m.call("smallvec", std::slice::from_ref(&n), 1).unwrap();
     });
 }
 
-fn bench_subscript_checks(c: &mut Criterion) {
+fn bench_subscript_checks() {
     let n = Value::scalar(50_000.0);
-    let mut g = c.benchmark_group("subscript_checks");
+    group("subscript_checks");
     for (label, ranges) in [("removed", true), ("kept_no_ranges", false)] {
         let mut m = warm(CHECKS, "checks", true, ranges);
-        g.bench_function(label, |b| b.iter(|| m.call("checks", &[n.clone()], 1).unwrap()));
+        bench(label, || {
+            m.call("checks", std::slice::from_ref(&n), 1).unwrap();
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_oversizing, bench_small_vectors, bench_subscript_checks);
-criterion_main!(benches);
+fn main() {
+    bench_oversizing();
+    bench_small_vectors();
+    bench_subscript_checks();
+}

@@ -1,20 +1,21 @@
-//! Criterion micro-benchmarks of the compiler pipelines themselves:
-//! interpreter vs JIT vs optimizing backend on a scalar kernel, JIT
-//! inference speed, repository lookup, and register allocation.
+//! Micro-benchmarks of the compiler pipelines themselves (testkit
+//! harness — the offline replacement for criterion): interpreter vs JIT
+//! vs optimizing backend on a scalar kernel, JIT inference speed, and
+//! repository lookup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use majic::{ExecMode, Majic, Value};
 use majic_analysis::disambiguate;
 use majic_ast::parse_source;
 use majic_infer::{infer_jit, InferOptions, NoOracle, Signature};
+use majic_testkit::bench::{bench, group};
 use majic_types::Type;
 use std::collections::HashSet;
 
 const SUMSQ: &str = "function s = sumsq(n)\ns = 0;\nfor k = 1:n\n s = s + k * k;\nend\n";
 
-fn bench_exec_tiers(c: &mut Criterion) {
+fn bench_exec_tiers() {
     let n = Value::scalar(2000.0);
-    let mut g = c.benchmark_group("exec_tiers");
+    group("exec_tiers");
     for (label, mode) in [
         ("interp", ExecMode::Interpret),
         ("mcc", ExecMode::Mcc),
@@ -24,51 +25,46 @@ fn bench_exec_tiers(c: &mut Criterion) {
         let mut m = Majic::with_mode(mode);
         m.load_source(SUMSQ).unwrap();
         // Warm the repository so the measured loop is pure execution.
-        m.call("sumsq", &[n.clone()], 1).unwrap();
-        g.bench_function(label, |b| {
-            b.iter(|| m.call("sumsq", &[n.clone()], 1).unwrap())
+        m.call("sumsq", std::slice::from_ref(&n), 1).unwrap();
+        bench(label, || {
+            m.call("sumsq", std::slice::from_ref(&n), 1).unwrap();
         });
     }
-    g.finish();
 }
 
-fn bench_jit_compile_latency(c: &mut Criterion) {
+fn bench_jit_compile_latency() {
     // The headline claim: JIT compilation is fast enough to run per call.
-    let bench = majic_bench::by_name("dirich").unwrap();
-    c.bench_function("jit_compile_dirich", |b| {
-        b.iter(|| {
-            let mut m = Majic::with_mode(ExecMode::Jit);
-            m.load_source(bench.source).unwrap();
-            // Tiny problem: time is dominated by compilation.
-            m.call("dirich", &[Value::scalar(4.0), Value::scalar(1.0)], 1)
-                .unwrap()
-        })
+    let b = majic_bench::by_name("dirich").unwrap();
+    bench("jit_compile_dirich", || {
+        let mut m = Majic::with_mode(ExecMode::Jit);
+        m.load_source(b.source).unwrap();
+        // Tiny problem: time is dominated by compilation.
+        m.call("dirich", &[Value::scalar(4.0), Value::scalar(1.0)], 1)
+            .unwrap();
     });
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     let file = parse_source(majic_bench::programs::DIRICH).unwrap();
     let d = disambiguate(&file.functions[0], &HashSet::new());
     let sig = Signature::new(vec![Type::constant(134.0), Type::constant(60.0)]);
-    c.bench_function("infer_jit_dirich", |b| {
-        b.iter(|| infer_jit(&d, &sig, InferOptions::default(), &NoOracle))
+    bench("infer_jit_dirich", || {
+        infer_jit(&d, &sig, InferOptions::default(), &NoOracle);
     });
 }
 
-fn bench_repository_lookup(c: &mut Criterion) {
+fn bench_repository_lookup() {
     let mut m = Majic::with_mode(ExecMode::Jit);
     m.load_source("function y = f(x)\ny = x + 1;\n").unwrap();
     m.call("f", &[Value::scalar(1.0)], 1).unwrap();
-    c.bench_function("repo_hit_call", |b| {
-        b.iter(|| m.call("f", &[Value::scalar(1.0)], 1).unwrap())
+    bench("repo_hit_call", || {
+        m.call("f", &[Value::scalar(1.0)], 1).unwrap();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_exec_tiers,
-    bench_jit_compile_latency,
-    bench_inference,
-    bench_repository_lookup
-);
-criterion_main!(benches);
+fn main() {
+    bench_exec_tiers();
+    bench_jit_compile_latency();
+    bench_inference();
+    bench_repository_lookup();
+}

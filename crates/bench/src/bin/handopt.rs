@@ -57,8 +57,14 @@ fn main() {
     let t_hand = harness::measure(&hand, Mode::Jit, &cfg).runtime;
     let t_opt = harness::measure(&stock, Mode::Falcon, &cfg).runtime;
     let _ = Category::Scalar;
-    println!("hand-optimization experiment (paper §5), scale {:.2}", cfg.scale);
-    println!("finedif JIT (stock source):        {:>10.2} ms", t_stock.as_secs_f64() * 1e3);
+    println!(
+        "hand-optimization experiment (paper §5), scale {:.2}",
+        cfg.scale
+    );
+    println!(
+        "finedif JIT (stock source):        {:>10.2} ms",
+        t_stock.as_secs_f64() * 1e3
+    );
     println!(
         "finedif JIT (hand-unrolled + CSE): {:>10.2} ms  ({:.0}% faster)",
         t_hand.as_secs_f64() * 1e3,

@@ -12,12 +12,16 @@ fn main() {
     );
     println!("{:<10} {:>9} {:>9}", "benchmark", "spec.", "JIT");
     for b in all() {
-        let ti = harness::measure(&b, Mode::Interp, &cfg).runtime.as_secs_f64();
+        let ti = harness::measure(&b, Mode::Interp, &cfg)
+            .runtime
+            .as_secs_f64();
         // Speculative annotations + optimizing backend, compile hidden.
         let spec = harness::measure(&b, Mode::Spec, &cfg).runtime.as_secs_f64();
         // JIT annotations + the same optimizing backend = the FALCON
         // configuration (exact signature, compile excluded).
-        let jit_ann = harness::measure(&b, Mode::Falcon, &cfg).runtime.as_secs_f64();
+        let jit_ann = harness::measure(&b, Mode::Falcon, &cfg)
+            .runtime
+            .as_secs_f64();
         println!(
             "{:<10} {} {}",
             b.name,

@@ -1,50 +1,93 @@
-//! Every Table-1 benchmark must produce identical results under the
-//! interpreter and every compiled mode (at a small problem scale).
-//! This is the repository's safety guarantee applied to the full suite.
+//! Golden-output tests: every Table-1 benchmark must produce results
+//! **bitwise identical** to the interpreter baseline under every
+//! compiled mode (at a small problem scale), including speculative mode
+//! with background workers. This is the repository's safety guarantee
+//! ("a wrong guess … never affects program correctness") applied to the
+//! full suite, with no floating-point tolerance to hide behind.
 
 use majic::{ExecMode, Majic, Value};
 use majic_bench::{all, line_count};
 
 const SCALE: f64 = 0.05;
 
-fn run(mode: ExecMode, src: &str, entry: &str, args: &[Value]) -> f64 {
-    let mut m = Majic::with_mode(mode);
-    m.load_source(src).unwrap_or_else(|e| panic!("{entry}: {e}"));
-    if mode == ExecMode::Spec {
-        m.speculate_all();
-    }
-    let out = m
-        .call(entry, args, 1)
-        .unwrap_or_else(|e| panic!("{entry} [{mode:?}]: {e}"));
-    // Reduce matrix results to a digest for comparison.
-    match &out[0] {
-        Value::Real(mat) => mat.iter().sum::<f64>() + mat.numel() as f64,
-        other => other.to_scalar().unwrap_or(f64::NAN),
+/// Exact bit-level digest of a value: every element, no rounding.
+fn digest(v: &Value) -> Vec<u64> {
+    match v {
+        Value::Real(m) => m.iter().map(|x| x.to_bits()).collect(),
+        Value::Bool(m) => m.iter().map(|&b| u64::from(b)).collect(),
+        Value::Complex(m) => m
+            .iter()
+            .flat_map(|c| [c.re.to_bits(), c.im.to_bits()])
+            .collect(),
+        Value::Str(s) => s.bytes().map(u64::from).collect(),
     }
 }
 
+/// Run one benchmark; `spec_workers = Some(n)` uses background
+/// speculation with `n` workers (drained before the call so the
+/// optimized versions actually get exercised), `None` with
+/// `ExecMode::Spec` uses the synchronous path.
+fn run(
+    mode: ExecMode,
+    spec_workers: Option<usize>,
+    b: &majic_bench::Benchmark,
+    args: &[Value],
+) -> Vec<u64> {
+    let mut m = Majic::with_mode(mode);
+    m.load_source(b.source)
+        .unwrap_or_else(|e| panic!("{}: {e}", b.entry));
+    if mode == ExecMode::Spec {
+        match spec_workers {
+            Some(n) => {
+                m.speculate_background(n);
+                m.spec_wait();
+            }
+            None => {
+                m.speculate_all();
+            }
+        }
+    }
+    let out = m
+        .call(b.entry, args, 1)
+        .unwrap_or_else(|e| panic!("{} [{mode:?}]: {e}", b.entry));
+    digest(&out[0])
+}
+
 #[test]
-fn all_benchmarks_agree_across_modes() {
+fn all_benchmarks_bitwise_identical_across_modes() {
     // Deep recursion (ackermann) needs a roomy stack in debug builds.
     std::thread::Builder::new()
         .stack_size(256 * 1024 * 1024)
-        .spawn(all_benchmarks_agree_body)
+        .spawn(all_benchmarks_bitwise_body)
         .expect("spawn")
         .join()
         .expect("no panics");
 }
 
-fn all_benchmarks_agree_body() {
+fn all_benchmarks_bitwise_body() {
     for b in all() {
         let args = (b.args)(SCALE);
-        let reference = run(ExecMode::Interpret, b.source, b.entry, &args);
-        for mode in [ExecMode::Mcc, ExecMode::Jit, ExecMode::Spec, ExecMode::Falcon] {
-            let got = run(mode, b.source, b.entry, &args);
-            let close = reference == got
-                || (reference - got).abs() <= 1e-6 * reference.abs().max(1.0);
-            assert!(
-                close,
-                "{} [{mode:?}]: {got} vs interpreter {reference}",
+        let reference = run(ExecMode::Interpret, None, &b, &args);
+        for mode in [
+            ExecMode::Mcc,
+            ExecMode::Jit,
+            ExecMode::Spec,
+            ExecMode::Falcon,
+        ] {
+            let got = run(mode, None, &b, &args);
+            assert_eq!(
+                got, reference,
+                "{} [{mode:?}]: output not bitwise identical to interpreter",
+                b.name
+            );
+        }
+        // Speculation off the critical path must not change a single bit
+        // either — the acceptance criterion for background compilation.
+        for workers in [1, 4] {
+            let got = run(ExecMode::Spec, Some(workers), &b, &args);
+            assert_eq!(
+                got, reference,
+                "{} [spec, {workers} background workers]: output not bitwise identical",
                 b.name
             );
         }

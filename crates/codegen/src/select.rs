@@ -4,8 +4,8 @@ use majic_analysis::{DisambiguatedFunction, SymbolKind, VarId};
 use majic_ast::{BinOp, Expr, ExprKind, LValue, NodeId, Stmt, StmtKind, UnOp};
 use majic_ir::passes::PassOptions;
 use majic_ir::{
-    Block, BlockId, CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, LoopInfo,
-    Operand, Reg, Slot, Terminator, VarBinding,
+    Block, BlockId, CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, LoopInfo, Operand,
+    Reg, Slot, Terminator, VarBinding,
 };
 use majic_runtime::builtins::Builtin;
 use majic_types::{Dim, Intrinsic, Lattice, Type};
@@ -304,6 +304,9 @@ impl<'a> Gen<'a> {
 
     // ---- coercions ----
 
+    // `to_*` here converts the *argument* into the named storage class
+    // (emitting moves), not `self`; the convention lint does not apply.
+    #[allow(clippy::wrong_self_convention)]
     fn to_f(&mut self, v: RVal) -> Reg {
         match v {
             RVal::F(r) => r,
@@ -324,17 +327,14 @@ impl<'a> Gen<'a> {
         }
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn to_c(&mut self, v: RVal) -> Reg {
         match v {
             RVal::C(r) => r,
             RVal::F(r) => {
                 let zero = self.fconst(0.0);
                 let d = self.fresh_c();
-                self.emit(Inst::CMake {
-                    d,
-                    re: r,
-                    im: zero,
-                });
+                self.emit(Inst::CMake { d, re: r, im: zero });
                 d
             }
             RVal::Slot(s) => {
@@ -345,6 +345,7 @@ impl<'a> Gen<'a> {
         }
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn to_slot(&mut self, v: RVal) -> Slot {
         match v {
             RVal::Slot(s) => s,
@@ -361,6 +362,7 @@ impl<'a> Gen<'a> {
         }
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn to_operand(&mut self, v: RVal) -> Operand {
         match v {
             RVal::F(r) => Operand::F(r),
@@ -482,7 +484,13 @@ impl<'a> Gen<'a> {
                 branches,
                 else_body,
             } => {
-                let merge = self.new_block();
+                // The merge block must be created *after* every arm so
+                // that block ids (the linear-scan position order) follow
+                // execution order: a live interval ending at a use in the
+                // merge must cover the arm blocks that execute first.
+                // Arm-end jumps are therefore deferred until the merge id
+                // is known.
+                let mut exits = Vec::with_capacity(branches.len() + 1);
                 let mut next_test = self.cur;
                 for (cond, body) in branches {
                     self.switch_to(next_test);
@@ -498,13 +506,18 @@ impl<'a> Gen<'a> {
                     });
                     self.switch_to(then_bb);
                     self.block(body);
-                    self.seal(Terminator::Jump(merge));
+                    exits.push(self.cur);
                 }
                 self.switch_to(next_test);
                 if let Some(body) = else_body {
                     self.block(body);
                 }
-                self.seal(Terminator::Jump(merge));
+                exits.push(self.cur);
+                let merge = self.new_block();
+                for b in exits {
+                    self.switch_to(b);
+                    self.seal(Terminator::Jump(merge));
+                }
                 self.switch_to(merge);
             }
             StmtKind::While { cond, body } => {
@@ -641,10 +654,7 @@ impl<'a> Gen<'a> {
                             && self.ann.ty(a.id).intrinsic.le(&Intrinsic::Real)
                     });
                 let v_kind_f = matches!(v, RVal::F(_));
-                if all_scalar_subs
-                    && v_kind_f
-                    && base_t.intrinsic.le(&Intrinsic::Real)
-                {
+                if all_scalar_subs && v_kind_f && base_t.intrinsic.le(&Intrinsic::Real) {
                     let idx: Vec<Reg> = args
                         .iter()
                         .enumerate()
@@ -844,9 +854,7 @@ impl<'a> Gen<'a> {
                         _ => None,
                     },
                 };
-                if let (Some(step_v), VarLoc::F(kreg)) =
-                    (static_step, self.var_loc(var_vid))
-                {
+                if let (Some(step_v), VarLoc::F(kreg)) = (static_step, self.var_loc(var_vid)) {
                     if !assigns_var(body, var) {
                         self.direct_counted_loop(kreg, step_v, start, stop, body);
                         return;
@@ -948,7 +956,11 @@ impl<'a> Gen<'a> {
                     VarLoc::F(r) => self.emit(Inst::FMov { d: r, s: k }),
                     VarLoc::C(r) => {
                         let zero = self.fconst(0.0);
-                        self.emit(Inst::CMake { d: r, re: k, im: zero });
+                        self.emit(Inst::CMake {
+                            d: r,
+                            re: k,
+                            im: zero,
+                        });
                     }
                     VarLoc::Slot(slot) => self.emit(Inst::FToSlot { slot, s: k }),
                 }
@@ -1033,7 +1045,11 @@ impl<'a> Gen<'a> {
                 VarLoc::F(r) => self.emit(Inst::FMov { d: r, s: d }),
                 VarLoc::C(r) => {
                     let zero = self.fconst(0.0);
-                    self.emit(Inst::CMake { d: r, re: d, im: zero });
+                    self.emit(Inst::CMake {
+                        d: r,
+                        re: d,
+                        im: zero,
+                    });
                 }
                 VarLoc::Slot(slot) => self.emit(Inst::FToSlot { slot, s: d }),
             }
@@ -1084,8 +1100,10 @@ impl<'a> Gen<'a> {
     fn expr_stmt_value(&mut self, e: &Expr) -> Option<RVal> {
         if let ExprKind::Apply { callee, args } = &e.kind {
             let kind = self.d.table.kind(e.id);
-            if matches!(kind, SymbolKind::Builtin(_) | SymbolKind::UserFunction | SymbolKind::Unknown)
-            {
+            if matches!(
+                kind,
+                SymbolKind::Builtin(_) | SymbolKind::UserFunction | SymbolKind::Unknown
+            ) {
                 let argv: Vec<Operand> = args
                     .iter()
                     .map(|a| {
@@ -1100,11 +1118,13 @@ impl<'a> Gen<'a> {
                 // Builtins like disp/fprintf/error yield nothing.
                 let void = matches!(
                     kind,
-                    SymbolKind::Builtin(
-                        Builtin::Disp | Builtin::Fprintf | Builtin::Error
-                    )
+                    SymbolKind::Builtin(Builtin::Disp | Builtin::Fprintf | Builtin::Error)
                 );
-                let dsts = if void { vec![] } else { vec![self.fresh_slot()] };
+                let dsts = if void {
+                    vec![]
+                } else {
+                    vec![self.fresh_slot()]
+                };
                 self.emit(Inst::Gen {
                     op,
                     dsts: dsts.clone(),
@@ -1656,31 +1676,109 @@ impl<'a> Gen<'a> {
                 let b = self.to_f(rv);
                 let d = self.fresh_f();
                 let inst = match op {
-                    BinOp::Add => Inst::FBin { op: FBinOp::Add, d, a, b },
-                    BinOp::Sub => Inst::FBin { op: FBinOp::Sub, d, a, b },
-                    BinOp::Mul | BinOp::ElemMul => Inst::FBin { op: FBinOp::Mul, d, a, b },
-                    BinOp::Div | BinOp::ElemDiv => Inst::FBin { op: FBinOp::Div, d, a, b },
-                    BinOp::LeftDiv | BinOp::ElemLeftDiv => {
-                        Inst::FBin { op: FBinOp::Div, d, a: b, b: a }
-                    }
-                    BinOp::Pow | BinOp::ElemPow => Inst::FBin { op: FBinOp::Pow, d, a, b },
-                    BinOp::Lt => Inst::FCmp { op: CmpOp::Lt, d, a, b },
-                    BinOp::Le => Inst::FCmp { op: CmpOp::Le, d, a, b },
-                    BinOp::Gt => Inst::FCmp { op: CmpOp::Gt, d, a, b },
-                    BinOp::Ge => Inst::FCmp { op: CmpOp::Ge, d, a, b },
-                    BinOp::Eq => Inst::FCmp { op: CmpOp::Eq, d, a, b },
-                    BinOp::Ne => Inst::FCmp { op: CmpOp::Ne, d, a, b },
+                    BinOp::Add => Inst::FBin {
+                        op: FBinOp::Add,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Sub => Inst::FBin {
+                        op: FBinOp::Sub,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Mul | BinOp::ElemMul => Inst::FBin {
+                        op: FBinOp::Mul,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Div | BinOp::ElemDiv => Inst::FBin {
+                        op: FBinOp::Div,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::LeftDiv | BinOp::ElemLeftDiv => Inst::FBin {
+                        op: FBinOp::Div,
+                        d,
+                        a: b,
+                        b: a,
+                    },
+                    BinOp::Pow | BinOp::ElemPow => Inst::FBin {
+                        op: FBinOp::Pow,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Lt => Inst::FCmp {
+                        op: CmpOp::Lt,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Le => Inst::FCmp {
+                        op: CmpOp::Le,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Gt => Inst::FCmp {
+                        op: CmpOp::Gt,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Ge => Inst::FCmp {
+                        op: CmpOp::Ge,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Eq => Inst::FCmp {
+                        op: CmpOp::Eq,
+                        d,
+                        a,
+                        b,
+                    },
+                    BinOp::Ne => Inst::FCmp {
+                        op: CmpOp::Ne,
+                        d,
+                        a,
+                        b,
+                    },
                     BinOp::And | BinOp::Or => {
                         // (a ≠ 0) op (b ≠ 0) in plain arithmetic.
                         let zero = self.fconst(0.0);
                         let ta = self.fresh_f();
-                        self.emit(Inst::FCmp { op: CmpOp::Ne, d: ta, a, b: zero });
+                        self.emit(Inst::FCmp {
+                            op: CmpOp::Ne,
+                            d: ta,
+                            a,
+                            b: zero,
+                        });
                         let tb = self.fresh_f();
-                        self.emit(Inst::FCmp { op: CmpOp::Ne, d: tb, a: b, b: zero });
+                        self.emit(Inst::FCmp {
+                            op: CmpOp::Ne,
+                            d: tb,
+                            a: b,
+                            b: zero,
+                        });
                         if op == BinOp::And {
-                            Inst::FBin { op: FBinOp::Mul, d, a: ta, b: tb }
+                            Inst::FBin {
+                                op: FBinOp::Mul,
+                                d,
+                                a: ta,
+                                b: tb,
+                            }
                         } else {
-                            Inst::FBin { op: FBinOp::Max, d, a: ta, b: tb }
+                            Inst::FBin {
+                                op: FBinOp::Max,
+                                d,
+                                a: ta,
+                                b: tb,
+                            }
                         }
                     }
                     BinOp::ShortAnd | BinOp::ShortOr => unreachable!(),
@@ -1771,23 +1869,31 @@ impl<'a> Gen<'a> {
         let lc = self.truth(lv, &lt);
         let result = self.fresh_f();
         self.emit(Inst::FMov { d: result, s: lc });
+        // As with `if` lowering, the merge block is created only after
+        // the rhs arm so block ids stay consistent with execution order
+        // (the rhs may itself create blocks); the entry branch is sealed
+        // once the merge id is known.
+        let entry = self.cur;
         let rhs_bb = self.new_block();
+        self.switch_to(rhs_bb);
+        let rt = self.ann.ty(rhs.id);
+        let rv = self.expr(rhs, end_ctx);
+        let rc = self.truth(rv, &rt);
+        self.emit(Inst::FMov { d: result, s: rc });
+        let rhs_end = self.cur;
         let merge = self.new_block();
         let (then_bb, else_bb) = if op == BinOp::ShortAnd {
             (rhs_bb, merge)
         } else {
             (merge, rhs_bb)
         };
+        self.switch_to(entry);
         self.seal(Terminator::Branch {
             cond: lc,
             then_bb,
             else_bb,
         });
-        self.switch_to(rhs_bb);
-        let rt = self.ann.ty(rhs.id);
-        let rv = self.expr(rhs, end_ctx);
-        let rc = self.truth(rv, &rt);
-        self.emit(Inst::FMov { d: result, s: rc });
+        self.switch_to(rhs_end);
         self.seal(Terminator::Jump(merge));
         self.switch_to(merge);
         RVal::F(result)
@@ -1887,12 +1993,7 @@ impl<'a> Gen<'a> {
             _ => return None,
         };
         // Shapes must be exact: scalar or equal to the result.
-        let side_ok = |st: &Type| {
-            st.is_scalar()
-                || st
-                    .exact_shape()
-                    .is_some_and(|s| s == shape)
-        };
+        let side_ok = |st: &Type| st.is_scalar() || st.exact_shape().is_some_and(|s| s == shape);
         if !side_ok(&lt) || !side_ok(&rt) {
             return None;
         }
@@ -1964,7 +2065,11 @@ impl<'a> Gen<'a> {
             };
             let d = self.fresh_f();
             self.emit(Inst::FBin { op: fop, d, a, b });
-            self.emit(Inst::AStoreConstF { arr: dst, lin, v: d });
+            self.emit(Inst::AStoreConstF {
+                arr: dst,
+                lin,
+                v: d,
+            });
         }
         Some(RVal::Slot(dst))
     }
@@ -2042,9 +2147,7 @@ fn decompose_gemv_term<'e>(g: &Gen<'_>, e: &'e Expr) -> Option<GemvTerm<'e>> {
     let is_scalar = |x: &Expr| g.ann.ty(x.id).is_scalar();
     let is_col_vec = |x: &Expr| {
         let t = g.ann.ty(x.id);
-        !t.is_scalar()
-            && t.max_shape.cols == Dim::Finite(1)
-            && t.intrinsic.le(&Intrinsic::Real)
+        !t.is_scalar() && t.max_shape.cols == Dim::Finite(1) && t.intrinsic.le(&Intrinsic::Real)
     };
     let is_mat = |x: &Expr| {
         let t = g.ann.ty(x.id);
@@ -2158,14 +2261,15 @@ fn load_provable(base: &Type, args: &[Expr], ann: &Annotations) -> bool {
     let min = base.min_shape;
     match args.len() {
         1 => {
-            let Some(numel) = min.rows.finite().and_then(|r| {
-                min.cols.finite().map(|c| r * c)
-            }) else {
+            let Some(numel) = min
+                .rows
+                .finite()
+                .and_then(|r| min.cols.finite().map(|c| r * c))
+            else {
                 return false;
             };
             let it = ann.ty(args[0].id);
-            it.intrinsic.le(&Intrinsic::Int)
-                && it.range.within(1.0, numel as f64)
+            it.intrinsic.le(&Intrinsic::Int) && it.range.within(1.0, numel as f64)
         }
         2 => {
             let (Some(rows), Some(cols)) = (min.rows.finite(), min.cols.finite()) else {

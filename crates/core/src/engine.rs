@@ -1,5 +1,6 @@
 //! The MaJIC engine: front end, repository driver, and pipelines.
 
+use crate::spec::{SpecConfig, SpecStats, SpecWorkerPool};
 use majic_analysis::{disambiguate, inline_function, DisambiguatedFunction, InlineOptions};
 use majic_ast::{parse_source, parse_statements, ExprKind, Function, LValue, Stmt, StmtKind};
 use majic_codegen::{compile_executable, CodegenOptions};
@@ -12,7 +13,7 @@ use majic_runtime::{RuntimeError, RuntimeResult, Value};
 use majic_types::{Lattice, Range, Signature, Type};
 use majic_vm::{execute, Dispatcher, Executable, RegAllocMode};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How function calls execute.
@@ -108,10 +109,14 @@ impl PhaseTimes {
 #[derive(Debug)]
 pub struct Majic {
     interp: Interp,
-    repo: Repository,
-    registry: HashMap<String, Function>,
-    known: HashSet<String>,
+    /// Shared with background speculation workers.
+    repo: Arc<Repository>,
+    /// Copy-on-write: background jobs hold cheap snapshots.
+    registry: Arc<HashMap<String, Function>>,
+    known: Arc<HashSet<String>>,
     next_node_id: u32,
+    /// Background speculative-compilation pool, when started.
+    spec: Option<SpecWorkerPool>,
     /// Engine configuration (mutable between calls).
     pub options: EngineOptions,
     /// Cumulative phase times since the last [`Majic::reset_times`].
@@ -129,10 +134,11 @@ impl Majic {
     pub fn new() -> Majic {
         Majic {
             interp: Interp::new(),
-            repo: Repository::new(),
-            registry: HashMap::new(),
-            known: HashSet::new(),
+            repo: Arc::new(Repository::new()),
+            registry: Arc::new(HashMap::new()),
+            known: Arc::new(HashSet::new()),
             next_node_id: 0,
+            spec: None,
             options: EngineOptions::default(),
             times: PhaseTimes::default(),
         }
@@ -153,16 +159,27 @@ impl Majic {
     ///
     /// Returns parse errors and script execution errors.
     pub fn load_source(&mut self, src: &str) -> RuntimeResult<()> {
-        let file = parse_source(src)
-            .map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        let file =
+            parse_source(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
         self.next_node_id = self.next_node_id.max(file.node_count);
-        for f in &file.functions {
-            // Source changed → recompile later (repository dependency
-            // tracking).
-            self.repo.invalidate(&f.name);
-            self.known.insert(f.name.clone());
-            self.registry.insert(f.name.clone(), f.clone());
-            self.interp.define_function(f.clone());
+        if !file.functions.is_empty() {
+            let registry = Arc::make_mut(&mut self.registry);
+            let known = Arc::make_mut(&mut self.known);
+            for f in &file.functions {
+                // Source changed → recompile later (repository dependency
+                // tracking).
+                self.repo.invalidate(&f.name);
+                known.insert(f.name.clone());
+                registry.insert(f.name.clone(), f.clone());
+                self.interp.define_function(f.clone());
+            }
+            // A running pool snoops newly loaded sources (the paper's
+            // "source directory snoop"): speculate on them right away.
+            if let Some(pool) = &self.spec {
+                for f in &file.functions {
+                    pool.enqueue(&f.name, Arc::clone(&self.registry), Arc::clone(&self.known));
+                }
+            }
         }
         if !file.script.is_empty() {
             self.exec_statements(&file.script)?;
@@ -179,8 +196,8 @@ impl Majic {
     ///
     /// Returns parse and execution errors.
     pub fn eval(&mut self, src: &str) -> RuntimeResult<()> {
-        let (stmts, next) = parse_statements(src)
-            .map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        let (stmts, next) =
+            parse_statements(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
         self.next_node_id = self.next_node_id.max(next);
         self.exec_statements(&stmts)
     }
@@ -202,35 +219,37 @@ impl Majic {
     /// Route `x = f(args)` / `[a,b] = f(args)` / `f(args)` statements
     /// through the compiled path when `f` is a known user function.
     fn try_deferred_call(&mut self, stmt: &Stmt) -> RuntimeResult<Option<()>> {
-        let (lhs_names, callee, args): (Vec<&LValue>, &str, &[majic_ast::Expr]) =
-            match &stmt.kind {
-                StmtKind::Assign {
-                    lhs: lhs @ LValue::Var { .. },
-                    rhs,
-                    ..
-                } => match &rhs.kind {
-                    ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
-                        (vec![lhs], callee, args)
-                    }
-                    _ => return Ok(None),
-                },
-                StmtKind::MultiAssign {
-                    lhs, callee, args, ..
-                } if self.registry.contains_key(callee)
-                    && lhs.iter().all(|l| matches!(l, LValue::Var { .. })) =>
-                {
-                    (lhs.iter().collect(), callee, args)
+        let (lhs_names, callee, args): (Vec<&LValue>, &str, &[majic_ast::Expr]) = match &stmt.kind {
+            StmtKind::Assign {
+                lhs: lhs @ LValue::Var { .. },
+                rhs,
+                ..
+            } => match &rhs.kind {
+                ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
+                    (vec![lhs], callee, args)
                 }
-                StmtKind::Expr { expr, .. } => match &expr.kind {
-                    ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
-                        (vec![], callee, args)
-                    }
-                    _ => return Ok(None),
-                },
                 _ => return Ok(None),
-            };
+            },
+            StmtKind::MultiAssign {
+                lhs, callee, args, ..
+            } if self.registry.contains_key(callee)
+                && lhs.iter().all(|l| matches!(l, LValue::Var { .. })) =>
+            {
+                (lhs.iter().collect(), callee, args)
+            }
+            StmtKind::Expr { expr, .. } => match &expr.kind {
+                ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
+                    (vec![], callee, args)
+                }
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
         // Subscript-less arguments only (a `:` would mean indexing).
-        if args.iter().any(|a| matches!(a.kind, ExprKind::Colon | ExprKind::End)) {
+        if args
+            .iter()
+            .any(|a| matches!(a.kind, ExprKind::Colon | ExprKind::End))
+        {
             return Ok(None);
         }
         let callee = callee.to_owned();
@@ -238,7 +257,9 @@ impl Majic {
         for a in args {
             argv.push(self.interp.eval_value(a)?);
         }
-        let nargout = lhs_names.len().max(if lhs_names.is_empty() { 0 } else { 1 });
+        let nargout = lhs_names
+            .len()
+            .max(if lhs_names.is_empty() { 0 } else { 1 });
         let outs = self.call(&callee, &argv, nargout)?;
         for (lv, v) in lhs_names.iter().zip(outs) {
             self.interp.set_var(lv.name(), v);
@@ -252,7 +273,12 @@ impl Majic {
     /// # Errors
     ///
     /// Propagates runtime errors from the function.
-    pub fn call(&mut self, name: &str, args: &[Value], nargout: usize) -> RuntimeResult<Vec<Value>> {
+    pub fn call(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        nargout: usize,
+    ) -> RuntimeResult<Vec<Value>> {
         if self.options.mode == ExecMode::Interpret || self.reaches_uncompilable(name) {
             let t0 = Instant::now();
             let r = self.interp.call_function(name, args, nargout);
@@ -262,7 +288,7 @@ impl Majic {
         let mut disp = EngineDispatcher {
             registry: &self.registry,
             known: &self.known,
-            repo: &mut self.repo,
+            repo: &self.repo,
             options: &self.options,
             times: &mut self.times,
             next_node_id: &mut self.next_node_id,
@@ -288,23 +314,28 @@ impl Majic {
     /// (paper §2.5), filling the repository with optimized versions for
     /// the guessed signatures. Returns the hidden (ahead-of-time)
     /// compile latency.
+    ///
+    /// This is the *synchronous* path: it blocks the session until
+    /// every speculative version is compiled. [`Majic::speculate_background`]
+    /// is the concurrent equivalent that keeps the session responsive.
     pub fn speculate_all(&mut self) -> Duration {
         let names: Vec<String> = self.registry.keys().cloned().collect();
         let t0 = Instant::now();
         for name in names {
-            let mut disp = EngineDispatcher {
-                registry: &self.registry,
-                known: &self.known,
-                repo: &mut self.repo,
-                options: &self.options,
-                times: &mut self.times,
-                next_node_id: &mut self.next_node_id,
-                depth: 0,
-            };
             // Failures (globals etc.) simply leave no speculative
             // version; those calls interpret or JIT later.
-            if let Ok(version) = disp.compile_version(&name, None, Pipeline::Opt) {
-                disp.repo.insert(&name, version);
+            if let Ok(version) = compile_function(
+                &self.registry,
+                &self.known,
+                &self.repo,
+                &self.options,
+                &name,
+                None,
+                Pipeline::Opt,
+                &mut self.next_node_id,
+                &mut self.times,
+            ) {
+                self.repo.insert(&name, version);
             }
         }
         // Speculative compilation happens before the program runs: it is
@@ -312,6 +343,55 @@ impl Majic {
         let hidden = t0.elapsed();
         self.times = PhaseTimes::default();
         hidden
+    }
+
+    /// Start background speculative compilation with `workers` threads:
+    /// every currently registered function is queued, and functions
+    /// loaded later are queued as they arrive. Returns immediately —
+    /// the session keeps answering through the interpreter/JIT and
+    /// transparently picks up speculative versions once published.
+    ///
+    /// Calling this again replaces the pool (the old one is drained and
+    /// joined first).
+    pub fn speculate_background(&mut self, workers: usize) {
+        self.speculate_background_with(SpecConfig {
+            workers,
+            ..SpecConfig::default()
+        });
+    }
+
+    /// [`Majic::speculate_background`] with full queue configuration.
+    pub fn speculate_background_with(&mut self, cfg: SpecConfig) {
+        self.spec = None; // drain + join any previous pool first
+        let pool = SpecWorkerPool::start(cfg, Arc::clone(&self.repo), self.options);
+        let mut names: Vec<&String> = self.registry.keys().collect();
+        names.sort(); // deterministic queue order
+        for name in names {
+            pool.enqueue(name, Arc::clone(&self.registry), Arc::clone(&self.known));
+        }
+        self.spec = Some(pool);
+    }
+
+    /// Block until the background pool (if any) has drained its queue.
+    /// Tests and batch experiments use this; interactive sessions never
+    /// need to.
+    pub fn spec_wait(&self) {
+        if let Some(pool) = &self.spec {
+            pool.wait_idle();
+        }
+    }
+
+    /// Statistics of the background pool, when one is running.
+    pub fn spec_stats(&self) -> Option<SpecStats> {
+        self.spec.as_ref().map(SpecWorkerPool::stats)
+    }
+
+    /// Shut the background pool down (drain, join) and return its final
+    /// statistics. No-op returning `None` when no pool is running.
+    pub fn finish_speculation(&mut self) -> Option<SpecStats> {
+        let mut pool = self.spec.take()?;
+        pool.shutdown();
+        Some(pool.stats())
     }
 
     /// Does `name`'s static call graph reach a function compiled code
@@ -357,6 +437,12 @@ impl Majic {
     /// The code repository (inspection).
     pub fn repository(&self) -> &Repository {
         &self.repo
+    }
+
+    /// A shareable handle to the repository (e.g. for external monitors
+    /// or tests observing background publishes).
+    pub fn repository_handle(&self) -> Arc<Repository> {
+        Arc::clone(&self.repo)
     }
 
     /// Zero the cumulative phase timers.
@@ -440,7 +526,7 @@ fn collect_expr(e: &majic_ast::Expr, known: &HashSet<String>, out: &mut Vec<Stri
 
 /// Which pipeline to run on a repository miss.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Pipeline {
+pub(crate) enum Pipeline {
     Mcc,
     Jit,
     Opt,
@@ -450,7 +536,7 @@ enum Pipeline {
 struct EngineDispatcher<'a> {
     registry: &'a HashMap<String, Function>,
     known: &'a HashSet<String>,
-    repo: &'a mut Repository,
+    repo: &'a Repository,
     options: &'a EngineOptions,
     times: &'a mut PhaseTimes,
     next_node_id: &'a mut u32,
@@ -467,9 +553,9 @@ impl CalleeOracle for RepoOracle<'_> {
 
 impl EngineDispatcher<'_> {
     /// Find or build code for an invocation.
-    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<Rc<Executable>> {
+    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<Arc<Executable>> {
         if let Some(v) = self.repo.lookup(name, sig) {
-            return Ok(Rc::clone(&v.code));
+            return Ok(v.code);
         }
         // Anti-explosion widening: recursive calls produce a fresh
         // constant signature per depth (fib(20), fib(19), …). After two
@@ -491,106 +577,116 @@ impl EngineDispatcher<'_> {
             ExecMode::Falcon => Pipeline::Opt,
             ExecMode::Interpret => Pipeline::Jit,
         };
-        let version = self
-            .compile_version(name, Some(&sig), pipeline)
-            .map_err(|e| RuntimeError::Raised(e.to_string()))?;
+        let version = compile_function(
+            self.registry,
+            self.known,
+            self.repo,
+            self.options,
+            name,
+            Some(&sig),
+            pipeline,
+            self.next_node_id,
+            self.times,
+        )
+        .map_err(|e| RuntimeError::Raised(e.to_string()))?;
         self.repo.insert(name, version);
         let v = self
             .repo
             .lookup(name, &sig)
             .expect("freshly inserted version admits its own signature");
-        Ok(Rc::clone(&v.code))
+        Ok(v.code)
     }
+}
 
-    /// Run one pipeline for `name`. `sig = None` selects speculative
-    /// inference (the signature is guessed).
-    fn compile_version(
-        &mut self,
-        name: &str,
-        sig: Option<&Signature>,
-        pipeline: Pipeline,
-    ) -> Result<CompiledVersion, RuntimeError> {
-        let f = self
-            .registry
-            .get(name)
-            .ok_or_else(|| RuntimeError::Undefined(name.to_owned()))?;
-        let t_start = Instant::now();
+/// Run one compilation pipeline for `name`. `sig = None` selects
+/// speculative inference (the signature is guessed).
+///
+/// This is the single compile path shared by the foreground dispatcher
+/// (JIT-on-miss) and the background [`SpecWorkerPool`] workers; it only
+/// *reads* the registry and repository (the caller publishes the
+/// returned version), which is what makes it safe to run concurrently.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compile_function(
+    registry: &HashMap<String, Function>,
+    known: &HashSet<String>,
+    repo: &Repository,
+    options: &EngineOptions,
+    name: &str,
+    sig: Option<&Signature>,
+    pipeline: Pipeline,
+    next_node_id: &mut u32,
+    times: &mut PhaseTimes,
+) -> Result<CompiledVersion, RuntimeError> {
+    let f = registry
+        .get(name)
+        .ok_or_else(|| RuntimeError::Undefined(name.to_owned()))?;
+    let t_start = Instant::now();
 
-        // Phase 1: (inlining +) disambiguation.
-        let t0 = Instant::now();
-        let inlined;
-        let to_analyze = if self.options.inline && pipeline != Pipeline::Mcc {
-            inlined = inline_function(
-                f,
-                self.registry,
-                InlineOptions::default(),
-                self.next_node_id,
-            );
-            &inlined
-        } else {
-            f
-        };
-        let d: DisambiguatedFunction = disambiguate(to_analyze, self.known);
-        self.times.disambiguation += t0.elapsed();
+    // Phase 1: (inlining +) disambiguation.
+    let t0 = Instant::now();
+    let inlined;
+    let to_analyze = if options.inline && pipeline != Pipeline::Mcc {
+        inlined = inline_function(f, registry, InlineOptions::default(), next_node_id);
+        &inlined
+    } else {
+        f
+    };
+    let d: DisambiguatedFunction = disambiguate(to_analyze, known);
+    times.disambiguation += t0.elapsed();
 
-        // Phase 2: type inference.
-        let t1 = Instant::now();
-        let (signature, ann): (Signature, Annotations) = match (pipeline, sig) {
-            (Pipeline::Mcc, s) => (
-                s.cloned().unwrap_or_default(),
-                Annotations::default(),
-            ),
-            (_, Some(s)) => {
-                let oracle = RepoOracle(self.repo);
-                let ann = infer_jit(&d, s, self.options.infer, &oracle);
-                (s.clone(), ann)
-            }
-            (_, None) => {
-                let oracle = RepoOracle(self.repo);
-                infer_speculative(&d, self.options.infer, &oracle)
-            }
-        };
-        self.times.inference += t1.elapsed();
-
-        // Phase 3: code generation.
-        let t2 = Instant::now();
-        let mut cg = match pipeline {
-            Pipeline::Mcc => CodegenOptions::mcc(),
-            Pipeline::Jit => CodegenOptions::jit(),
-            Pipeline::Opt => CodegenOptions::optimizing(),
-        };
-        cg.regalloc = self.options.regalloc;
-        if pipeline != Pipeline::Mcc {
-            cg.oversize = self.options.oversize;
+    // Phase 2: type inference.
+    let t1 = Instant::now();
+    let (signature, ann): (Signature, Annotations) = match (pipeline, sig) {
+        (Pipeline::Mcc, s) => (s.cloned().unwrap_or_default(), Annotations::default()),
+        (_, Some(s)) => {
+            let oracle = RepoOracle(repo);
+            let ann = infer_jit(&d, s, options.infer, &oracle);
+            (s.clone(), ann)
         }
-        if pipeline == Pipeline::Opt && self.options.platform == Platform::Sparc {
-            // The SPARC native compiler "generates relatively poor code".
-            cg.passes = PassOptions {
-                licm: false,
-                ..PassOptions::all()
-            };
+        (_, None) => {
+            let oracle = RepoOracle(repo);
+            infer_speculative(&d, options.infer, &oracle)
         }
-        let exe = compile_executable(&d, &ann, &cg)
-            .map_err(|e| RuntimeError::Raised(e.to_string()))?;
-        self.times.codegen += t2.elapsed();
+    };
+    times.inference += t1.elapsed();
 
-        let quality = match pipeline {
-            Pipeline::Mcc => CodeQuality::Generic,
-            Pipeline::Jit => CodeQuality::Jit,
-            Pipeline::Opt => CodeQuality::Optimized,
-        };
-        let mut outputs = ann.outputs.clone();
-        if outputs.is_empty() {
-            outputs = vec![Type::top(); d.function.outputs.len()];
-        }
-        Ok(CompiledVersion {
-            signature,
-            code: Rc::new(exe),
-            quality,
-            output_types: outputs,
-            compile_time: t_start.elapsed(),
-        })
+    // Phase 3: code generation.
+    let t2 = Instant::now();
+    let mut cg = match pipeline {
+        Pipeline::Mcc => CodegenOptions::mcc(),
+        Pipeline::Jit => CodegenOptions::jit(),
+        Pipeline::Opt => CodegenOptions::optimizing(),
+    };
+    cg.regalloc = options.regalloc;
+    if pipeline != Pipeline::Mcc {
+        cg.oversize = options.oversize;
     }
+    if pipeline == Pipeline::Opt && options.platform == Platform::Sparc {
+        // The SPARC native compiler "generates relatively poor code".
+        cg.passes = PassOptions {
+            licm: false,
+            ..PassOptions::all()
+        };
+    }
+    let exe = compile_executable(&d, &ann, &cg).map_err(|e| RuntimeError::Raised(e.to_string()))?;
+    times.codegen += t2.elapsed();
+
+    let quality = match pipeline {
+        Pipeline::Mcc => CodeQuality::Generic,
+        Pipeline::Jit => CodeQuality::Jit,
+        Pipeline::Opt => CodeQuality::Optimized,
+    };
+    let mut outputs = ann.outputs.clone();
+    if outputs.is_empty() {
+        outputs = vec![Type::top(); d.function.outputs.len()];
+    }
+    Ok(CompiledVersion {
+        signature,
+        code: Arc::new(exe),
+        quality,
+        output_types: outputs,
+        compile_time: t_start.elapsed(),
+    })
 }
 
 impl Dispatcher for EngineDispatcher<'_> {

@@ -35,8 +35,10 @@
 //! | [`ExecMode::Falcon`] | on miss, exact signature | optimizing backend | FALCON batch compiler |
 
 mod engine;
+mod spec;
 
 pub use engine::{EngineOptions, ExecMode, Majic, PhaseTimes, Platform};
+pub use spec::{SpecConfig, SpecRecord, SpecStats, SpecWorkerPool};
 
 pub use majic_infer::InferOptions;
 pub use majic_runtime::{Matrix, RuntimeError, RuntimeResult, Value};

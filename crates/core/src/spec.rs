@@ -1,0 +1,332 @@
+//! Background speculative compilation (paper §2.5, made concurrent).
+//!
+//! The paper's repository "generates code ahead of time" so that
+//! compilation latency is *hidden* from the interactive session. The
+//! seed implementation ran that speculation synchronously
+//! ([`crate::Majic::speculate_all`]), blocking the session exactly the
+//! way the paper says it must not. This module provides the genuinely
+//! concurrent version: a [`SpecWorkerPool`] of OS threads runs the
+//! speculative inference + optimizing backend off the critical path and
+//! publishes [`CompiledVersion`]s into the shared
+//! [`majic_repo::Repository`] as they finish. The foreground engine
+//! keeps answering through the interpreter/JIT and transparently picks
+//! up speculative versions on later repository lookups.
+//!
+//! Safety never depends on the workers: the repository's signature
+//! check (`Qi ⊑ Ti`) gates every lookup, so a version published late,
+//! early, or not at all can only change *performance*, never results.
+//!
+//! # Shutdown semantics
+//!
+//! [`SpecWorkerPool::shutdown`] closes the queue (pending jobs are
+//! still drained), then joins every worker. Dropping the pool does the
+//! same — join-on-drop, so a `Majic` session never leaks threads.
+
+use crate::engine::{compile_function, EngineOptions, PhaseTimes, Pipeline};
+use majic_ast::Function;
+use majic_repo::Repository;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Worker-pool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SpecConfig {
+    /// Number of worker threads. `0` is allowed and means the pool
+    /// accepts no jobs (every enqueue is rejected) — useful as the
+    /// "speculation off" arm of an experiment.
+    pub workers: usize,
+    /// Bounded queue capacity; when full, enqueues are rejected rather
+    /// than blocking the session (speculation is best-effort).
+    pub queue_capacity: usize,
+}
+
+impl Default for SpecConfig {
+    fn default() -> Self {
+        SpecConfig {
+            workers: 2,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// One unit of background work: speculatively compile `name` against a
+/// snapshot of the function registry taken at enqueue time.
+#[derive(Debug)]
+struct Job {
+    name: String,
+    registry: Arc<HashMap<String, Function>>,
+    known: Arc<HashSet<String>>,
+    enqueued: Instant,
+}
+
+/// Outcome record for one speculative compilation.
+#[derive(Clone, Debug)]
+pub struct SpecRecord {
+    /// Function name.
+    pub name: String,
+    /// Time the job sat in the queue before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Compilation time (inference + codegen) spent by the worker.
+    pub compile: Duration,
+    /// Publish timestamp, relative to pool start; `None` when the
+    /// pipeline failed and nothing was published.
+    pub published_at: Option<Duration>,
+}
+
+/// Aggregate observability for a pool's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct SpecStats {
+    /// Per-job records, in completion order.
+    pub records: Vec<SpecRecord>,
+    /// Jobs accepted into the queue.
+    pub enqueued: u64,
+    /// Versions published into the repository.
+    pub published: u64,
+    /// Jobs whose compilation failed (no version published).
+    pub failed: u64,
+    /// Enqueues rejected because the queue was full or closed.
+    pub rejected: u64,
+}
+
+impl SpecStats {
+    /// Total queue-wait across all completed jobs.
+    pub fn total_queue_wait(&self) -> Duration {
+        self.records.iter().map(|r| r.queue_wait).sum()
+    }
+
+    /// Total background compile time across all completed jobs.
+    pub fn total_compile(&self) -> Duration {
+        self.records.iter().map(|r| r.compile).sum()
+    }
+
+    /// Human-readable one-line-per-job report.
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "spec workers: {} enqueued, {} published, {} failed, {} rejected",
+            self.enqueued, self.published, self.failed, self.rejected
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "  {:<12} wait {:>9.1?}  compile {:>9.1?}  {}",
+                r.name,
+                r.queue_wait,
+                r.compile,
+                match r.published_at {
+                    Some(at) => format!("published at +{at:.1?}"),
+                    None => "failed".to_owned(),
+                }
+            );
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Jobs dequeued but not yet finished.
+    in_flight: usize,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    queue: Mutex<Queue>,
+    /// Signals workers that a job (or shutdown) is available.
+    job_ready: Condvar,
+    /// Signals waiters that the pool went idle (queue empty, nothing in
+    /// flight).
+    idle: Condvar,
+    capacity: usize,
+    repo: Arc<Repository>,
+    options: EngineOptions,
+    stats: Mutex<SpecStats>,
+    started: Instant,
+}
+
+/// A pool of background speculative-compilation workers.
+#[derive(Debug)]
+pub struct SpecWorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl SpecWorkerPool {
+    /// Start `cfg.workers` threads publishing into `repo`.
+    pub fn start(cfg: SpecConfig, repo: Arc<Repository>, options: EngineOptions) -> SpecWorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(Queue::default()),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: cfg.queue_capacity.max(1),
+            repo,
+            options,
+            stats: Mutex::new(SpecStats::default()),
+            started: Instant::now(),
+        });
+        let handles = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("majic-spec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn speculative worker")
+            })
+            .collect();
+        SpecWorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queue `name` for speculative compilation against the given
+    /// registry snapshot. Returns `false` (and records a rejection) when
+    /// the pool has no workers, the queue is full, or the pool is shut
+    /// down — speculation is best-effort and never blocks the caller.
+    pub fn enqueue(
+        &self,
+        name: &str,
+        registry: Arc<HashMap<String, Function>>,
+        known: Arc<HashSet<String>>,
+    ) -> bool {
+        let accepted = {
+            let mut q = self.shared.queue.lock().expect("spec queue poisoned");
+            if q.closed || self.handles.is_empty() || q.jobs.len() >= self.shared.capacity {
+                false
+            } else {
+                q.jobs.push_back(Job {
+                    name: name.to_owned(),
+                    registry,
+                    known,
+                    enqueued: Instant::now(),
+                });
+                true
+            }
+        };
+        let mut stats = self.shared.stats.lock().expect("spec stats poisoned");
+        if accepted {
+            stats.enqueued += 1;
+            drop(stats);
+            self.shared.job_ready.notify_one();
+        } else {
+            stats.rejected += 1;
+        }
+        accepted
+    }
+
+    /// Block until every accepted job has been compiled and published
+    /// (or failed). Used by tests and the deterministic arms of the
+    /// responsiveness experiment; interactive sessions never call this.
+    pub fn wait_idle(&self) {
+        let mut q = self.shared.queue.lock().expect("spec queue poisoned");
+        while !(q.jobs.is_empty() && q.in_flight == 0) {
+            q = self.shared.idle.wait(q).expect("spec queue poisoned");
+        }
+    }
+
+    /// Snapshot of the pool's statistics.
+    pub fn stats(&self) -> SpecStats {
+        self.shared
+            .stats
+            .lock()
+            .expect("spec stats poisoned")
+            .clone()
+    }
+
+    /// Close the queue and join all workers. Pending jobs are drained
+    /// first; new enqueues are rejected. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("spec queue poisoned");
+            q.closed = true;
+        }
+        self.shared.job_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SpecWorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("spec queue poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.in_flight += 1;
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.job_ready.wait(q).expect("spec queue poisoned");
+            }
+        };
+        let queue_wait = job.enqueued.elapsed();
+
+        // Compile outside every lock: this is the expensive part and the
+        // whole point is that it happens off the session's critical path.
+        // Node ids are scratch — the inlined function is private to this
+        // job — so a worker-local counter is safe.
+        let mut scratch_ids: u32 = 1 << 24;
+        let mut times = PhaseTimes::default();
+        let t0 = Instant::now();
+        let compiled = compile_function(
+            &job.registry,
+            &job.known,
+            &shared.repo,
+            &shared.options,
+            &job.name,
+            None,
+            Pipeline::Opt,
+            &mut scratch_ids,
+            &mut times,
+        );
+        let compile = t0.elapsed();
+
+        let published_at = match compiled {
+            Ok(version) => {
+                shared.repo.insert(&job.name, version);
+                Some(shared.started.elapsed())
+            }
+            // Failures (globals etc.) leave no speculative version;
+            // those calls interpret or JIT later.
+            Err(_) => None,
+        };
+
+        {
+            let mut stats = shared.stats.lock().expect("spec stats poisoned");
+            if published_at.is_some() {
+                stats.published += 1;
+            } else {
+                stats.failed += 1;
+            }
+            stats.records.push(SpecRecord {
+                name: job.name,
+                queue_wait,
+                compile,
+                published_at,
+            });
+        }
+
+        let mut q = shared.queue.lock().expect("spec queue poisoned");
+        q.in_flight -= 1;
+        if q.jobs.is_empty() && q.in_flight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Engine-level concurrency tests for background speculation: the
+//! session must produce identical results with 0, 1, and 4 spec
+//! workers, pick up published versions transparently, and shut the pool
+//! down cleanly (join-on-drop, no leaked work).
+
+use majic::{ExecMode, Majic, SpecConfig, Value};
+use majic_repo::CodeQuality;
+use majic_types::Signature;
+
+const PROGRAMS: &[(&str, &str, &[f64])] = &[
+    (
+        "function s = sumsq(n)\ns = 0;\nfor k = 1:n\n s = s + k * k;\nend\n",
+        "sumsq",
+        &[200.0],
+    ),
+    (
+        "function f = fib(n)\nif n < 2\n f = n;\nelse\n f = fib(n-1) + fib(n-2);\nend\n",
+        "fib",
+        &[15.0],
+    ),
+    (
+        "function s = ap(n)\nv = zeros(1, n);\nfor k = 1:n\n v(k) = k * 3;\nend\ns = sum(v) + v(1) + v(n);\n",
+        "ap",
+        &[40.0],
+    ),
+    (
+        "function r = smallvec(n)\nr0 = [1 0];\nv = [0 6.28];\nfor k = 1:n\n v = v + 0.001 * r0;\n r0 = r0 + 0.001 * v;\nend\nr = r0(1) + v(2);\n",
+        "smallvec",
+        &[500.0],
+    ),
+];
+
+fn run_with_workers(workers: usize) -> Vec<u64> {
+    let mut results = Vec::new();
+    for &(src, entry, args) in PROGRAMS {
+        let mut m = Majic::with_mode(ExecMode::Spec);
+        m.load_source(src).unwrap();
+        if workers > 0 {
+            m.speculate_background(workers);
+            // Drain so every arm actually runs whatever the workers
+            // published (the race itself is exercised elsewhere).
+            m.spec_wait();
+        }
+        let argv: Vec<Value> = args.iter().map(|&a| Value::scalar(a)).collect();
+        let out = m.call(entry, &argv, 1).unwrap();
+        results.push(out[0].to_scalar().unwrap().to_bits());
+    }
+    results
+}
+
+/// Identical final results with 0, 1, and 4 workers — bit for bit.
+#[test]
+fn results_identical_across_worker_counts() {
+    let baseline = run_with_workers(0);
+    for workers in [1, 4] {
+        assert_eq!(
+            run_with_workers(workers),
+            baseline,
+            "{workers} spec workers changed results"
+        );
+    }
+}
+
+/// Background workers publish optimized versions that later foreground
+/// calls transparently pick up.
+#[test]
+fn published_versions_are_picked_up() {
+    let (src, entry, args) = PROGRAMS[0];
+    let mut m = Majic::with_mode(ExecMode::Spec);
+    m.load_source(src).unwrap();
+    m.speculate_background(2);
+    m.spec_wait();
+
+    let stats = m.spec_stats().expect("pool running");
+    assert_eq!(stats.enqueued, 1);
+    assert_eq!(stats.published, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(m.repository().version_count(entry), 1);
+
+    let argv: Vec<Value> = args.iter().map(|&a| Value::scalar(a)).collect();
+    let before = m.repository().stats();
+    m.call(entry, &argv, 1).unwrap();
+    let after = m.repository().stats();
+    // The call hit the speculative version: one more hit, no new miss.
+    assert_eq!(after.0, before.0 + 1);
+    assert_eq!(after.1, before.1);
+
+    // And the hit really is the optimized background version.
+    let sig: Signature = argv.iter().map(Value::type_of).collect();
+    let hit = m.repository().lookup(entry, &sig).unwrap();
+    assert_eq!(hit.quality, CodeQuality::Optimized);
+}
+
+/// Functions loaded *after* the pool starts are speculated too (the
+/// paper's "source directory snoop").
+#[test]
+fn late_loaded_functions_are_speculated() {
+    let mut m = Majic::with_mode(ExecMode::Spec);
+    m.speculate_background(2);
+    m.load_source("function y = late(x)\ny = x * 2 + 1;\n")
+        .unwrap();
+    m.spec_wait();
+    let stats = m.spec_stats().expect("pool running");
+    assert_eq!(stats.published, 1);
+    assert_eq!(m.repository().version_count("late"), 1);
+}
+
+/// Shutdown drains pending jobs, returns final statistics, and joins
+/// every worker; dropping the session joins too (nothing to observe
+/// there beyond "does not hang", which this test also covers).
+#[test]
+fn shutdown_drains_and_reports() {
+    let mut m = Majic::with_mode(ExecMode::Spec);
+    for i in 0..12 {
+        m.load_source(&format!("function y = f{i}(x)\ny = x + {i};\n"))
+            .unwrap();
+    }
+    m.speculate_background(4);
+    let stats = m.finish_speculation().expect("pool was running");
+    assert_eq!(stats.enqueued, 12);
+    assert_eq!(stats.published + stats.failed, 12);
+    assert_eq!(stats.records.len(), 12);
+    assert!(m.spec_stats().is_none(), "pool gone after finish");
+    // Every published record carries observability timestamps.
+    for r in &stats.records {
+        assert!(r.published_at.is_some(), "{} failed to publish", r.name);
+    }
+}
+
+/// A zero-worker pool accepts nothing and the session still works —
+/// every enqueue is rejected, every call JITs.
+#[test]
+fn zero_worker_pool_rejects_and_session_survives() {
+    let mut m = Majic::with_mode(ExecMode::Spec);
+    m.load_source("function y = g(x)\ny = x - 1;\n").unwrap();
+    m.speculate_background_with(SpecConfig {
+        workers: 0,
+        queue_capacity: 8,
+    });
+    m.spec_wait(); // must not hang
+    let stats = m.spec_stats().unwrap();
+    assert_eq!(stats.enqueued, 0);
+    assert_eq!(stats.rejected, 1);
+    let out = m.call("g", &[Value::scalar(5.0)], 1).unwrap();
+    assert_eq!(out[0].to_scalar().unwrap(), 4.0);
+}
+
+/// Hammer the engine while workers publish: interleave foreground calls
+/// with background publication instead of draining first. Results must
+/// match the interpreter regardless of who wins each race.
+#[test]
+fn racing_foreground_calls_agree_with_interpreter() {
+    let (src, entry, args) = PROGRAMS[1]; // fib: many recursive signatures
+    let mut reference = Majic::with_mode(ExecMode::Interpret);
+    reference.load_source(src).unwrap();
+    let argv: Vec<Value> = args.iter().map(|&a| Value::scalar(a)).collect();
+    let expect = reference.call(entry, &argv, 1).unwrap()[0]
+        .to_scalar()
+        .unwrap();
+
+    for trial in 0..8 {
+        let mut m = Majic::with_mode(ExecMode::Spec);
+        m.load_source(src).unwrap();
+        m.speculate_background(1 + trial % 4);
+        // No spec_wait: the call races the background publish.
+        let out = m.call(entry, &argv, 1).unwrap();
+        assert_eq!(out[0].to_scalar().unwrap(), expect, "trial {trial}");
+    }
+}

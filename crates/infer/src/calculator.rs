@@ -115,7 +115,11 @@ fn elem_shape(a: &Type, b: &Type) -> (Shape, Shape) {
 }
 
 fn with_shape(intrinsic: Intrinsic, min: Shape, max: Shape, range: Range) -> Type {
-    let range = if intrinsic.has_range() { range } else { Range::top() };
+    let range = if intrinsic.has_range() {
+        range
+    } else {
+        Range::top()
+    };
     Type {
         intrinsic,
         min_shape: min,
@@ -173,10 +177,7 @@ fn arith(a: &Type, b: &Type, rf: fn(Range, Range) -> Range, is_div: bool) -> Typ
     }
     if real_scalar(a) && real_scalar(b) {
         let r = rf(a.range, b.range);
-        let intr = if !is_div
-            && at_most(a, Intrinsic::Int)
-            && at_most(b, Intrinsic::Int)
-        {
+        let intr = if !is_div && at_most(a, Intrinsic::Int) && at_most(b, Intrinsic::Int) {
             Intrinsic::Int
         } else {
             Intrinsic::Real
@@ -429,11 +430,7 @@ pub fn range_expr(start: &Type, step: Option<&Type>, stop: &Type, o: &InferOptio
         }
         // rule colon.bounded: a bounded span bounds the extent.
         _ => {
-            let max = match (
-                start.range.lo(),
-                stop.range.hi(),
-                step.range.as_constant(),
-            ) {
+            let max = match (start.range.lo(), stop.range.hi(), step.range.as_constant()) {
                 (a, b, Some(s)) if a.is_finite() && b.is_finite() && s > 0.0 => {
                     let span = (b - a) / s;
                     if span < 0.0 {
@@ -567,14 +564,8 @@ pub fn index_read(base: &Type, subs: &[SubTy], o: &InferOptions) -> Type {
         [one] => match one {
             // rule index.flatten — `A(:)` is a column vector.
             SubTy::Colon => {
-                let min_n = base
-                    .min_shape
-                    .rows
-                    .saturating_mul(base.min_shape.cols);
-                let max_n = base
-                    .max_shape
-                    .rows
-                    .saturating_mul(base.max_shape.cols);
+                let min_n = base.min_shape.rows.saturating_mul(base.min_shape.cols);
+                let max_n = base.max_shape.rows.saturating_mul(base.max_shape.cols);
                 with_shape(
                     base.intrinsic,
                     Shape {
@@ -589,9 +580,7 @@ pub fn index_read(base: &Type, subs: &[SubTy], o: &InferOptions) -> Type {
                 )
             }
             // rule index.scalar — the hot case: scalar subscript.
-            SubTy::Ty(it) if it.is_scalar() => {
-                scalar_of(base.intrinsic, elem_range)
-            }
+            SubTy::Ty(it) if it.is_scalar() => scalar_of(base.intrinsic, elem_range),
             // rule index.vector — vector subscript selects that many
             // elements.
             SubTy::Ty(it) => {
@@ -859,9 +848,7 @@ pub fn builtin(b: Builtin, args: &[Type], nargout: usize, o: &InferOptions) -> V
         }
         Log | Log10 => {
             let a = arg(0);
-            if at_most(&a, Intrinsic::Real)
-                && a.range.lo() > 0.0
-            {
+            if at_most(&a, Intrinsic::Real) && a.range.lo() > 0.0 {
                 return one(with_shape(
                     Intrinsic::Real,
                     a.min_shape,
@@ -1002,7 +989,10 @@ pub fn builtin(b: Builtin, args: &[Type], nargout: usize, o: &InferOptions) -> V
             Range::constant(std::f64::consts::PI),
         )),
         Eps => one(scalar_of(Intrinsic::Real, Range::constant(f64::EPSILON))),
-        Inf => one(scalar_of(Intrinsic::Real, Range::new(f64::INFINITY, f64::INFINITY))),
+        Inf => one(scalar_of(
+            Intrinsic::Real,
+            Range::new(f64::INFINITY, f64::INFINITY),
+        )),
         NaN => one(scalar_of(Intrinsic::Real, Range::top())),
         ImagUnitI | ImagUnitJ => one(scalar_of(Intrinsic::Complex, Range::top())),
         Disp | Error | Fprintf => vec![],
@@ -1222,7 +1212,12 @@ mod tests {
 
     #[test]
     fn division_degrades_int_to_real() {
-        let t = binary(BinOp::ElemDiv, &Type::constant(1.0), &Type::constant(3.0), &o());
+        let t = binary(
+            BinOp::ElemDiv,
+            &Type::constant(1.0),
+            &Type::constant(3.0),
+            &o(),
+        );
         assert_eq!(t.intrinsic, Intrinsic::Real);
     }
 
@@ -1324,7 +1319,7 @@ mod tests {
     }
 
     #[test]
-    fn store_growth_follows_index_range(){
+    fn store_growth_follows_index_range() {
         // A(i) = v with i in [1, 50] on a row vector: extent grows to at
         // least 1 (min) and at most 50 beyond its old max.
         let base = Type::matrix(Intrinsic::Real, 1, 10);
@@ -1368,7 +1363,12 @@ mod tests {
             range_propagation: false,
             ..InferOptions::default()
         };
-        let t = binary(BinOp::Add, &Type::constant(2.0), &Type::constant(3.0), &opts);
+        let t = binary(
+            BinOp::Add,
+            &Type::constant(2.0),
+            &Type::constant(3.0),
+            &opts,
+        );
         assert!(t.range.is_top());
         // Shape info is unaffected.
         assert!(t.is_scalar());
@@ -1426,7 +1426,11 @@ mod tests {
 
     #[test]
     fn matrix_literal_of_scalars() {
-        let row = vec![Type::constant(1.0), Type::constant(2.0), Type::constant(3.0)];
+        let row = vec![
+            Type::constant(1.0),
+            Type::constant(2.0),
+            Type::constant(3.0),
+        ];
         let t = matrix_literal(&[row], &o());
         assert_eq!(t.exact_shape(), Some(Shape::new(1, 3)));
         assert_eq!(t.intrinsic, Intrinsic::Int);

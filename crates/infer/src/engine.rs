@@ -162,10 +162,7 @@ impl<O: CalleeOracle> ForwardEngine<'_, O> {
                 args,
                 ..
             } => {
-                let arg_tys: Vec<Type> = args
-                    .iter()
-                    .map(|a| self.expr(a, &env, None))
-                    .collect();
+                let arg_tys: Vec<Type> = args.iter().map(|a| self.expr(a, &env, None)).collect();
                 let outs = match self.d.table.kind(*id) {
                     SymbolKind::Builtin(b) => {
                         calculator::builtin(b, &arg_tys, lhs.len(), &self.opts)
@@ -176,7 +173,9 @@ impl<O: CalleeOracle> ForwardEngine<'_, O> {
                         .unwrap_or_else(|| vec![Type::top(); lhs.len()]),
                     _ => vec![Type::top(); lhs.len()],
                 };
-                self.ann.types.insert(*id, outs.first().copied().unwrap_or_else(Type::top));
+                self.ann
+                    .types
+                    .insert(*id, outs.first().copied().unwrap_or_else(Type::top));
                 for (k, lv) in lhs.iter().enumerate() {
                     let t = outs.get(k).copied().unwrap_or_else(Type::top);
                     self.assign(lv, t, &mut env);
@@ -400,10 +399,8 @@ impl<O: CalleeOracle> ForwardEngine<'_, O> {
             }
             ExprKind::Str(s) => {
                 let n = s.len() as u64;
-                Type::string().with_exact_shape(majic_types::Shape::new(
-                    if n == 0 { 0 } else { 1 },
-                    n,
-                ))
+                Type::string()
+                    .with_exact_shape(majic_types::Shape::new(if n == 0 { 0 } else { 1 }, n))
             }
             ExprKind::Ident(name) => match self.d.table.kind(e.id) {
                 SymbolKind::Variable(v) => env[v.index()],
@@ -435,16 +432,14 @@ impl<O: CalleeOracle> ForwardEngine<'_, O> {
                     }
                 }
                 SymbolKind::Builtin(b) => {
-                    let arg_tys: Vec<Type> =
-                        args.iter().map(|a| self.expr(a, env, None)).collect();
+                    let arg_tys: Vec<Type> = args.iter().map(|a| self.expr(a, env, None)).collect();
                     calculator::builtin(b, &arg_tys, 1, &self.opts)
                         .first()
                         .copied()
                         .unwrap_or_else(Type::top)
                 }
                 SymbolKind::UserFunction => {
-                    let arg_tys: Vec<Type> =
-                        args.iter().map(|a| self.expr(a, env, None)).collect();
+                    let arg_tys: Vec<Type> = args.iter().map(|a| self.expr(a, env, None)).collect();
                     self.oracle
                         .call_types(callee, &arg_tys, 1)
                         .and_then(|v| v.first().copied())
@@ -535,8 +530,14 @@ fn same_shape_expr(a: &Expr, b: &Expr) -> bool {
                 && ax.iter().zip(ay).all(|(p, q)| same_shape_expr(p, q))
         }
         (
-            ExprKind::Unary { op: ox, operand: px },
-            ExprKind::Unary { op: oy, operand: py },
+            ExprKind::Unary {
+                op: ox,
+                operand: px,
+            },
+            ExprKind::Unary {
+                op: oy,
+                operand: py,
+            },
         ) => ox == oy && same_shape_expr(px, py),
         (
             ExprKind::Binary {
@@ -771,10 +772,9 @@ mod tests {
                 Some(vec![Type::constant(9.0); n])
             }
         }
-        let file = parse_source(
-            "function y = f(x)\ny = helper(x);\nfunction y = helper(x)\ny = x;\n",
-        )
-        .unwrap();
+        let file =
+            parse_source("function y = f(x)\ny = helper(x);\nfunction y = helper(x)\ny = x;\n")
+                .unwrap();
         let known: HashSet<String> = file.functions.iter().map(|f| f.name.clone()).collect();
         let d = disambiguate(&file.functions[0], &known);
         let ann = infer_jit(
@@ -794,7 +794,12 @@ mod tests {
             range_propagation: false,
             ..Default::default()
         };
-        let ann = infer_jit(&d, &Signature::new(vec![Type::constant(3.0)]), opts, &NoOracle);
+        let ann = infer_jit(
+            &d,
+            &Signature::new(vec![Type::constant(3.0)]),
+            opts,
+            &NoOracle,
+        );
         assert!(ann.outputs[0].as_constant().is_none());
         // Shape info survives.
         assert!(ann.outputs[0].is_scalar());

@@ -177,9 +177,7 @@ fn backward_expr(e: &Expr, want: &Type, hints: &mut HashMap<String, Type>) -> bo
             changed |= backward_expr(rhs, &w, hints);
             changed
         }
-        ExprKind::Unary { operand, .. } if want.is_scalar() => {
-            backward_expr(operand, want, hints)
-        }
+        ExprKind::Unary { operand, .. } if want.is_scalar() => backward_expr(operand, want, hints),
         _ => false,
     }
 }
@@ -236,7 +234,9 @@ impl HintCollector<'_> {
                 }
                 self.expr(rhs);
             }
-            StmtKind::MultiAssign { callee, args, id, .. } => {
+            StmtKind::MultiAssign {
+                callee, args, id, ..
+            } => {
                 self.call_hints(*id, callee, args);
                 for a in args {
                     self.expr(a);
@@ -463,9 +463,8 @@ mod tests {
 
     #[test]
     fn speculative_annotations_cover_the_body() {
-        let (_, ann, d) = speculate(
-            "function y = f(n)\ns = 0;\nfor k = 1:n\n s = s + k;\nend\ny = s;\n",
-        );
+        let (_, ann, d) =
+            speculate("function y = f(n)\ns = 0;\nfor k = 1:n\n s = s + k;\nend\ny = s;\n");
         // The speculative forward pass must have annotated the loop body
         // with non-top types (int scalars).
         assert_eq!(ann.params[0].intrinsic, Intrinsic::Int);

@@ -102,8 +102,8 @@ impl Interp {
     ///
     /// Returns parse or execution errors.
     pub fn eval(&mut self, src: &str) -> RuntimeResult<()> {
-        let (stmts, _) = parse_statements(src)
-            .map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        let (stmts, _) =
+            parse_statements(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
         let mut base = std::mem::take(&mut self.base);
         let r = self.exec_block(&stmts, &mut base);
         self.base = base;
@@ -164,15 +164,16 @@ impl Interp {
         self.invoke(&f, args, nargout)
     }
 
-    fn invoke(&mut self, f: &Function, args: &[Value], nargout: usize) -> RuntimeResult<Vec<Value>> {
+    fn invoke(
+        &mut self,
+        f: &Function,
+        args: &[Value],
+        nargout: usize,
+    ) -> RuntimeResult<Vec<Value>> {
         if args.len() > f.params.len() {
             return Err(RuntimeError::BadArity {
                 name: f.name.clone(),
-                detail: format!(
-                    "{} inputs, function takes {}",
-                    args.len(),
-                    f.params.len()
-                ),
+                detail: format!("{} inputs, function takes {}", args.len(), f.params.len()),
             });
         }
         self.depth += 1;
@@ -312,10 +313,7 @@ impl Interp {
                 let (rows, cols) = space.dims();
                 for c in 0..cols {
                     let item = if rows == 1 {
-                        ops::index_get(
-                            &space,
-                            &[Subscript::Index(Value::scalar((c + 1) as f64))],
-                        )?
+                        ops::index_get(&space, &[Subscript::Index(Value::scalar((c + 1) as f64))])?
                     } else {
                         ops::index_get(
                             &space,

@@ -24,6 +24,6 @@ mod inst;
 pub mod passes;
 
 pub use inst::{
-    Block, BlockId, CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, LoopInfo,
-    Operand, Reg, Slot, Terminator, VarBinding,
+    Block, BlockId, CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, LoopInfo, Operand,
+    Reg, Slot, Terminator, VarBinding,
 };

@@ -290,10 +290,7 @@ pub fn licm(f: &mut Function) {
                     if def_count.get(&d).copied().unwrap_or(0) != 1 {
                         continue;
                     }
-                    if i.f_sources()
-                        .iter()
-                        .any(|s| in_loop_defs.contains_key(s))
-                    {
+                    if i.f_sources().iter().any(|s| in_loop_defs.contains_key(s)) {
                         continue;
                     }
                     found = Some((bid.index(), k));
@@ -406,7 +403,13 @@ mod tests {
             term: Terminator::Return,
         }]);
         local_cse(&mut f);
-        assert_eq!(f.blocks[0].insts[1], Inst::FMov { d: Reg(3), s: Reg(2) });
+        assert_eq!(
+            f.blocks[0].insts[1],
+            Inst::FMov {
+                d: Reg(3),
+                s: Reg(2)
+            }
+        );
     }
 
     #[test]
@@ -471,8 +474,8 @@ mod tests {
             },
             Block {
                 insts: vec![
-                    bin(FBinOp::Mul, 3, 0, 1),     // invariant
-                    bin(FBinOp::Add, 4, 4, 3),     // varying accumulator
+                    bin(FBinOp::Mul, 3, 0, 1), // invariant
+                    bin(FBinOp::Add, 4, 4, 3), // varying accumulator
                 ],
                 term: Terminator::Branch {
                     cond: Reg(4),
@@ -493,9 +496,7 @@ mod tests {
         f.outputs = vec![VarBinding::F(Reg(4))];
         licm(&mut f);
         // The mul moved to block 0; the accumulator stayed.
-        assert!(f.blocks[0]
-            .insts
-            .contains(&bin(FBinOp::Mul, 3, 0, 1)));
+        assert!(f.blocks[0].insts.contains(&bin(FBinOp::Mul, 3, 0, 1)));
         assert_eq!(f.blocks[1].insts.len(), 1);
     }
 

@@ -15,12 +15,30 @@
 //! Safety is the subtype check `Qi ⊑ Ti` per parameter; it is what makes
 //! speculation *safe*: "a wrong guess by the compiler results, at worst,
 //! in degraded performance, but never affects program correctness".
+//!
+//! # Concurrency
+//!
+//! The repository is shared between the foreground engine and the
+//! background speculative-compilation workers, so it is `Send + Sync`:
+//! function entries are distributed across [`SHARD_COUNT`] independent
+//! `RwLock` shards (keyed by a hash of the function name), and the
+//! locator statistics are atomics. Lookups on one function never block
+//! behind inserts on a function in a different shard, and concurrent
+//! readers of the same shard proceed in parallel; a shard's write lock
+//! is held only for the duration of one `Vec::push`.
 
 use majic_types::{Signature, Type};
 use majic_vm::Executable;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
+
+/// Number of independent lock shards. A small power of two: the
+/// workload is dozens-to-hundreds of functions, not millions, and the
+/// goal is only that foreground lookups rarely contend with background
+/// publishes.
+pub const SHARD_COUNT: usize = 16;
 
 /// How a version was produced — used as a tie-breaker among equally
 /// close candidates (optimized code wins) and reported in diagnostics.
@@ -39,8 +57,8 @@ pub enum CodeQuality {
 pub struct CompiledVersion {
     /// The type signature the code was compiled for.
     pub signature: Signature,
-    /// The executable code.
-    pub code: Rc<Executable>,
+    /// The executable code (shared with any thread executing it).
+    pub code: Arc<Executable>,
     /// Pipeline that produced it.
     pub quality: CodeQuality,
     /// Inferred output types (fed back into inference as the callee
@@ -50,43 +68,96 @@ pub struct CompiledVersion {
     pub compile_time: Duration,
 }
 
-/// The repository: compiled versions per function name.
 #[derive(Debug, Default)]
+struct Shard {
+    functions: HashMap<String, Vec<CompiledVersion>>,
+}
+
+/// The repository: compiled versions per function name, sharded for
+/// concurrent access. All methods take `&self`; clone-free sharing
+/// between threads goes through `Arc<Repository>`.
+#[derive(Debug)]
 pub struct Repository {
-    versions: HashMap<String, Vec<CompiledVersion>>,
-    /// Lookup statistics: (hits, misses).
-    stats: (u64, u64),
+    shards: Vec<RwLock<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    /// Total compile time across all inserted versions, in nanoseconds.
+    compile_nanos: AtomicU64,
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository::new()
+    }
+}
+
+fn shard_index(name: &str) -> usize {
+    // FNV-1a: tiny, stable, good enough to spread function names.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % SHARD_COUNT as u64) as usize
 }
 
 impl Repository {
     /// An empty repository.
     pub fn new() -> Repository {
-        Repository::default()
+        Repository {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            compile_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<Shard> {
+        &self.shards[shard_index(name)]
     }
 
     /// Register a compiled version.
-    pub fn insert(&mut self, name: &str, version: CompiledVersion) {
-        self.versions.entry(name.to_owned()).or_default().push(version);
+    pub fn insert(&self, name: &str, version: CompiledVersion) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.compile_nanos
+            .fetch_add(version.compile_time.as_nanos() as u64, Ordering::Relaxed);
+        let mut shard = self.shard(name).write().expect("repository shard poisoned");
+        shard
+            .functions
+            .entry(name.to_owned())
+            .or_default()
+            .push(version);
     }
 
     /// The function locator: find the best safe version for an
     /// invocation, or `None` (triggering a JIT compilation).
-    pub fn lookup(&mut self, name: &str, actuals: &Signature) -> Option<&CompiledVersion> {
-        let found = self.versions.get(name).and_then(|versions| {
-            versions
-                .iter()
-                .filter(|v| v.signature.admits(actuals))
-                .min_by_key(|v| {
-                    (
-                        v.signature.distance(actuals).unwrap_or(u64::MAX),
-                        std::cmp::Reverse(v.quality),
-                    )
-                })
-        });
+    ///
+    /// Returns an owned clone (the `Executable` itself is behind an
+    /// `Arc`) so the shard lock is released before the code runs.
+    pub fn lookup(&self, name: &str, actuals: &Signature) -> Option<CompiledVersion> {
+        let found = {
+            let shard = self.shard(name).read().expect("repository shard poisoned");
+            shard.functions.get(name).and_then(|versions| {
+                versions
+                    .iter()
+                    .filter(|v| v.signature.admits(actuals))
+                    .min_by_key(|v| {
+                        (
+                            v.signature.distance(actuals).unwrap_or(u64::MAX),
+                            std::cmp::Reverse(v.quality),
+                        )
+                    })
+                    .cloned()
+            })
+        };
         if found.is_some() {
-            self.stats.0 += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.1 += 1;
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
@@ -94,7 +165,8 @@ impl Repository {
     /// Inference oracle: output types of the best version admitting the
     /// given argument types.
     pub fn call_types(&self, name: &str, args: &Signature) -> Option<Vec<Type>> {
-        self.versions.get(name).and_then(|versions| {
+        let shard = self.shard(name).read().expect("repository shard poisoned");
+        shard.functions.get(name).and_then(|versions| {
             versions
                 .iter()
                 .filter(|v| v.signature.admits(args))
@@ -105,35 +177,72 @@ impl Repository {
 
     /// Number of compiled versions of `name`.
     pub fn version_count(&self, name: &str) -> usize {
-        self.versions.get(name).map_or(0, Vec::len)
+        let shard = self.shard(name).read().expect("repository shard poisoned");
+        shard.functions.get(name).map_or(0, Vec::len)
+    }
+
+    /// Total number of versions across all functions.
+    pub fn total_versions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("repository shard poisoned")
+                    .functions
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// `(hits, misses)` of the function locator.
     pub fn stats(&self) -> (u64, u64) {
-        self.stats
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of `insert` calls since creation (or the last `clear`).
+    pub fn insert_count(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
     }
 
     /// Drop every version of `name` (source changed — the repository
     /// "triggers recompilations when the source code changes").
-    pub fn invalidate(&mut self, name: &str) {
-        self.versions.remove(name);
+    pub fn invalidate(&self, name: &str) {
+        let mut shard = self.shard(name).write().expect("repository shard poisoned");
+        shard.functions.remove(name);
     }
 
     /// Drop everything.
-    pub fn clear(&mut self) {
-        self.versions.clear();
-        self.stats = (0, 0);
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write()
+                .expect("repository shard poisoned")
+                .functions
+                .clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.compile_nanos.store(0, Ordering::Relaxed);
     }
 
-    /// Total compile time recorded across all versions.
+    /// Total compile time recorded across all inserted versions.
     pub fn total_compile_time(&self) -> Duration {
-        self.versions
-            .values()
-            .flatten()
-            .map(|v| v.compile_time)
-            .sum()
+        Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed))
     }
 }
+
+// The shards hold plain data behind std locks and the counters are
+// atomics; assert the properties the engine relies on at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Repository>();
+    assert_send_sync::<CompiledVersion>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -142,8 +251,8 @@ mod tests {
     use majic_types::{Intrinsic, Lattice};
     use majic_vm::Executable;
 
-    fn dummy_code() -> Rc<Executable> {
-        Rc::new(Executable::new(
+    fn dummy_code() -> Arc<Executable> {
+        Arc::new(Executable::new(
             &Function {
                 name: "f".into(),
                 blocks: vec![majic_ir::Block::default()],
@@ -166,7 +275,7 @@ mod tests {
 
     #[test]
     fn lookup_requires_safety() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert(
             "poly",
             version(vec![Type::scalar(Intrinsic::Int)], CodeQuality::Jit),
@@ -185,10 +294,13 @@ mod tests {
         // The Figure 3 ladder: an int-scalar invocation must pick the
         // int-scalar version over the real-scalar and complex-anything
         // versions.
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert(
             "poly",
-            version(vec![Type::top().with_intrinsic(Intrinsic::Complex)], CodeQuality::Jit),
+            version(
+                vec![Type::top().with_intrinsic(Intrinsic::Complex)],
+                CodeQuality::Jit,
+            ),
         );
         repo.insert(
             "poly",
@@ -200,12 +312,15 @@ mod tests {
         );
         let inv = Signature::new(vec![Type::constant(3.0)]);
         let found = repo.lookup("poly", &inv).unwrap();
-        assert_eq!(found.signature, Signature::new(vec![Type::scalar(Intrinsic::Int)]));
+        assert_eq!(
+            found.signature,
+            Signature::new(vec![Type::scalar(Intrinsic::Int)])
+        );
     }
 
     #[test]
     fn quality_breaks_ties() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert(
             "f",
             version(vec![Type::scalar(Intrinsic::Real)], CodeQuality::Jit),
@@ -223,15 +338,18 @@ mod tests {
 
     #[test]
     fn arity_mismatch_never_matches() {
-        let mut repo = Repository::new();
-        repo.insert("f", version(vec![Type::scalar(Intrinsic::Real)], CodeQuality::Jit));
+        let repo = Repository::new();
+        repo.insert(
+            "f",
+            version(vec![Type::scalar(Intrinsic::Real)], CodeQuality::Jit),
+        );
         let inv = Signature::new(vec![]);
         assert!(repo.lookup("f", &inv).is_none());
     }
 
     #[test]
     fn invalidation_forgets_versions() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert("f", version(vec![], CodeQuality::Jit));
         assert_eq!(repo.version_count("f"), 1);
         repo.invalidate("f");
@@ -240,7 +358,7 @@ mod tests {
 
     #[test]
     fn oracle_returns_output_types() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         let mut v = version(vec![Type::scalar(Intrinsic::Int)], CodeQuality::Jit);
         v.output_types = vec![Type::scalar(Intrinsic::Real)];
         repo.insert("f", v);
@@ -250,5 +368,28 @@ mod tests {
             Some(vec![Type::scalar(Intrinsic::Real)])
         );
         assert_eq!(repo.call_types("g", &args), None);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let repo = Arc::new(Repository::new());
+        let writer = {
+            let repo = Arc::clone(&repo);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    repo.insert(
+                        "t",
+                        version(vec![Type::scalar(Intrinsic::Int)], CodeQuality::Jit),
+                    );
+                }
+            })
+        };
+        let inv = Signature::new(vec![Type::constant(1.0)]);
+        for _ in 0..100 {
+            let _ = repo.lookup("t", &inv);
+        }
+        writer.join().unwrap();
+        assert_eq!(repo.version_count("t"), 100);
+        assert_eq!(repo.insert_count(), 100);
     }
 }

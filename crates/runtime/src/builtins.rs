@@ -184,7 +184,11 @@ impl Builtin {
             }
             Length => {
                 let (r, c) = arg(args, 0, "length")?.dims();
-                one(Value::scalar(if r * c == 0 { 0.0 } else { r.max(c) as f64 }))
+                one(Value::scalar(if r * c == 0 {
+                    0.0
+                } else {
+                    r.max(c) as f64
+                }))
             }
             Numel => one(Value::scalar(arg(args, 0, "numel")?.numel() as f64)),
             IsEmpty => one(Value::bool_scalar(arg(args, 0, "isempty")?.is_empty())),
@@ -204,9 +208,7 @@ impl Builtin {
                     other => {
                         let m = other.to_real_matrix()?;
                         if m.iter().any(|&v| v < 0.0) {
-                            one(Value::Complex(
-                                m.map(|&v| Complex::from(v).sqrt()),
-                            ))
+                            one(Value::Complex(m.map(|&v| Complex::from(v).sqrt())))
                         } else {
                             one(Value::Real(m.map(|&v| v.sqrt())))
                         }
@@ -229,15 +231,25 @@ impl Builtin {
                 }
             }
             Log10 => real_only(args, "log10", |x| x.log10()),
-            Sin => complex_aware(args, "sin", |x| x.sin(), |z| {
-                // sin(z) = (e^{iz} - e^{-iz}) / 2i
-                let iz = Complex::I * z;
-                (iz.exp() - (-iz).exp()) / Complex::new(0.0, 2.0)
-            }),
-            Cos => complex_aware(args, "cos", |x| x.cos(), |z| {
-                let iz = Complex::I * z;
-                (iz.exp() + (-iz).exp()) / Complex::from(2.0)
-            }),
+            Sin => complex_aware(
+                args,
+                "sin",
+                |x| x.sin(),
+                |z| {
+                    // sin(z) = (e^{iz} - e^{-iz}) / 2i
+                    let iz = Complex::I * z;
+                    (iz.exp() - (-iz).exp()) / Complex::new(0.0, 2.0)
+                },
+            ),
+            Cos => complex_aware(
+                args,
+                "cos",
+                |x| x.cos(),
+                |z| {
+                    let iz = Complex::I * z;
+                    (iz.exp() + (-iz).exp()) / Complex::from(2.0)
+                },
+            ),
             Tan => real_only(args, "tan", |x| x.tan()),
             Asin => real_only(args, "asin", |x| x.asin()),
             Acos => real_only(args, "acos", |x| x.acos()),
@@ -396,10 +408,7 @@ fn creation_dims(name: &str, args: &[Value]) -> RuntimeResult<(usize, usize)> {
                 Ok((n, n))
             }
         }
-        2 => Ok((
-            to_dim(args[0].to_scalar()?)?,
-            to_dim(args[1].to_scalar()?)?,
-        )),
+        2 => Ok((to_dim(args[0].to_scalar()?)?, to_dim(args[1].to_scalar()?)?)),
         n => Err(RuntimeError::BadArity {
             name: name.to_owned(),
             detail: format!("{n} arguments"),
@@ -474,7 +483,9 @@ fn reduce(
                     data.push(acc);
                 }
                 let n = data.len();
-                Ok(vec![Value::Complex(Matrix::from_vec(1, n, data)).normalized()])
+                Ok(vec![
+                    Value::Complex(Matrix::from_vec(1, n, data)).normalized()
+                ])
             }
         }
         other => {
@@ -500,9 +511,7 @@ fn extremum(args: &[Value], name: &str, is_max: bool) -> RuntimeResult<Vec<Value
         // NaN-ignoring, as in MATLAB.
         if a.is_nan() {
             b
-        } else if b.is_nan() {
-            a
-        } else if (a > b) == is_max {
+        } else if b.is_nan() || (a > b) == is_max {
             a
         } else {
             b
@@ -633,7 +642,7 @@ mod tests {
     fn size_and_friends() {
         let m = Value::Real(Matrix::zeros(2, 3));
         assert_eq!(
-            call(Builtin::Size, &[m.clone()]),
+            call(Builtin::Size, std::slice::from_ref(&m)),
             Value::Real(Matrix::from_rows(vec![vec![2.0, 3.0]]))
         );
         assert_eq!(
@@ -641,16 +650,27 @@ mod tests {
             Value::scalar(3.0)
         );
         let mut ctx = CallCtx::new();
-        let two = Builtin::Size.call(&mut ctx, &[m.clone()], 2).unwrap();
+        let two = Builtin::Size
+            .call(&mut ctx, std::slice::from_ref(&m), 2)
+            .unwrap();
         assert_eq!(two, vec![Value::scalar(2.0), Value::scalar(3.0)]);
-        assert_eq!(call(Builtin::Length, &[m.clone()]), Value::scalar(3.0));
+        assert_eq!(
+            call(Builtin::Length, std::slice::from_ref(&m)),
+            Value::scalar(3.0)
+        );
         assert_eq!(call(Builtin::Numel, &[m]), Value::scalar(6.0));
-        assert_eq!(call(Builtin::IsEmpty, &[Value::empty()]), Value::bool_scalar(true));
+        assert_eq!(
+            call(Builtin::IsEmpty, &[Value::empty()]),
+            Value::bool_scalar(true)
+        );
     }
 
     #[test]
     fn sqrt_promotes_negative_input() {
-        assert_eq!(call(Builtin::Sqrt, &[Value::scalar(4.0)]), Value::scalar(2.0));
+        assert_eq!(
+            call(Builtin::Sqrt, &[Value::scalar(4.0)]),
+            Value::scalar(2.0)
+        );
         let z = call(Builtin::Sqrt, &[Value::scalar(-4.0)]);
         assert_eq!(z, Value::complex_scalar(Complex::new(0.0, 2.0)));
     }
@@ -670,14 +690,23 @@ mod tests {
     #[test]
     fn reductions() {
         let v = Value::Real(Matrix::from_rows(vec![vec![1.0, 2.0, 3.0]]));
-        assert_eq!(call(Builtin::Sum, &[v.clone()]), Value::scalar(6.0));
-        assert_eq!(call(Builtin::Prod, &[v.clone()]), Value::scalar(6.0));
-        assert_eq!(call(Builtin::Max, &[v.clone()]), Value::scalar(3.0));
+        assert_eq!(
+            call(Builtin::Sum, std::slice::from_ref(&v)),
+            Value::scalar(6.0)
+        );
+        assert_eq!(
+            call(Builtin::Prod, std::slice::from_ref(&v)),
+            Value::scalar(6.0)
+        );
+        assert_eq!(
+            call(Builtin::Max, std::slice::from_ref(&v)),
+            Value::scalar(3.0)
+        );
         assert_eq!(call(Builtin::Min, &[v]), Value::scalar(1.0));
         // Matrices reduce column-wise.
         let m = Value::Real(Matrix::from_rows(vec![vec![1.0, 5.0], vec![3.0, 2.0]]));
         assert_eq!(
-            call(Builtin::Sum, &[m.clone()]),
+            call(Builtin::Sum, std::slice::from_ref(&m)),
             Value::Real(Matrix::from_rows(vec![vec![4.0, 7.0]]))
         );
         assert_eq!(
@@ -698,8 +727,14 @@ mod tests {
     #[test]
     fn complex_parts() {
         let z = Value::complex_scalar(Complex::new(3.0, 4.0));
-        assert_eq!(call(Builtin::Real, &[z.clone()]), Value::scalar(3.0));
-        assert_eq!(call(Builtin::Imag, &[z.clone()]), Value::scalar(4.0));
+        assert_eq!(
+            call(Builtin::Real, std::slice::from_ref(&z)),
+            Value::scalar(3.0)
+        );
+        assert_eq!(
+            call(Builtin::Imag, std::slice::from_ref(&z)),
+            Value::scalar(4.0)
+        );
         assert_eq!(call(Builtin::Abs, &[z]), Value::scalar(5.0));
     }
 

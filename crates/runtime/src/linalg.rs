@@ -59,13 +59,12 @@ pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> RuntimeResult<Matrix<T>>
             b.cols()
         )));
     }
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (m, n) = (a.rows(), b.cols());
     let mut out = vec![T::default(); m * n];
     for j in 0..n {
         let bcol = b.col(j);
         let ocol = &mut out[j * m..(j + 1) * m];
-        for l in 0..k {
-            let blj = bcol[l];
+        for (l, &blj) in bcol.iter().enumerate() {
             if blj == T::default() {
                 continue;
             }
@@ -261,7 +260,11 @@ pub fn eig(a: &Matrix<f64>) -> RuntimeResult<Vec<Complex>> {
         return Ok(Vec::new());
     }
     // Work in complex arithmetic.
-    let mut h: Vec<Complex> = a.to_contiguous().iter().map(|&v| Complex::from(v)).collect();
+    let mut h: Vec<Complex> = a
+        .to_contiguous()
+        .iter()
+        .map(|&v| Complex::from(v))
+        .collect();
 
     // Reduce to upper Hessenberg form with Householder-like eliminations
     // (Gaussian similarity transforms with pivoting are fine numerically
@@ -320,13 +323,11 @@ pub fn eig(a: &Matrix<f64>) -> RuntimeResult<Vec<Complex>> {
         let mut deflated = false;
         for k in (1..m).rev() {
             let s = at(&h, k - 1, k - 1).abs() + at(&h, k, k).abs();
-            if at(&h, k, k - 1).abs() <= 1e-14 * s.max(1e-300) {
-                if k == m - 1 {
-                    eigs.push(at(&h, m - 1, m - 1));
-                    m -= 1;
-                    deflated = true;
-                    break;
-                }
+            if at(&h, k, k - 1).abs() <= 1e-14 * s.max(1e-300) && k == m - 1 {
+                eigs.push(at(&h, m - 1, m - 1));
+                m -= 1;
+                deflated = true;
+                break;
             }
         }
         if deflated {
@@ -334,9 +335,7 @@ pub fn eig(a: &Matrix<f64>) -> RuntimeResult<Vec<Complex>> {
         }
         iters += 1;
         if iters > 200 * n {
-            return Err(RuntimeError::Raised(
-                "eig failed to converge".to_owned(),
-            ));
+            return Err(RuntimeError::Raised("eig failed to converge".to_owned()));
         }
         // Wilkinson shift from the trailing 2x2 block.
         let a11 = at(&h, m - 2, m - 2);

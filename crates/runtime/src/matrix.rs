@@ -163,9 +163,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
 
     /// Iterate elements in column-major order.
     pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
-        (0..self.cols).flat_map(move |c| {
-            self.data[c * self.lda..c * self.lda + self.rows].iter()
-        })
+        (0..self.cols).flat_map(move |c| self.data[c * self.lda..c * self.lda + self.rows].iter())
     }
 
     /// Collect the logical contents into a contiguous column-major vector.
@@ -272,11 +270,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
         if new_rows == self.rows && new_cols == self.cols {
             return;
         }
-        let alloc_cols = if self.lda == 0 {
-            0
-        } else {
-            self.data.len() / self.lda
-        };
+        let alloc_cols = self.data.len().checked_div(self.lda).unwrap_or(0);
         if new_rows <= self.lda && new_cols <= alloc_cols {
             // Fits: bump the logical extent. Cells inside the allocation
             // start zeroed and are re-zeroed on shrink-free growth paths,

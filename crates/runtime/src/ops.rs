@@ -160,8 +160,7 @@ pub fn elem_pow(a: &Value, b: &Value) -> RuntimeResult<Value> {
         // Does any element pair promote to complex?
         let ma = a.to_real_matrix()?;
         let mb = b.to_real_matrix()?;
-        if !ma.is_scalar() && !mb.is_scalar() && (ma.rows(), ma.cols()) != (mb.rows(), mb.cols())
-        {
+        if !ma.is_scalar() && !mb.is_scalar() && (ma.rows(), ma.cols()) != (mb.rows(), mb.cols()) {
             return Err(shape_err(a, b));
         }
         let promotes = |x: f64, y: f64| x < 0.0 && y.fract() != 0.0;
@@ -628,16 +627,18 @@ fn index_set_mat<T: Clone + Default + PartialEq>(
             let max = idx.iter().copied().max().map_or(0, |k| k + 1);
             if max > m.numel() {
                 // Linear-index growth is only legal for vectors/empties.
-                if m.is_empty() {
-                    m.grow(1, max, oversize);
-                } else if m.rows() == 1 {
+                if m.is_empty() || m.rows() == 1 {
                     m.grow(1, max, oversize);
                 } else if m.cols() == 1 {
                     m.grow(max, 1, oversize);
                 } else {
                     return Err(RuntimeError::IndexOutOfBounds {
                         index: max.to_string(),
-                        extent: format!("{}x{} (matrices cannot grow linearly)", m.rows(), m.cols()),
+                        extent: format!(
+                            "{}x{} (matrices cannot grow linearly)",
+                            m.rows(),
+                            m.cols()
+                        ),
                     });
                 }
             }
@@ -715,9 +716,7 @@ pub fn build_matrix(rows: &[Vec<Value>]) -> RuntimeResult<Value> {
 
     let complex = flat.iter().any(|v| is_complex(v));
     // Concatenate one row horizontally as a generic matrix.
-    fn hcat<T: Clone + Default + PartialEq>(
-        parts: Vec<Matrix<T>>,
-    ) -> RuntimeResult<Matrix<T>> {
+    fn hcat<T: Clone + Default + PartialEq>(parts: Vec<Matrix<T>>) -> RuntimeResult<Matrix<T>> {
         let parts: Vec<Matrix<T>> = parts.into_iter().filter(|p| !p.is_empty()).collect();
         if parts.is_empty() {
             return Ok(Matrix::zeros(0, 0));
@@ -735,9 +734,7 @@ pub fn build_matrix(rows: &[Vec<Value>]) -> RuntimeResult<Value> {
         }
         Ok(Matrix::from_vec(r, cols, data))
     }
-    fn vcat<T: Clone + Default + PartialEq>(
-        parts: Vec<Matrix<T>>,
-    ) -> RuntimeResult<Matrix<T>> {
+    fn vcat<T: Clone + Default + PartialEq>(parts: Vec<Matrix<T>>) -> RuntimeResult<Matrix<T>> {
         let parts: Vec<Matrix<T>> = parts.into_iter().filter(|p| !p.is_empty()).collect();
         if parts.is_empty() {
             return Ok(Matrix::zeros(0, 0));
@@ -765,8 +762,7 @@ pub fn build_matrix(rows: &[Vec<Value>]) -> RuntimeResult<Value> {
     if complex {
         let mut row_mats = Vec::new();
         for row in rows {
-            let parts: RuntimeResult<Vec<_>> =
-                row.iter().map(Value::to_complex_matrix).collect();
+            let parts: RuntimeResult<Vec<_>> = row.iter().map(Value::to_complex_matrix).collect();
             row_mats.push(hcat(parts?)?);
         }
         Ok(Value::Complex(vcat(row_mats)?).normalized())
@@ -790,8 +786,14 @@ mod tests {
 
     #[test]
     fn scalar_arithmetic() {
-        assert_eq!(add(&Value::scalar(2.0), &Value::scalar(3.0)).unwrap(), Value::scalar(5.0));
-        assert_eq!(sub(&Value::scalar(2.0), &Value::scalar(3.0)).unwrap(), Value::scalar(-1.0));
+        assert_eq!(
+            add(&Value::scalar(2.0), &Value::scalar(3.0)).unwrap(),
+            Value::scalar(5.0)
+        );
+        assert_eq!(
+            sub(&Value::scalar(2.0), &Value::scalar(3.0)).unwrap(),
+            Value::scalar(-1.0)
+        );
         assert_eq!(
             elem_mul(&Value::scalar(2.0), &Value::scalar(3.0)).unwrap(),
             Value::scalar(6.0)
@@ -859,17 +861,29 @@ mod tests {
             rv(vec![vec![1.0, 2.0, 3.0, 4.0]])
         );
         assert_eq!(
-            range(&Value::scalar(0.0), Some(&Value::scalar(0.5)), &Value::scalar(1.0)).unwrap(),
+            range(
+                &Value::scalar(0.0),
+                Some(&Value::scalar(0.5)),
+                &Value::scalar(1.0)
+            )
+            .unwrap(),
             rv(vec![vec![0.0, 0.5, 1.0]])
         );
         // Descending.
         assert_eq!(
-            range(&Value::scalar(3.0), Some(&Value::scalar(-1.0)), &Value::scalar(1.0)).unwrap(),
+            range(
+                &Value::scalar(3.0),
+                Some(&Value::scalar(-1.0)),
+                &Value::scalar(1.0)
+            )
+            .unwrap(),
             rv(vec![vec![3.0, 2.0, 1.0]])
         );
         // Empty.
         assert_eq!(
-            range(&Value::scalar(3.0), None, &Value::scalar(1.0)).unwrap().numel(),
+            range(&Value::scalar(3.0), None, &Value::scalar(1.0))
+                .unwrap()
+                .numel(),
             0
         );
         // Complex endpoints use the real part (paper §2.5).
@@ -899,7 +913,11 @@ mod tests {
         );
         // Row slice A(1, :).
         assert_eq!(
-            index_get(&m, &[Subscript::Index(Value::scalar(1.0)), Subscript::Colon]).unwrap(),
+            index_get(
+                &m,
+                &[Subscript::Index(Value::scalar(1.0)), Subscript::Colon]
+            )
+            .unwrap(),
             rv(vec![vec![1.0, 2.0, 3.0]])
         );
         // A(:) flattens column-major.
@@ -1041,11 +1059,9 @@ mod tests {
         let m = build_matrix(&[vec![Value::empty(), Value::scalar(1.0)]]).unwrap();
         assert_eq!(m, Value::scalar(1.0));
         // Mismatched rows fail.
-        assert!(build_matrix(&[vec![
-            rv(vec![vec![1.0], vec![2.0]]),
-            rv(vec![vec![1.0]])
-        ]])
-        .is_err());
+        assert!(
+            build_matrix(&[vec![rv(vec![vec![1.0], vec![2.0]]), rv(vec![vec![1.0]])]]).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Minimal wall-clock micro-benchmark harness (criterion replacement
+//! for offline builds). Bench targets declare `harness = false` and call
+//! [`run`] from `main`.
+//!
+//! Methodology mirrors the repo-wide "best of N" convention (paper
+//! §3.2): each benchmark is warmed up, then timed in batches sized to a
+//! target duration, and the best batch average is reported.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(80);
+/// Measured batches per benchmark (best one wins).
+const BATCHES: usize = 3;
+
+/// Time one closure and print a criterion-style line:
+/// `group/name  …  1234 ns/iter (best of 3 batches)`.
+pub fn bench(name: &str, mut body: impl FnMut()) {
+    // Warm-up + batch sizing: grow the iteration count until one batch
+    // takes long enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        let took = t0.elapsed();
+        if took >= BATCH_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if took.is_zero() {
+            16
+        } else {
+            (BATCH_TARGET.as_nanos() / took.as_nanos().max(1) + 1) as u64
+        };
+        iters = (iters * grow.clamp(2, 16)).min(1 << 20);
+    }
+    let mut best = Duration::MAX;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        let took = t0.elapsed();
+        if took < best {
+            best = took;
+        }
+    }
+    let per_iter = best.as_nanos() as f64 / iters as f64;
+    println!(
+        "{name:<40} {} ({iters} iters/batch, best of {BATCHES})",
+        fmt_ns(per_iter)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Print a group header, criterion-`benchmark_group` style.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

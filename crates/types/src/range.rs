@@ -76,6 +76,10 @@ impl Range {
     }
 
     /// Interval addition.
+    // Named like the `std::ops` methods on purpose: these are lattice
+    // transfer functions invoked by name from the rule database, not
+    // operator sugar, and `⊥`-propagation makes them unfit for the traits.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Range) -> Range {
         if self.is_bottom() || other.is_bottom() {
             return Range::bottom();
@@ -84,6 +88,7 @@ impl Range {
     }
 
     /// Interval subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Range) -> Range {
         if self.is_bottom() || other.is_bottom() {
             return Range::bottom();
@@ -92,6 +97,7 @@ impl Range {
     }
 
     /// Interval negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Range {
         if self.is_bottom() {
             return Range::bottom();
@@ -100,6 +106,7 @@ impl Range {
     }
 
     /// Interval multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Range) -> Range {
         if self.is_bottom() || other.is_bottom() {
             return Range::bottom();
@@ -120,6 +127,7 @@ impl Range {
     }
 
     /// Interval division; widens to `⊤` when the divisor may be zero.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Range) -> Range {
         if self.is_bottom() || other.is_bottom() {
             return Range::bottom();

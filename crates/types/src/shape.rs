@@ -111,10 +111,7 @@ impl Shape {
 
     /// Both extents known?
     pub fn is_finite(self) -> bool {
-        matches!(
-            (self.rows, self.cols),
-            (Dim::Finite(_), Dim::Finite(_))
-        )
+        matches!((self.rows, self.cols), (Dim::Finite(_), Dim::Finite(_)))
     }
 
     /// Total element count when finite.
@@ -227,7 +224,10 @@ mod tests {
 
     #[test]
     fn dim_arith() {
-        assert_eq!(Dim::Finite(3).saturating_mul(Dim::Finite(4)), Dim::Finite(12));
+        assert_eq!(
+            Dim::Finite(3).saturating_mul(Dim::Finite(4)),
+            Dim::Finite(12)
+        );
         assert_eq!(Dim::Inf.saturating_mul(Dim::Finite(4)), Dim::Inf);
         assert_eq!(Dim::from(7u64), Dim::Finite(7));
     }

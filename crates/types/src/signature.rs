@@ -106,8 +106,14 @@ mod tests {
             Type::scalar(Intrinsic::Real),
             Type::matrix(Intrinsic::Real, 3, 3),
         ]);
-        let good = Signature::new(vec![Type::constant(1.5), Type::matrix(Intrinsic::Int, 3, 3)]);
-        let bad = Signature::new(vec![Type::constant(1.5), Type::matrix(Intrinsic::Real, 4, 3)]);
+        let good = Signature::new(vec![
+            Type::constant(1.5),
+            Type::matrix(Intrinsic::Int, 3, 3),
+        ]);
+        let bad = Signature::new(vec![
+            Type::constant(1.5),
+            Type::matrix(Intrinsic::Real, 4, 3),
+        ]);
         assert!(sig.admits(&good));
         assert!(!sig.admits(&bad));
     }

@@ -87,8 +87,7 @@ impl Type {
     /// Is the shape exactly determined (lower and upper bounds equal and
     /// finite)?
     pub fn exact_shape(&self) -> Option<Shape> {
-        (self.min_shape == self.max_shape && self.max_shape.is_finite())
-            .then_some(self.max_shape)
+        (self.min_shape == self.max_shape && self.max_shape.is_finite()).then_some(self.max_shape)
     }
 
     /// Is this certainly a scalar (`1 × 1`)?

@@ -1,167 +1,244 @@
 //! Property-based tests of the lattice laws for all four component lattices
-//! and the product type.
+//! and the product type, driven by the in-repo [`majic_testkit`] runner.
 
+use majic_testkit::{forall, Rng};
 use majic_types::{Dim, Intrinsic, Lattice, Range, Shape, Type};
-use proptest::prelude::*;
 
-fn arb_intrinsic() -> impl Strategy<Value = Intrinsic> {
-    prop_oneof![
-        Just(Intrinsic::Bottom),
-        Just(Intrinsic::Bool),
-        Just(Intrinsic::Int),
-        Just(Intrinsic::Real),
-        Just(Intrinsic::Complex),
-        Just(Intrinsic::Str),
-        Just(Intrinsic::Top),
-    ]
+const CASES: u32 = 256;
+
+fn arb_intrinsic(rng: &mut Rng) -> Intrinsic {
+    *rng.choose(&[
+        Intrinsic::Bottom,
+        Intrinsic::Bool,
+        Intrinsic::Int,
+        Intrinsic::Real,
+        Intrinsic::Complex,
+        Intrinsic::Str,
+        Intrinsic::Top,
+    ])
 }
 
-fn arb_dim() -> impl Strategy<Value = Dim> {
-    prop_oneof![(0u64..20).prop_map(Dim::Finite), Just(Dim::Inf)]
+fn arb_dim(rng: &mut Rng) -> Dim {
+    if rng.below(5) == 0 {
+        Dim::Inf
+    } else {
+        Dim::Finite(rng.range_u64(0, 20))
+    }
 }
 
-fn arb_shape() -> impl Strategy<Value = Shape> {
-    (arb_dim(), arb_dim()).prop_map(|(rows, cols)| Shape { rows, cols })
+fn arb_shape(rng: &mut Rng) -> Shape {
+    Shape {
+        rows: arb_dim(rng),
+        cols: arb_dim(rng),
+    }
 }
 
-fn arb_range() -> impl Strategy<Value = Range> {
-    prop_oneof![
-        Just(Range::bottom()),
-        Just(Range::top()),
-        (-100i64..100, 0i64..50).prop_map(|(lo, w)| Range::new(lo as f64, (lo + w) as f64)),
-        (-100i64..100).prop_map(|lo| Range::new(lo as f64, f64::INFINITY)),
-        (-100i64..100).prop_map(|hi| Range::new(f64::NEG_INFINITY, hi as f64)),
-    ]
+fn arb_range(rng: &mut Rng) -> Range {
+    match rng.below(5) {
+        0 => Range::bottom(),
+        1 => Range::top(),
+        2 => {
+            let lo = rng.range_i64(-100, 100);
+            let w = rng.range_i64(0, 50);
+            Range::new(lo as f64, (lo + w) as f64)
+        }
+        3 => Range::new(rng.range_i64(-100, 100) as f64, f64::INFINITY),
+        _ => Range::new(f64::NEG_INFINITY, rng.range_i64(-100, 100) as f64),
+    }
 }
 
-fn arb_type() -> impl Strategy<Value = Type> {
-    (arb_intrinsic(), arb_shape(), arb_shape(), arb_range()).prop_map(
-        |(intrinsic, a, b, range)| Type {
-            intrinsic,
-            min_shape: a.meet(&b),
-            max_shape: a.join(&b),
-            range,
-        },
-    )
+fn arb_type(rng: &mut Rng) -> Type {
+    let (a, b) = (arb_shape(rng), arb_shape(rng));
+    Type {
+        intrinsic: arb_intrinsic(rng),
+        min_shape: a.meet(&b),
+        max_shape: a.join(&b),
+        range: arb_range(rng),
+    }
 }
 
 macro_rules! lattice_laws {
-    ($modname:ident, $strat:expr, $ty:ty) => {
+    ($modname:ident, $arb:ident, $ty:ty) => {
         mod $modname {
             use super::*;
 
-            proptest! {
-                #[test]
-                fn join_commutative(a in $strat, b in $strat) {
-                    prop_assert_eq!(a.join(&b), b.join(&a));
-                }
+            #[test]
+            fn join_commutative() {
+                forall(
+                    concat!(stringify!($modname), "/join_commutative"),
+                    CASES,
+                    |rng| {
+                        let (a, b) = ($arb(rng), $arb(rng));
+                        assert_eq!(a.join(&b), b.join(&a));
+                    },
+                );
+            }
 
-                #[test]
-                fn meet_commutative(a in $strat, b in $strat) {
-                    prop_assert_eq!(a.meet(&b), b.meet(&a));
-                }
+            #[test]
+            fn meet_commutative() {
+                forall(
+                    concat!(stringify!($modname), "/meet_commutative"),
+                    CASES,
+                    |rng| {
+                        let (a, b) = ($arb(rng), $arb(rng));
+                        assert_eq!(a.meet(&b), b.meet(&a));
+                    },
+                );
+            }
 
-                #[test]
-                fn join_idempotent(a in $strat) {
-                    prop_assert_eq!(a.join(&a), a);
-                }
+            #[test]
+            fn join_idempotent() {
+                forall(
+                    concat!(stringify!($modname), "/join_idempotent"),
+                    CASES,
+                    |rng| {
+                        let a = $arb(rng);
+                        assert_eq!(a.join(&a), a);
+                    },
+                );
+            }
 
-                #[test]
-                fn join_associative(a in $strat, b in $strat, c in $strat) {
-                    prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
-                }
+            #[test]
+            fn join_associative() {
+                forall(
+                    concat!(stringify!($modname), "/join_associative"),
+                    CASES,
+                    |rng| {
+                        let (a, b, c) = ($arb(rng), $arb(rng), $arb(rng));
+                        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+                    },
+                );
+            }
 
-                #[test]
-                fn join_is_upper_bound(a in $strat, b in $strat) {
-                    let j = a.join(&b);
-                    prop_assert!(a.le(&j));
-                    prop_assert!(b.le(&j));
-                }
+            #[test]
+            fn join_is_upper_bound() {
+                forall(
+                    concat!(stringify!($modname), "/join_is_upper_bound"),
+                    CASES,
+                    |rng| {
+                        let (a, b) = ($arb(rng), $arb(rng));
+                        let j = a.join(&b);
+                        assert!(a.le(&j));
+                        assert!(b.le(&j));
+                    },
+                );
+            }
 
-                #[test]
-                fn bottom_below_top(a in $strat) {
-                    prop_assert!(<$ty as Lattice>::bottom().le(&a));
-                    prop_assert!(a.le(&<$ty as Lattice>::top()));
-                }
+            #[test]
+            fn bottom_below_top() {
+                forall(
+                    concat!(stringify!($modname), "/bottom_below_top"),
+                    CASES,
+                    |rng| {
+                        let a = $arb(rng);
+                        assert!(<$ty as Lattice>::bottom().le(&a));
+                        assert!(a.le(&<$ty as Lattice>::top()));
+                    },
+                );
+            }
 
-                #[test]
-                fn le_consistent_with_join(a in $strat, b in $strat) {
-                    // a ⊑ b  ⟺  a ⊔ b = b
-                    prop_assert_eq!(a.le(&b), a.join(&b) == b);
-                }
+            #[test]
+            fn le_consistent_with_join() {
+                // a ⊑ b  ⟺  a ⊔ b = b
+                forall(
+                    concat!(stringify!($modname), "/le_consistent_with_join"),
+                    CASES,
+                    |rng| {
+                        let (a, b) = ($arb(rng), $arb(rng));
+                        assert_eq!(a.le(&b), a.join(&b) == b);
+                    },
+                );
             }
         }
     };
 }
 
-lattice_laws!(intrinsic_laws, arb_intrinsic(), Intrinsic);
-lattice_laws!(shape_laws, arb_shape(), Shape);
-lattice_laws!(range_laws, arb_range(), Range);
+lattice_laws!(intrinsic_laws, arb_intrinsic, Intrinsic);
+lattice_laws!(shape_laws, arb_shape, Shape);
+lattice_laws!(range_laws, arb_range, Range);
 
 mod type_laws {
     use super::*;
 
-    proptest! {
-        #[test]
-        fn join_commutative(a in arb_type(), b in arb_type()) {
-            prop_assert_eq!(a.join(&b), b.join(&a));
-        }
+    #[test]
+    fn join_commutative() {
+        forall("type/join_commutative", CASES, |rng| {
+            let (a, b) = (arb_type(rng), arb_type(rng));
+            assert_eq!(a.join(&b), b.join(&a));
+        });
+    }
 
-        #[test]
-        fn join_idempotent(a in arb_type()) {
-            prop_assert_eq!(a.join(&a), a);
-        }
+    #[test]
+    fn join_idempotent() {
+        forall("type/join_idempotent", CASES, |rng| {
+            let a = arb_type(rng);
+            assert_eq!(a.join(&a), a);
+        });
+    }
 
-        #[test]
-        fn subtype_reflexive(a in arb_type()) {
-            prop_assert!(a.is_subtype_of(&a));
-        }
+    #[test]
+    fn subtype_reflexive() {
+        forall("type/subtype_reflexive", CASES, |rng| {
+            let a = arb_type(rng);
+            assert!(a.is_subtype_of(&a));
+        });
+    }
 
-        #[test]
-        fn subtype_transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
+    #[test]
+    fn subtype_transitive() {
+        forall("type/subtype_transitive", CASES, |rng| {
+            let (a, b, c) = (arb_type(rng), arb_type(rng), arb_type(rng));
             if a.is_subtype_of(&b) && b.is_subtype_of(&c) {
-                prop_assert!(a.is_subtype_of(&c));
+                assert!(a.is_subtype_of(&c));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn distance_zero_on_self(a in arb_type()) {
-            prop_assert_eq!(a.distance(&a), 0);
-        }
+    #[test]
+    fn distance_zero_on_self() {
+        forall("type/distance_zero_on_self", CASES, |rng| {
+            let a = arb_type(rng);
+            assert_eq!(a.distance(&a), 0);
+        });
     }
 }
 
 mod range_arith_props {
     use super::*;
 
-    proptest! {
-        /// Soundness of interval arithmetic: for values drawn inside the
-        /// operand ranges, the concrete result lies inside the result range.
-        #[test]
-        fn add_sound(a_lo in -50i64..50, a_w in 0i64..20, b_lo in -50i64..50, b_w in 0i64..20,
-                     ta in 0.0f64..=1.0, tb in 0.0f64..=1.0) {
-            let ra = Range::new(a_lo as f64, (a_lo + a_w) as f64);
-            let rb = Range::new(b_lo as f64, (b_lo + b_w) as f64);
-            let x = ra.lo() + ta * (ra.hi() - ra.lo());
-            let y = rb.lo() + tb * (rb.hi() - rb.lo());
-            let sum = ra.add(rb);
-            prop_assert!(Range::constant(x + y).le(&sum));
-        }
+    /// Soundness of interval arithmetic: for values drawn inside the
+    /// operand ranges, the concrete result lies inside the result range.
+    #[test]
+    fn add_sound() {
+        forall("range/add_sound", CASES, |rng| {
+            let a_lo = rng.range_i64(-50, 50);
+            let b_lo = rng.range_i64(-50, 50);
+            let ra = Range::new(a_lo as f64, (a_lo + rng.range_i64(0, 20)) as f64);
+            let rb = Range::new(b_lo as f64, (b_lo + rng.range_i64(0, 20)) as f64);
+            let x = ra.lo() + rng.unit_f64() * (ra.hi() - ra.lo());
+            let y = rb.lo() + rng.unit_f64() * (rb.hi() - rb.lo());
+            assert!(Range::constant(x + y).le(&ra.add(rb)));
+        });
+    }
 
-        #[test]
-        fn mul_sound(a_lo in -50i64..50, a_w in 0i64..20, b_lo in -50i64..50, b_w in 0i64..20,
-                     ta in 0.0f64..=1.0, tb in 0.0f64..=1.0) {
-            let ra = Range::new(a_lo as f64, (a_lo + a_w) as f64);
-            let rb = Range::new(b_lo as f64, (b_lo + b_w) as f64);
-            let x = ra.lo() + ta * (ra.hi() - ra.lo());
-            let y = rb.lo() + tb * (rb.hi() - rb.lo());
-            prop_assert!(Range::constant(x * y).le(&ra.mul(rb)));
-        }
+    #[test]
+    fn mul_sound() {
+        forall("range/mul_sound", CASES, |rng| {
+            let a_lo = rng.range_i64(-50, 50);
+            let b_lo = rng.range_i64(-50, 50);
+            let ra = Range::new(a_lo as f64, (a_lo + rng.range_i64(0, 20)) as f64);
+            let rb = Range::new(b_lo as f64, (b_lo + rng.range_i64(0, 20)) as f64);
+            let x = ra.lo() + rng.unit_f64() * (ra.hi() - ra.lo());
+            let y = rb.lo() + rng.unit_f64() * (rb.hi() - rb.lo());
+            assert!(Range::constant(x * y).le(&ra.mul(rb)));
+        });
+    }
 
-        #[test]
-        fn widen_is_upper_bound(a in arb_range(), b in arb_range()) {
-            let w = b.widen_from(a);
-            prop_assert!(b.le(&w));
-        }
+    #[test]
+    fn widen_is_upper_bound() {
+        forall("range/widen_is_upper_bound", CASES, |rng| {
+            let (a, b) = (arb_range(rng), arb_range(rng));
+            assert!(b.le(&b.widen_from(a)));
+        });
     }
 }

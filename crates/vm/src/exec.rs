@@ -235,7 +235,9 @@ pub fn execute(
     }
 
     // Collect the requested outputs.
-    let wanted = nargout.max(usize::from(!exe.outputs.is_empty())).min(exe.outputs.len());
+    let wanted = nargout
+        .max(usize::from(!exe.outputs.is_empty()))
+        .min(exe.outputs.len());
     let mut outs = Vec::with_capacity(wanted);
     for b in exe.outputs.iter().take(wanted) {
         outs.push(match b {
@@ -243,12 +245,9 @@ pub fn execute(
             VarBinding::FSpill(s) => Value::scalar(m.fspill[*s as usize]),
             VarBinding::C(r) => Value::complex_scalar(m.c[r.index()]).normalized(),
             VarBinding::CSpill(s) => Value::complex_scalar(m.cspill[*s as usize]).normalized(),
-            VarBinding::Slot(s) => m.slots[s.index()]
-                .clone()
-                .ok_or_else(|| RuntimeError::Raised(format!(
-                    "output argument of '{}' not assigned",
-                    exe.name
-                )))?,
+            VarBinding::Slot(s) => m.slots[s.index()].clone().ok_or_else(|| {
+                RuntimeError::Raised(format!("output argument of '{}' not assigned", exe.name))
+            })?,
         });
     }
     Ok(outs)
@@ -431,7 +430,9 @@ fn exec_inst(
             j,
             checked,
         } => {
-            let slot = m.slots[arr.index()].as_ref().ok_or_else(|| undefined(*arr))?;
+            let slot = m.slots[arr.index()]
+                .as_ref()
+                .ok_or_else(|| undefined(*arr))?;
             let mat = match slot {
                 Value::Real(mat) => mat,
                 other => {
@@ -543,7 +544,9 @@ fn exec_inst(
             j,
             checked,
         } => {
-            let slot = m.slots[arr.index()].as_ref().ok_or_else(|| undefined(*arr))?;
+            let slot = m.slots[arr.index()]
+                .as_ref()
+                .ok_or_else(|| undefined(*arr))?;
             match slot {
                 Value::Complex(mat) => {
                     let (rows, cols) = (mat.rows(), mat.cols());
@@ -624,7 +627,9 @@ fn exec_inst(
         }
 
         Inst::ALoadConstF { d, arr, lin } => {
-            let slot = m.slots[arr.index()].as_ref().ok_or_else(|| undefined(*arr))?;
+            let slot = m.slots[arr.index()]
+                .as_ref()
+                .ok_or_else(|| undefined(*arr))?;
             match slot {
                 Value::Real(mat) => {
                     let (r, c) = linear_rc(*lin as usize, mat.rows());
@@ -642,7 +647,9 @@ fn exec_inst(
         }
         Inst::AStoreConstF { arr, lin, v } => {
             let val = m.f[v.index()];
-            let slot = m.slots[arr.index()].as_mut().ok_or_else(|| undefined(*arr))?;
+            let slot = m.slots[arr.index()]
+                .as_mut()
+                .ok_or_else(|| undefined(*arr))?;
             match slot {
                 Value::Real(mat) => {
                     let (r, c) = linear_rc(*lin as usize, mat.rows());
@@ -670,8 +677,7 @@ fn exec_inst(
             m.f[d.index()] = v.to_scalar()?;
         }
         Inst::CToSlot { slot, s } => {
-            m.slots[slot.index()] =
-                Some(Value::complex_scalar(m.c[s.index()]).normalized());
+            m.slots[slot.index()] = Some(Value::complex_scalar(m.c[s.index()]).normalized());
         }
         Inst::SlotToC { d, slot } => {
             let v = m.slots[slot.index()]
@@ -721,9 +727,7 @@ fn operand_value(a: &Operand, m: &Machine) -> RuntimeResult<Value> {
         Operand::F(r) => Value::scalar(m.f[r.index()]),
         Operand::C(r) => Value::complex_scalar(m.c[r.index()]).normalized(),
         Operand::FSpill(s) => Value::scalar(m.fspill[*s as usize]),
-        Operand::CSpill(s) => {
-            Value::complex_scalar(m.cspill[*s as usize]).normalized()
-        }
+        Operand::CSpill(s) => Value::complex_scalar(m.cspill[*s as usize]).normalized(),
         Operand::Str(s) => Value::Str(s.clone()),
         Operand::Colon => {
             return Err(RuntimeError::Raised(
@@ -828,11 +832,7 @@ fn exec_gen(
                     let b = operand_value(&args[2], m)?;
                     ops::range(&a, Some(&s), &b)?
                 }
-                n => {
-                    return Err(RuntimeError::Raised(format!(
-                        "range with {n} operands"
-                    )))
-                }
+                n => return Err(RuntimeError::Raised(format!("range with {n} operands"))),
             };
             store_results(dsts, vec![r], m, ":")
         }
@@ -922,14 +922,8 @@ fn exec_gen(
                 (Value::Real(am), Value::Real(xm), Value::Real(ym))
                     if xm.cols() == 1 && ym.cols() == 1 && am.rows() == ym.rows() =>
                 {
-                    linalg::gemv_fused(
-                        alpha,
-                        am,
-                        &xm.to_contiguous(),
-                        beta,
-                        &ym.to_contiguous(),
-                    )
-                    .ok()
+                    linalg::gemv_fused(alpha, am, &xm.to_contiguous(), beta, &ym.to_contiguous())
+                        .ok()
                 }
                 _ => None,
             };

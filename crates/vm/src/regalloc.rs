@@ -223,9 +223,7 @@ fn allocate_class(f: &mut Function, class: Class, mode: RegAllocMode) -> u32 {
     }
 
     // ---- rewrite ----
-    let loc = |r: Reg| -> Loc {
-        assignment.get(&r.0).copied().unwrap_or(Loc::Reg(0))
-    };
+    let loc = |r: Reg| -> Loc { assignment.get(&r.0).copied().unwrap_or(Loc::Reg(0)) };
     for block in &mut f.blocks {
         let mut out: Vec<Inst> = Vec::with_capacity(block.insts.len());
         for mut inst in block.insts.drain(..) {

@@ -38,7 +38,9 @@ fn main() {
     let mut interp = Majic::with_mode(ExecMode::Interpret);
     interp.load_source(SUMSQ).expect("valid source");
     let t = Instant::now();
-    let a = interp.call("sumsq", &[n.clone()], 1).expect("interpreted");
+    let a = interp
+        .call("sumsq", std::slice::from_ref(&n), 1)
+        .expect("interpreted");
     let t_interp = t.elapsed();
 
     let t = Instant::now();

@@ -5,7 +5,7 @@
 //! correctness".
 
 use majic::{ExecMode, Majic, Value};
-use proptest::prelude::*;
+use majic_testkit::{forall, Rng};
 
 fn run(mode: ExecMode, src: &str, func: &str, args: &[f64]) -> Result<f64, String> {
     let mut m = Majic::with_mode(mode);
@@ -20,7 +20,12 @@ fn run(mode: ExecMode, src: &str, func: &str, args: &[f64]) -> Result<f64, Strin
 
 fn agree(src: &str, func: &str, args: &[f64]) {
     let reference = run(ExecMode::Interpret, src, func, args);
-    for mode in [ExecMode::Mcc, ExecMode::Jit, ExecMode::Spec, ExecMode::Falcon] {
+    for mode in [
+        ExecMode::Mcc,
+        ExecMode::Jit,
+        ExecMode::Spec,
+        ExecMode::Falcon,
+    ] {
         let got = run(mode, src, func, args);
         match (&reference, &got) {
             (Ok(a), Ok(b)) => {
@@ -36,59 +41,69 @@ fn agree(src: &str, func: &str, args: &[f64]) {
 }
 
 /// A tiny expression generator over two scalar parameters.
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+fn arb_expr(rng: &mut Rng, depth: u32) -> String {
     if depth == 0 {
-        prop_oneof![
-            Just("x".to_owned()),
-            Just("y".to_owned()),
-            (-5i32..20).prop_map(|k| format!("{k}")),
-            (1u32..5).prop_map(|k| format!("{k}.5")),
-        ]
-        .boxed()
+        match rng.below(4) {
+            0 => "x".to_owned(),
+            1 => "y".to_owned(),
+            2 => format!("{}", rng.range_i64(-5, 20)),
+            _ => format!("{}.5", rng.range_u64(1, 5)),
+        }
     } else {
-        let sub = arb_expr(depth - 1);
-        prop_oneof![
-            4 => (sub.clone(), sub.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("/")
-            ]).prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-            1 => sub.clone().prop_map(|a| format!("(-{a})")),
-            1 => sub.clone().prop_map(|a| format!("abs({a})")),
-            1 => sub.clone().prop_map(|a| format!("floor({a})")),
-            1 => sub.clone().prop_map(|a| format!("({a})^2")),
-            1 => (sub.clone(), sub).prop_map(|(a, b)| format!("max({a}, {b})")),
-        ]
-        .boxed()
+        match rng.weighted(&[4, 1, 1, 1, 1, 1]) {
+            0 => {
+                let a = arb_expr(rng, depth - 1);
+                let b = arb_expr(rng, depth - 1);
+                let op = rng.choose(&["+", "-", "*", "/"]);
+                format!("({a} {op} {b})")
+            }
+            1 => format!("(-{})", arb_expr(rng, depth - 1)),
+            2 => format!("abs({})", arb_expr(rng, depth - 1)),
+            3 => format!("floor({})", arb_expr(rng, depth - 1)),
+            4 => format!("({})^2", arb_expr(rng, depth - 1)),
+            _ => {
+                let a = arb_expr(rng, depth - 1);
+                let b = arb_expr(rng, depth - 1);
+                format!("max({a}, {b})")
+            }
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_scalar_expressions_agree(e in arb_expr(3), x in -10.0f64..10.0, y in -10.0f64..10.0) {
+#[test]
+fn random_scalar_expressions_agree() {
+    forall("cross_mode/random_scalar_expressions", 48, |rng| {
+        let e = arb_expr(rng, 3);
+        let x = rng.range_f64(-10.0, 10.0);
+        let y = rng.range_f64(-10.0, 10.0);
         let src = format!("function r = probe(x, y)\nr = {e};\n");
         agree(&src, "probe", &[x, y]);
-    }
+    });
+}
 
-    #[test]
-    fn random_loops_agree(
-        n in 1u32..20,
-        add in -3i32..4,
-        thresh in 0i32..15,
-    ) {
+#[test]
+fn random_loops_agree() {
+    forall("cross_mode/random_loops", 48, |rng| {
+        let n = rng.range_u64(1, 20);
+        let add = rng.range_i64(-3, 4);
+        let thresh = rng.range_i64(0, 15);
         let src = format!(
             "function s = lp(n)\ns = 0;\nfor k = 1:n\n if k > {thresh}\n  s = s + k * {add};\n else\n  s = s - 1;\n end\nend\n"
         );
-        agree(&src, "lp", &[f64::from(n)]);
-    }
+        agree(&src, "lp", &[n as f64]);
+    });
+}
 
-    #[test]
-    fn random_array_programs_agree(n in 1u32..15, stride in 1u32..4) {
+#[test]
+fn random_array_programs_agree() {
+    forall("cross_mode/random_array_programs", 48, |rng| {
+        let n = rng.range_u64(1, 15);
+        let stride = rng.range_u64(1, 4);
         let src = format!(
             "function s = ap(n)\nv = zeros(1, n);\nfor k = 1:n\n v(k) = k * {stride};\nend\ns = sum(v) + v(1) + v(n);\n"
         );
-        agree(&src, "ap", &[f64::from(n)]);
-    }
+        agree(&src, "ap", &[n as f64]);
+    });
 }
 
 #[test]
@@ -159,11 +174,7 @@ fn continue_agrees() {
 
 #[test]
 fn shadowed_builtin_agrees() {
-    agree(
-        "function r = sh(x)\npi = x;\nr = pi * 2;\n",
-        "sh",
-        &[5.0],
-    );
+    agree("function r = sh(x)\npi = x;\nr = pi * 2;\n", "sh", &[5.0]);
 }
 
 #[test]

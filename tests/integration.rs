@@ -155,7 +155,8 @@ fn end_subscripts() {
 fn strings_and_output() {
     for mode in MODES {
         let mut m = Majic::with_mode(mode);
-        m.load_source("function greet()\ndisp('hello world');\n").unwrap();
+        m.load_source("function greet()\ndisp('hello world');\n")
+            .unwrap();
         m.call("greet", &[], 0).unwrap();
         assert_eq!(m.take_printed(), "hello world\n", "{mode:?}");
     }
