@@ -425,6 +425,7 @@ pub fn disambiguate(
     function: &Function,
     known_functions: &HashSet<String>,
 ) -> DisambiguatedFunction {
+    let _sp = majic_trace::Span::enter_with("disambig", || vec![("fn", function.name.clone())]);
     let mut a = Analyzer {
         known_functions,
         table: SymbolTable::default(),

@@ -5,6 +5,7 @@
 use majic_bench::{all, harness, Mode};
 
 fn main() {
+    let _trace = harness::trace_from_env();
     let cfg = harness::config_from_args();
     println!(
         "Figure 4/5: speedup over the interpreter ({:?}, scale {:.2}, best of {})",

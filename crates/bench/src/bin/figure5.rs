@@ -5,6 +5,7 @@
 use majic_bench::{all, harness, Mode};
 
 fn main() {
+    let _trace = harness::trace_from_env();
     let mut cfg = harness::config_from_args();
     cfg.platform = majic::Platform::Mips;
     println!(

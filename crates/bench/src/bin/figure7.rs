@@ -7,6 +7,7 @@ use majic::{InferOptions, RegAllocMode};
 use majic_bench::{all, harness, Mode};
 
 fn main() {
+    let _trace = harness::trace_from_env();
     let cfg = harness::config_from_args();
     println!(
         "Figure 7: JIT performance with optimizations disabled (scale {:.2}), % of full JIT",

@@ -76,6 +76,7 @@ fn first_call(
 }
 
 fn main() {
+    let _trace = harness::trace_from_env();
     let cfg = harness::config_from_args();
     let workers: usize = {
         let argv: Vec<String> = std::env::args().collect();

@@ -47,6 +47,7 @@ end
 ";
 
 fn main() {
+    let _trace = harness::trace_from_env();
     let cfg = harness::config_from_args();
     let stock = by_name("finedif").expect("known benchmark");
     let hand = Benchmark {

@@ -4,6 +4,7 @@
 use majic_bench::{all, harness, line_count, Mode};
 
 fn main() {
+    let _trace = harness::trace_from_env();
     let cfg = harness::config_from_args();
     println!("Table 1: MaJIC benchmarks (scale {:.2})", cfg.scale);
     println!(

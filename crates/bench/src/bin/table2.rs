@@ -5,6 +5,7 @@
 use majic_bench::{all, harness, Mode};
 
 fn main() {
+    let _trace = harness::trace_from_env();
     let cfg = harness::config_from_args();
     println!(
         "Table 2: JIT vs. speculative type inference (same backend, no compile time, scale {:.2})",

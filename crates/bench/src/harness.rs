@@ -154,6 +154,29 @@ pub fn fmt_speedup(s: f64) -> String {
     }
 }
 
+/// RAII guard honoring the `MAJIC_TRACE` environment variable for the
+/// duration of a bench binary: tracing is configured on creation
+/// ([`majic_trace::init_from_env`]) and the selected exporter runs on
+/// drop ([`majic_trace::finish`]). Bind it first thing in `main`:
+///
+/// ```no_run
+/// let _trace = majic_bench::harness::trace_from_env();
+/// ```
+#[must_use = "the guard exports the trace when dropped"]
+pub struct TraceSession(());
+
+/// Start a [`TraceSession`] from the `MAJIC_TRACE` environment variable.
+pub fn trace_from_env() -> TraceSession {
+    majic_trace::init_from_env();
+    TraceSession(())
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        majic_trace::finish();
+    }
+}
+
 /// Parse `--scale X` / `--platform sparc|mips` / `--runs N` from argv.
 pub fn config_from_args() -> MeasureConfig {
     let mut cfg = MeasureConfig::default();

@@ -50,8 +50,13 @@ pub fn compile_executable(
     ann: &Annotations,
     opts: &CodegenOptions,
 ) -> Result<Executable, CodegenError> {
+    let sp = majic_trace::Span::enter_with("select", || vec![("fn", d.function.name.clone())]);
     let mut func = compile(d, ann, opts)?;
-    passes::optimize(&mut func, opts.passes);
+    sp.exit();
+    {
+        let _sp = majic_trace::Span::enter("passes");
+        passes::optimize(&mut func, opts.passes);
+    }
     let (f_spill, c_spill) = allocate(&mut func, opts.regalloc);
     Ok(Executable::new(&func, f_spill, c_spill))
 }

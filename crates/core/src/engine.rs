@@ -159,8 +159,10 @@ impl Majic {
     ///
     /// Returns parse errors and script execution errors.
     pub fn load_source(&mut self, src: &str) -> RuntimeResult<()> {
+        let sp = majic_trace::Span::enter("parse");
         let file =
             parse_source(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        sp.exit();
         self.next_node_id = self.next_node_id.max(file.node_count);
         if !file.functions.is_empty() {
             let registry = Arc::make_mut(&mut self.registry);
@@ -196,8 +198,10 @@ impl Majic {
     ///
     /// Returns parse and execution errors.
     pub fn eval(&mut self, src: &str) -> RuntimeResult<()> {
+        let sp = majic_trace::Span::enter("parse");
         let (stmts, next) =
             parse_statements(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        sp.exit();
         self.next_node_id = self.next_node_id.max(next);
         self.exec_statements(&stmts)
     }
@@ -209,9 +213,10 @@ impl Majic {
                     continue;
                 }
             }
-            let t0 = Instant::now();
-            self.interp.exec_statements(std::slice::from_ref(stmt))?;
-            self.times.execution += t0.elapsed();
+            let sp = majic_trace::Span::enter("execution");
+            let r = self.interp.exec_statements(std::slice::from_ref(stmt));
+            self.times.execution += sp.exit();
+            r?;
         }
         Ok(())
     }
@@ -279,10 +284,19 @@ impl Majic {
         args: &[Value],
         nargout: usize,
     ) -> RuntimeResult<Vec<Value>> {
+        let _call = majic_trace::Span::enter_with("call", || {
+            vec![
+                ("fn", name.to_owned()),
+                ("mode", format!("{:?}", self.options.mode).to_lowercase()),
+            ]
+        });
+        if majic_trace::enabled() {
+            majic_trace::counter("engine.call").inc();
+        }
         if self.options.mode == ExecMode::Interpret || self.reaches_uncompilable(name) {
-            let t0 = Instant::now();
+            let sp = majic_trace::Span::enter("execution");
             let r = self.interp.call_function(name, args, nargout);
-            self.times.execution += t0.elapsed();
+            self.times.execution += sp.exit();
             return r;
         }
         let mut disp = EngineDispatcher {
@@ -296,9 +310,9 @@ impl Majic {
         };
         let sig = signature_of(args);
         let code = disp.ensure_code(name, &sig)?;
-        let t0 = Instant::now();
+        let sp = majic_trace::Span::enter("execution");
         let r = execute(&code, args, nargout, &mut disp, &mut self.interp.ctx);
-        self.times.execution += t0.elapsed();
+        self.times.execution += sp.exit();
         let mut outs = r?;
         outs.truncate(nargout.max(1));
         if outs.len() < nargout {
@@ -448,6 +462,25 @@ impl Majic {
     /// Zero the cumulative phase timers.
     pub fn reset_times(&mut self) {
         self.times = PhaseTimes::default();
+    }
+
+    /// Human-readable tree report of every span, counter, and histogram
+    /// recorded since tracing was enabled (or last reset). Tracing is
+    /// process-global — enable it with [`majic_trace::set_enabled`] or
+    /// the `MAJIC_TRACE` environment variable before the work of
+    /// interest runs.
+    pub fn trace_report(&self) -> String {
+        majic_trace::export::render_report(&majic_trace::snapshot())
+    }
+
+    /// Export everything recorded so far as Chrome trace-event JSON
+    /// loadable in `chrome://tracing` or Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from writing `path`.
+    pub fn export_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        majic_trace::export::write_chrome_trace(path.as_ref())
     }
 }
 
@@ -620,10 +653,19 @@ pub(crate) fn compile_function(
     let f = registry
         .get(name)
         .ok_or_else(|| RuntimeError::Undefined(name.to_owned()))?;
-    let t_start = Instant::now();
+    // Every phase below is bracketed by a trace span whose `exit()`
+    // duration feeds `PhaseTimes` — the Figure 6 decomposition and the
+    // trace exporters therefore read the *same* measurement.
+    let sp_compile = majic_trace::Span::enter_with("compile", || {
+        vec![
+            ("fn", name.to_owned()),
+            ("pipeline", format!("{pipeline:?}").to_lowercase()),
+            ("speculative", sig.is_none().to_string()),
+        ]
+    });
 
     // Phase 1: (inlining +) disambiguation.
-    let t0 = Instant::now();
+    let sp = majic_trace::Span::enter("disambiguation");
     let inlined;
     let to_analyze = if options.inline && pipeline != Pipeline::Mcc {
         inlined = inline_function(f, registry, InlineOptions::default(), next_node_id);
@@ -632,10 +674,10 @@ pub(crate) fn compile_function(
         f
     };
     let d: DisambiguatedFunction = disambiguate(to_analyze, known);
-    times.disambiguation += t0.elapsed();
+    times.disambiguation += sp.exit();
 
     // Phase 2: type inference.
-    let t1 = Instant::now();
+    let sp = majic_trace::Span::enter("inference");
     let (signature, ann): (Signature, Annotations) = match (pipeline, sig) {
         (Pipeline::Mcc, s) => (s.cloned().unwrap_or_default(), Annotations::default()),
         (_, Some(s)) => {
@@ -648,10 +690,10 @@ pub(crate) fn compile_function(
             infer_speculative(&d, options.infer, &oracle)
         }
     };
-    times.inference += t1.elapsed();
+    times.inference += sp.exit();
 
     // Phase 3: code generation.
-    let t2 = Instant::now();
+    let sp = majic_trace::Span::enter("codegen");
     let mut cg = match pipeline {
         Pipeline::Mcc => CodegenOptions::mcc(),
         Pipeline::Jit => CodegenOptions::jit(),
@@ -669,7 +711,7 @@ pub(crate) fn compile_function(
         };
     }
     let exe = compile_executable(&d, &ann, &cg).map_err(|e| RuntimeError::Raised(e.to_string()))?;
-    times.codegen += t2.elapsed();
+    times.codegen += sp.exit();
 
     let quality = match pipeline {
         Pipeline::Mcc => CodeQuality::Generic,
@@ -685,7 +727,7 @@ pub(crate) fn compile_function(
         code: Arc::new(exe),
         quality,
         output_types: outputs,
-        compile_time: t_start.elapsed(),
+        compile_time: sp_compile.exit(),
     })
 }
 
@@ -699,6 +741,9 @@ impl Dispatcher for EngineDispatcher<'_> {
     ) -> RuntimeResult<Vec<Value>> {
         if self.depth > 4000 {
             return Err(RuntimeError::Raised("recursion limit exceeded".to_owned()));
+        }
+        if majic_trace::enabled() {
+            majic_trace::counter("engine.call_user").inc();
         }
         let sig = signature_of(args);
         let code = self.ensure_code(name, &sig)?;

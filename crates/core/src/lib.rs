@@ -38,7 +38,8 @@ mod engine;
 mod spec;
 
 pub use engine::{EngineOptions, ExecMode, Majic, PhaseTimes, Platform};
-pub use spec::{SpecConfig, SpecRecord, SpecStats, SpecWorkerPool};
+pub use majic_repo::RepoStats;
+pub use spec::{SpecConfig, SpecRecord, SpecStats, SpecWorkerPool, DEFAULT_RECORD_CAPACITY};
 
 pub use majic_infer::InferOptions;
 pub use majic_runtime::{Matrix, RuntimeError, RuntimeResult, Value};

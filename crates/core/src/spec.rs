@@ -30,6 +30,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Default bound on the number of per-job [`SpecRecord`]s retained
+/// (aggregate counters stay exact regardless).
+pub const DEFAULT_RECORD_CAPACITY: usize = 1024;
+
 /// Worker-pool configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SpecConfig {
@@ -40,6 +44,11 @@ pub struct SpecConfig {
     /// Bounded queue capacity; when full, enqueues are rejected rather
     /// than blocking the session (speculation is best-effort).
     pub queue_capacity: usize,
+    /// Ring-buffer bound on retained per-job [`SpecRecord`]s: once this
+    /// many records exist the oldest is dropped for each new one.
+    /// Aggregate counters and totals remain exact either way. Clamped
+    /// to at least 1.
+    pub record_capacity: usize,
 }
 
 impl Default for SpecConfig {
@@ -47,6 +56,7 @@ impl Default for SpecConfig {
         SpecConfig {
             workers: 2,
             queue_capacity: 256,
+            record_capacity: DEFAULT_RECORD_CAPACITY,
         }
     }
 }
@@ -76,10 +86,17 @@ pub struct SpecRecord {
 }
 
 /// Aggregate observability for a pool's lifetime.
-#[derive(Clone, Debug, Default)]
+///
+/// `records` is a bounded ring (see [`SpecConfig::record_capacity`]):
+/// it keeps the most recent completions only, while the counters and
+/// `*_total` aggregates cover *every* job exactly.
+#[derive(Clone, Debug)]
 pub struct SpecStats {
-    /// Per-job records, in completion order.
-    pub records: Vec<SpecRecord>,
+    /// Per-job records, in completion order (most recent
+    /// `record_capacity` retained).
+    pub records: VecDeque<SpecRecord>,
+    /// Ring capacity in effect for `records`.
+    pub record_capacity: usize,
     /// Jobs accepted into the queue.
     pub enqueued: u64,
     /// Versions published into the repository.
@@ -88,17 +105,60 @@ pub struct SpecStats {
     pub failed: u64,
     /// Enqueues rejected because the queue was full or closed.
     pub rejected: u64,
+    /// Exact queue-wait total across all completed jobs (including any
+    /// whose records the ring has dropped).
+    pub queue_wait_total: Duration,
+    /// Exact compile-time total across all completed jobs.
+    pub compile_total: Duration,
+}
+
+impl Default for SpecStats {
+    fn default() -> Self {
+        SpecStats {
+            records: VecDeque::new(),
+            record_capacity: DEFAULT_RECORD_CAPACITY,
+            enqueued: 0,
+            published: 0,
+            failed: 0,
+            rejected: 0,
+            queue_wait_total: Duration::ZERO,
+            compile_total: Duration::ZERO,
+        }
+    }
 }
 
 impl SpecStats {
-    /// Total queue-wait across all completed jobs.
+    /// Total queue-wait across all completed jobs (exact even when the
+    /// record ring has dropped old entries).
     pub fn total_queue_wait(&self) -> Duration {
-        self.records.iter().map(|r| r.queue_wait).sum()
+        self.queue_wait_total
     }
 
-    /// Total background compile time across all completed jobs.
+    /// Total background compile time across all completed jobs (exact
+    /// even when the record ring has dropped old entries).
     pub fn total_compile(&self) -> Duration {
-        self.records.iter().map(|r| r.compile).sum()
+        self.compile_total
+    }
+
+    /// Jobs that ran to completion (published or failed).
+    pub fn completed(&self) -> u64 {
+        self.published + self.failed
+    }
+
+    /// Completed jobs whose per-job records the ring has dropped.
+    pub fn dropped_records(&self) -> u64 {
+        self.completed().saturating_sub(self.records.len() as u64)
+    }
+
+    /// Append a record, evicting the oldest once the ring is full.
+    /// Aggregates are updated unconditionally.
+    fn push_record(&mut self, r: SpecRecord) {
+        self.queue_wait_total += r.queue_wait;
+        self.compile_total += r.compile;
+        while self.records.len() >= self.record_capacity.max(1) {
+            self.records.pop_front();
+        }
+        self.records.push_back(r);
     }
 
     /// Human-readable one-line-per-job report.
@@ -110,6 +170,14 @@ impl SpecStats {
             "spec workers: {} enqueued, {} published, {} failed, {} rejected",
             self.enqueued, self.published, self.failed, self.rejected
         );
+        if self.dropped_records() > 0 {
+            let _ = writeln!(
+                out,
+                "  (showing last {} of {} jobs; totals remain exact)",
+                self.records.len(),
+                self.completed()
+            );
+        }
         for r in &self.records {
             let _ = writeln!(
                 out,
@@ -167,7 +235,10 @@ impl SpecWorkerPool {
             capacity: cfg.queue_capacity.max(1),
             repo,
             options,
-            stats: Mutex::new(SpecStats::default()),
+            stats: Mutex::new(SpecStats {
+                record_capacity: cfg.record_capacity.max(1),
+                ..SpecStats::default()
+            }),
             started: Instant::now(),
         });
         let handles = (0..cfg.workers)
@@ -277,6 +348,12 @@ fn worker_loop(shared: &PoolShared) {
             }
         };
         let queue_wait = job.enqueued.elapsed();
+        // The wait span is recorded retroactively with the enqueue
+        // timestamp as its start, so Chrome traces show the job sitting
+        // in the queue on this worker's track before compilation begins.
+        majic_trace::record_interval("spec.queue_wait", job.enqueued, queue_wait, || {
+            vec![("fn", job.name.clone())]
+        });
 
         // Compile outside every lock: this is the expensive part and the
         // whole point is that it happens off the session's critical path.
@@ -284,7 +361,7 @@ fn worker_loop(shared: &PoolShared) {
         // job — so a worker-local counter is safe.
         let mut scratch_ids: u32 = 1 << 24;
         let mut times = PhaseTimes::default();
-        let t0 = Instant::now();
+        let sp = majic_trace::Span::enter_with("spec.compile", || vec![("fn", job.name.clone())]);
         let compiled = compile_function(
             &job.registry,
             &job.known,
@@ -296,7 +373,7 @@ fn worker_loop(shared: &PoolShared) {
             &mut scratch_ids,
             &mut times,
         );
-        let compile = t0.elapsed();
+        let compile = sp.exit();
 
         let published_at = match compiled {
             Ok(version) => {
@@ -315,7 +392,7 @@ fn worker_loop(shared: &PoolShared) {
             } else {
                 stats.failed += 1;
             }
-            stats.records.push(SpecRecord {
+            stats.push_record(SpecRecord {
                 name: job.name,
                 queue_wait,
                 compile,

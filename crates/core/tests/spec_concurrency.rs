@@ -82,8 +82,8 @@ fn published_versions_are_picked_up() {
     m.call(entry, &argv, 1).unwrap();
     let after = m.repository().stats();
     // The call hit the speculative version: one more hit, no new miss.
-    assert_eq!(after.0, before.0 + 1);
-    assert_eq!(after.1, before.1);
+    assert_eq!(after.hits, before.hits + 1);
+    assert_eq!(after.misses, before.misses);
 
     // And the hit really is the optimized background version.
     let sig: Signature = argv.iter().map(Value::type_of).collect();
@@ -136,6 +136,7 @@ fn zero_worker_pool_rejects_and_session_survives() {
     m.speculate_background_with(SpecConfig {
         workers: 0,
         queue_capacity: 8,
+        ..SpecConfig::default()
     });
     m.spec_wait(); // must not hang
     let stats = m.spec_stats().unwrap();

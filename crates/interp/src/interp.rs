@@ -156,6 +156,7 @@ impl Interp {
         args: &[Value],
         nargout: usize,
     ) -> RuntimeResult<Vec<Value>> {
+        let _sp = majic_trace::Span::enter_with("interp.call", || vec![("fn", name.to_owned())]);
         let f = self
             .functions
             .get(name)

@@ -34,6 +34,33 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+/// Locator and lifecycle statistics of a [`Repository`].
+///
+/// All counts are since creation or the last [`Repository::clear`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepoStats {
+    /// Lookups answered by an existing version.
+    pub hits: u64,
+    /// Lookups with no safe version (each triggers a JIT compile).
+    pub misses: u64,
+    /// Versions inserted.
+    pub inserts: u64,
+    /// Invalidations (source-change recompilation triggers).
+    pub invalidations: u64,
+}
+
+impl RepoStats {
+    /// Fraction of lookups that hit, or 0.0 with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Number of independent lock shards. A small power of two: the
 /// workload is dozens-to-hundreds of functions, not millions, and the
 /// goal is only that foreground lookups rarely contend with background
@@ -82,6 +109,7 @@ pub struct Repository {
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    invalidations: AtomicU64,
     /// Total compile time across all inserted versions, in nanoseconds.
     compile_nanos: AtomicU64,
 }
@@ -112,6 +140,7 @@ impl Repository {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
         }
     }
@@ -159,6 +188,31 @@ impl Repository {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
+        if majic_trace::enabled() {
+            // Per-lookup locator event: the best match's Manhattan
+            // distance is the signal Tables 1–2 and future heuristics
+            // are built on.
+            let distance = found.as_ref().and_then(|v| v.signature.distance(actuals));
+            if let Some(d) = distance {
+                majic_trace::histogram("repo.lookup.distance").record(d);
+            }
+            majic_trace::counter(if found.is_some() {
+                "repo.hits"
+            } else {
+                "repo.misses"
+            })
+            .inc();
+            majic_trace::instant("repo.lookup", || {
+                let mut args = vec![
+                    ("fn", name.to_owned()),
+                    ("hit", found.is_some().to_string()),
+                ];
+                if let Some(d) = distance {
+                    args.push(("distance", d.to_string()));
+                }
+                args
+            });
+        }
         found
     }
 
@@ -196,12 +250,14 @@ impl Repository {
             .sum()
     }
 
-    /// `(hits, misses)` of the function locator.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Locator and lifecycle statistics.
+    pub fn stats(&self) -> RepoStats {
+        RepoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of `insert` calls since creation (or the last `clear`).
@@ -212,6 +268,7 @@ impl Repository {
     /// Drop every version of `name` (source changed — the repository
     /// "triggers recompilations when the source code changes").
     pub fn invalidate(&self, name: &str) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(name).write().expect("repository shard poisoned");
         shard.functions.remove(name);
     }
@@ -227,6 +284,7 @@ impl Repository {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.inserts.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
         self.compile_nanos.store(0, Ordering::Relaxed);
     }
 
@@ -286,7 +344,24 @@ mod tests {
         // Real invocation: 3.5 is not ⊑ int scalar.
         let bad = Signature::new(vec![Type::constant(3.5)]);
         assert!(repo.lookup("poly", &bad).is_none());
-        assert_eq!(repo.stats(), (1, 1));
+        let stats = repo.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let repo = Repository::new();
+        assert_eq!(repo.stats(), RepoStats::default());
+        repo.insert("f", version(vec![], CodeQuality::Jit));
+        repo.invalidate("f");
+        repo.invalidate("g"); // counting is per trigger, not per removal
+        let s = repo.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(s.hit_rate(), 0.0);
+        repo.clear();
+        assert_eq!(repo.stats(), RepoStats::default());
     }
 
     #[test]

@@ -81,11 +81,11 @@ fn readers_never_block_out_lost_inserts() {
                             "reader observed an unsafe hit"
                         );
                     }
-                    let (hits, misses) = repo.stats();
-                    assert!(hits >= last_hits, "hit counter went backwards");
-                    assert!(misses >= last_misses, "miss counter went backwards");
-                    last_hits = hits;
-                    last_misses = misses;
+                    let stats = repo.stats();
+                    assert!(stats.hits >= last_hits, "hit counter went backwards");
+                    assert!(stats.misses >= last_misses, "miss counter went backwards");
+                    last_hits = stats.hits;
+                    last_misses = stats.misses;
                     i += 1;
                 }
             })

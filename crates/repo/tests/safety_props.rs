@@ -184,6 +184,7 @@ fn stats_count_every_lookup() {
                 misses += 1;
             }
         }
-        assert_eq!(repo.stats(), (hits, misses));
+        let stats = repo.stats();
+        assert_eq!((stats.hits, stats.misses), (hits, misses));
     });
 }

@@ -28,6 +28,9 @@ pub struct Matrix<T> {
 impl<T: Clone + Default + PartialEq> Matrix<T> {
     /// A `rows × cols` matrix of default elements (zeros).
     pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        if majic_trace::vm_profile_enabled() {
+            majic_trace::counter("matrix.alloc").inc();
+        }
         Matrix {
             rows,
             cols,
@@ -271,6 +274,9 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
             return;
         }
         let alloc_cols = self.data.len().checked_div(self.lda).unwrap_or(0);
+        if majic_trace::vm_profile_enabled() {
+            majic_trace::counter("matrix.grow").inc();
+        }
         if new_rows <= self.lda && new_cols <= alloc_cols {
             // Fits: bump the logical extent. Cells inside the allocation
             // start zeroed and are re-zeroed on shrink-free growth paths,
@@ -280,6 +286,9 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
             return;
         }
         // Re-layout required.
+        if majic_trace::vm_profile_enabled() {
+            majic_trace::counter("matrix.relayout").inc();
+        }
         let big = new_rows.saturating_mul(new_cols) > OVERSIZE_LIMIT;
         let headroom = |n: usize, grew: bool| {
             if oversize && !big && grew {

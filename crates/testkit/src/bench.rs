@@ -47,7 +47,7 @@ pub fn bench(name: &str, mut body: impl FnMut()) {
         }
     }
     let per_iter = best.as_nanos() as f64 / iters as f64;
-    println!(
+    crate::outln!(
         "{name:<40} {} ({iters} iters/batch, best of {BATCHES})",
         fmt_ns(per_iter)
     );
@@ -67,5 +67,5 @@ fn fmt_ns(ns: f64) -> String {
 
 /// Print a group header, criterion-`benchmark_group` style.
 pub fn group(name: &str) {
-    println!("\n== {name} ==");
+    crate::outln!("\n== {name} ==");
 }

@@ -8,9 +8,16 @@
 //! * [`forall`] — a seeded property-test runner with reproducible
 //!   per-case seeds,
 //! * [`bench`] — a wall-clock micro-benchmark harness for
-//!   `harness = false` bench targets.
+//!   `harness = false` bench targets,
+//! * [`json`] — a minimal JSON parser for structural assertions
+//!   (Chrome trace exports and the like),
+//! * [`output`] — a routable `Write` sink the bench harness and
+//!   property runner report through, so tests can capture and assert
+//!   on their output.
 
 pub mod bench;
+pub mod json;
+pub mod output;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
@@ -120,7 +127,7 @@ pub fn forall(name: &str, cases: u32, body: impl Fn(&mut Rng)) {
             body(&mut rng);
         }));
         if let Err(payload) = result {
-            eprintln!(
+            crate::errln!(
                 "property `{name}` failed on case {case}/{cases} \
                  (reproduce with MAJIC_PROP_SEED={seed:#x})"
             );

@@ -1,0 +1,285 @@
+//! Monotonic counters and log₂-bucketed histograms.
+//!
+//! Both are registered globally by name on first use and live for the
+//! process (the registry leaks one allocation per distinct name — the
+//! standard metrics-registry trade for lock-free hot paths afterwards).
+//! Unlike spans, metric *increments* are not gated on [`crate::enabled`]
+//! by callers that always want the data; hot paths (the VM dispatch
+//! loop) gate on [`crate::vm_profile_enabled`] and flush aggregates.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<BTreeMap<String, &'static Counter>> = Mutex::new(BTreeMap::new());
+static HISTOGRAMS: Mutex<BTreeMap<String, &'static Histogram>> = Mutex::new(BTreeMap::new());
+
+/// Number of log₂ buckets per histogram (covers the full `u64` range).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A named monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// The counter registered under `name`, created on first use. The
+/// returned reference is `'static`: cache it outside hot loops.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = COUNTERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(c) = reg.get(name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        name: name.to_owned(),
+        value: AtomicU64::new(0),
+    }));
+    reg.insert(name.to_owned(), c);
+    c
+}
+
+/// A named histogram over `u64` samples with log₂ buckets: bucket 0
+/// holds the value 0, bucket `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+/// Exact count and sum are kept alongside, so means are exact and only
+/// percentiles are bucket-approximate.
+#[derive(Debug)]
+pub struct Histogram {
+    name: String,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name.clone(),
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum (exact).
+    pub sum: u64,
+    /// Log₂ bucket counts (see [`Histogram`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of the samples, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution upper bound for the `q`-quantile (`q` in
+    /// `[0, 1]`): the top of the bucket the quantile sample falls in.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return match k {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << k) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The histogram registered under `name`, created on first use.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = HISTOGRAMS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(h) = reg.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram {
+        name: name.to_owned(),
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+    }));
+    reg.insert(name.to_owned(), h);
+    h
+}
+
+/// Name-sorted snapshot of every registered counter.
+pub(crate) fn counter_snapshots() -> Vec<CounterSnapshot> {
+    COUNTERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .values()
+        .map(|c| CounterSnapshot {
+            name: c.name.clone(),
+            value: c.get(),
+        })
+        .collect()
+}
+
+/// Name-sorted snapshot of every registered histogram.
+pub(crate) fn histogram_snapshots() -> Vec<HistogramSnapshot> {
+    HISTOGRAMS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .values()
+        .map(|h| h.snapshot())
+        .collect()
+}
+
+/// Zero every registered counter and histogram (registrations persist).
+pub fn reset_metrics() {
+    for c in COUNTERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .values()
+    {
+        c.reset();
+    }
+    for h in HISTOGRAMS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .values()
+    {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reuse() {
+        let c = counter("test.metrics.counter");
+        let v0 = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), v0 + 5);
+        // Same registration on re-lookup.
+        assert!(std::ptr::eq(c, counter("test.metrics.counter")));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+
+        let h = histogram("test.metrics.hist");
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 106);
+        assert!((s.mean() - 21.2).abs() < 1e-9);
+        assert_eq!(s.quantile_bound(0.0), 0);
+        // Median sample is 2 → bucket [2,4) → bound 3.
+        assert_eq!(s.quantile_bound(0.5), 3);
+        assert!(s.quantile_bound(1.0) >= 100);
+    }
+}

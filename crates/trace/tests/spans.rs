@@ -1,0 +1,205 @@
+//! Integration tests over the global collector: span nesting, thread
+//! attribution, and exporter round-trips.
+//!
+//! The collector is process-global, so every test here serializes on
+//! one lock and resets state on entry.
+
+use majic_testkit::json::Json;
+use majic_trace::{
+    export, instant, record_interval, reset, set_enabled, snapshot, EventKind, Span,
+};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize a test and start it from a clean, enabled collector.
+fn begin() -> MutexGuard<'static, ()> {
+    let g = LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    reset();
+    set_enabled(true);
+    g
+}
+
+fn end(g: MutexGuard<'static, ()>) {
+    set_enabled(false);
+    reset();
+    drop(g);
+}
+
+#[test]
+fn paths_nest_per_thread() {
+    let g = begin();
+    {
+        let outer = Span::enter("outer");
+        {
+            let inner = Span::enter_with("inner", || vec![("k", "v".to_owned())]);
+            instant("mark", || vec![("n", "1".to_owned())]);
+            inner.exit();
+        }
+        let mid = Span::enter("mid");
+        mid.exit();
+        outer.exit();
+    }
+    let snap = snapshot();
+    let paths: Vec<&str> = snap.events.iter().map(|e| e.path.as_str()).collect();
+    // Completion order: leaves close before their parents.
+    assert_eq!(
+        paths,
+        vec!["outer;inner;mark", "outer;inner", "outer;mid", "outer"]
+    );
+    let mark = &snap.events[0];
+    assert_eq!(mark.kind, EventKind::Instant);
+    assert_eq!(mark.dur_ns, 0);
+    let inner = &snap.events[1];
+    assert_eq!(inner.name, "inner");
+    assert_eq!(inner.args, vec![("k", "v".to_owned())]);
+    let outer = snap.events.last().unwrap();
+    // A parent's interval contains its child's.
+    assert!(outer.ts_ns <= inner.ts_ns);
+    assert!(inner.ts_ns + inner.dur_ns <= outer.ts_ns + outer.dur_ns + 1);
+    end(g);
+}
+
+#[test]
+fn threads_attribute_independently() {
+    let g = begin();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::Builder::new()
+                .name(format!("spans-test-{i}"))
+                .spawn(move || {
+                    let sp = Span::enter("work");
+                    let nested = Span::enter("step");
+                    nested.exit();
+                    sp.exit();
+                })
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = snapshot();
+    assert_eq!(snap.events.len(), 8);
+    for i in 0..4 {
+        let name = format!("spans-test-{i}");
+        let mine: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| *e.thread_name == name)
+            .collect();
+        // Each thread contributed exactly its own two spans — nesting
+        // stacks are thread-local, so no cross-thread paths appear.
+        assert_eq!(mine.len(), 2, "events for {name}");
+        assert!(mine.iter().any(|e| e.path == "work"));
+        assert!(mine.iter().any(|e| e.path == "work;step"));
+        let tid = mine[0].tid;
+        assert!(mine.iter().all(|e| e.tid == tid));
+    }
+    // Four distinct collector tids.
+    let mut tids: Vec<u64> = snap.events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 4);
+    end(g);
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_invariants() {
+    let g = begin();
+    {
+        let sp = Span::enter_with("alpha", || vec![("fn", "f\"q\"".to_owned())]);
+        let inner = Span::enter("beta");
+        inner.exit();
+        sp.exit();
+        instant("gamma", Vec::new);
+    }
+    let snap = snapshot();
+    let json = export::chrome_trace_json(&snap);
+    let doc = Json::parse(&json).expect("chrome export parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut complete = 0;
+    let mut instants = 0;
+    let mut metadata = 0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        assert!(ev.get("pid").and_then(Json::as_f64).is_some());
+        assert!(ev.get("tid").and_then(Json::as_f64).is_some());
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+        match ph {
+            "X" => {
+                complete += 1;
+                let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(ev.get("s").and_then(Json::as_str), Some("t"));
+                assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+            }
+            "M" => {
+                metadata += 1;
+                assert_eq!(ev.get("name").and_then(Json::as_str), Some("thread_name"));
+            }
+            other => panic!("unexpected ph {other:?}"),
+        }
+    }
+    assert_eq!(complete, 2);
+    assert_eq!(instants, 1);
+    assert!(metadata >= 1);
+    // The escaped quote in the span arg survived the round trip.
+    let alpha = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("alpha"))
+        .unwrap();
+    assert_eq!(
+        alpha
+            .get("args")
+            .and_then(|a| a.get("fn"))
+            .and_then(Json::as_str),
+        Some("f\"q\"")
+    );
+    end(g);
+}
+
+#[test]
+fn folded_output_parses_and_covers_paths() {
+    let g = begin();
+    {
+        let a = Span::enter("a");
+        std::thread::sleep(Duration::from_millis(1));
+        let b = Span::enter("b");
+        b.exit();
+        a.exit();
+    }
+    let folded = export::folded_stacks(&snapshot());
+    let mut seen = Vec::new();
+    for line in folded.lines() {
+        let (stack, n) = line.rsplit_once(' ').expect("stack SPACE value");
+        let _: u64 = n.parse().expect("numeric self-time");
+        seen.push(stack.to_owned());
+    }
+    assert!(seen.contains(&"a".to_owned()));
+    assert!(seen.contains(&"a;b".to_owned()));
+    end(g);
+}
+
+#[test]
+fn record_interval_backdates_start() {
+    let g = begin();
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(2));
+    record_interval("waited", t0, t0.elapsed(), Vec::new);
+    let snap = snapshot();
+    let ev = snap.events.iter().find(|e| e.name == "waited").unwrap();
+    assert_eq!(ev.kind, EventKind::Span);
+    assert!(ev.dur_ns >= 2_000_000, "dur {} < 2ms", ev.dur_ns);
+    end(g);
+}

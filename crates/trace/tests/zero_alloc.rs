@@ -1,0 +1,59 @@
+//! Disabled-mode overhead: opening and closing spans with tracing off
+//! must not allocate. This test binary installs a counting global
+//! allocator, so it contains exactly one test (no parallel tests to
+//! attribute stray allocations to).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_and_counters_do_not_allocate() {
+    majic_trace::set_enabled(false);
+    majic_trace::set_vm_profile(false);
+    // Registration allocates once; do it before the measured region and
+    // keep the &'static handle, as hot paths are told to.
+    let c = majic_trace::counter("zero_alloc.test");
+    // Warm up thread-locals and lazies outside the measured window.
+    {
+        let sp = majic_trace::Span::enter("warmup");
+        sp.exit();
+        c.inc();
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let sp = majic_trace::Span::enter("hot");
+        let _ = sp.exit();
+        let sp = majic_trace::Span::enter_with("hot2", || vec![("never", "evaluated".to_owned())]);
+        drop(sp);
+        majic_trace::instant("hot3", || vec![("never", "evaluated".to_owned())]);
+        c.inc();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing allocated {} times in the hot loop",
+        after - before
+    );
+    assert_eq!(c.get(), 10_001);
+}

@@ -212,27 +212,16 @@ pub fn execute(
         }
     }
 
-    let mut pc = 0usize;
-    loop {
-        debug_assert!(pc < exe.steps.len());
-        // SAFETY: jump targets are produced by the flattener and always
-        // point inside `steps`; straight-line fallthrough ends at `Ret`.
-        match unsafe { exe.steps.get_unchecked(pc) } {
-            Step::Ret => break,
-            Step::Jump(t) => {
-                pc = *t as usize;
-                continue;
-            }
-            Step::BranchZero { cond, target } => {
-                if m.rf(*cond) == 0.0 {
-                    pc = *target as usize;
-                    continue;
-                }
-            }
-            Step::I(inst) => exec_inst(inst, &mut m, disp, ctx)?,
-        }
-        pc += 1;
+    // Opt-in execution profiling: the disabled cost is one relaxed load
+    // here plus a branch on a local per step inside `run_loop`.
+    let mut prof = majic_trace::vm_profile_enabled().then(VmProfile::default);
+    let run = run_loop(exe, &mut m, disp, ctx, prof.as_mut());
+    if let Some(p) = prof {
+        // Flush on the error path too: a profile of a crashing program
+        // is exactly what the profiler is for.
+        p.flush(&exe.name);
     }
+    run?;
 
     // Collect the requested outputs.
     let wanted = nargout
@@ -251,6 +240,142 @@ pub fn execute(
         });
     }
     Ok(outs)
+}
+
+fn run_loop(
+    exe: &Executable,
+    m: &mut Machine,
+    disp: &mut dyn Dispatcher,
+    ctx: &mut CallCtx,
+    mut prof: Option<&mut VmProfile>,
+) -> RuntimeResult<()> {
+    let mut pc = 0usize;
+    loop {
+        debug_assert!(pc < exe.steps.len());
+        // SAFETY: jump targets are produced by the flattener and always
+        // point inside `steps`; straight-line fallthrough ends at `Ret`.
+        match unsafe { exe.steps.get_unchecked(pc) } {
+            Step::Ret => return Ok(()),
+            Step::Jump(t) => {
+                pc = *t as usize;
+                continue;
+            }
+            Step::BranchZero { cond, target } => {
+                if let Some(p) = prof.as_deref_mut() {
+                    p.branches += 1;
+                }
+                if m.rf(*cond) == 0.0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Step::I(inst) => {
+                if let Some(p) = prof.as_deref_mut() {
+                    p.count(inst);
+                }
+                exec_inst(inst, m, disp, ctx)?;
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// Per-invocation instruction profile, flushed into the global trace
+/// counters when the invocation finishes (`vm.inst.total`,
+/// `vm.op.<opcode>`, `vm.call.builtin`, `vm.call.user`, `vm.branch`).
+/// Kept invocation-local so the hot loop touches no shared state.
+#[derive(Debug, Default)]
+struct VmProfile {
+    total: u64,
+    branches: u64,
+    builtin_calls: u64,
+    user_calls: u64,
+    by_op: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl VmProfile {
+    fn count(&mut self, inst: &Inst) {
+        self.total += 1;
+        *self.by_op.entry(opcode_name(inst)).or_insert(0) += 1;
+        match inst {
+            Inst::Gen {
+                op: GenOp::CallBuiltin(_),
+                ..
+            } => self.builtin_calls += 1,
+            Inst::Gen {
+                op: GenOp::CallUser(_),
+                ..
+            } => self.user_calls += 1,
+            _ => {}
+        }
+    }
+
+    fn flush(self, fn_name: &str) {
+        majic_trace::counter("vm.inst.total").add(self.total);
+        majic_trace::counter("vm.branch").add(self.branches);
+        majic_trace::counter("vm.call.builtin").add(self.builtin_calls);
+        majic_trace::counter("vm.call.user").add(self.user_calls);
+        majic_trace::counter(&format!("vm.fn.{fn_name}")).inc();
+        let mut name = String::with_capacity(32);
+        for (op, n) in self.by_op {
+            name.clear();
+            name.push_str("vm.op.");
+            name.push_str(op);
+            majic_trace::counter(&name).add(n);
+        }
+    }
+}
+
+/// Stable profiling name of one instruction.
+fn opcode_name(inst: &Inst) -> &'static str {
+    match inst {
+        Inst::FConst { .. } => "fconst",
+        Inst::FMov { .. } => "fmov",
+        Inst::FBin { .. } => "fbin",
+        Inst::FUn { .. } => "fun",
+        Inst::FCmp { .. } => "fcmp",
+        Inst::FSpillLoad { .. } => "fspill_load",
+        Inst::FSpillStore { .. } => "fspill_store",
+        Inst::CConst { .. } => "cconst",
+        Inst::CMov { .. } => "cmov",
+        Inst::CBin { .. } => "cbin",
+        Inst::CUn { .. } => "cun",
+        Inst::CAbs { .. } => "cabs",
+        Inst::CPart { .. } => "cpart",
+        Inst::CMake { .. } => "cmake",
+        Inst::CSpillLoad { .. } => "cspill_load",
+        Inst::CSpillStore { .. } => "cspill_store",
+        Inst::ALoadF { .. } => "aload_f",
+        Inst::AStoreF { .. } => "astore_f",
+        Inst::ALoadC { .. } => "aload_c",
+        Inst::AStoreC { .. } => "astore_c",
+        Inst::ALoadConstF { .. } => "aload_const_f",
+        Inst::AStoreConstF { .. } => "astore_const_f",
+        Inst::FToSlot { .. } => "f_to_slot",
+        Inst::SlotToF { .. } => "slot_to_f",
+        Inst::CToSlot { .. } => "c_to_slot",
+        Inst::SlotToC { .. } => "slot_to_c",
+        Inst::SlotMov { .. } => "slot_mov",
+        Inst::TruthF { .. } => "truth_f",
+        Inst::ExtentF { .. } => "extent_f",
+        Inst::ErrUndefined(_) => "err_undefined",
+        Inst::Gen { op, .. } => match op {
+            GenOp::Binary(_) => "gen.binary",
+            GenOp::Unary(_) => "gen.unary",
+            GenOp::Transpose(_) => "gen.transpose",
+            GenOp::Range => "gen.range",
+            GenOp::BuildMatrix { .. } => "gen.build_matrix",
+            GenOp::IndexGet => "gen.index_get",
+            GenOp::IndexSet { .. } => "gen.index_set",
+            GenOp::CallBuiltin(_) => "gen.call_builtin",
+            GenOp::CallUser(_) => "gen.call_user",
+            GenOp::ResolveAmbiguous(_) => "gen.resolve_ambiguous",
+            GenOp::Gemv => "gen.gemv",
+            GenOp::AllocReal { .. } => "gen.alloc_real",
+            GenOp::EnsureReal { .. } => "gen.ensure_real",
+            GenOp::Display(_) => "gen.display",
+        },
+    }
 }
 
 fn to_complex_scalar(v: &Value) -> RuntimeResult<Complex> {

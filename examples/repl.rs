@@ -35,8 +35,15 @@ fn main() {
                 println!(".quit                               leave");
             }
             ".repo" => {
-                let (hits, misses) = session.repository().stats();
-                println!("function locator: {hits} hits, {misses} misses");
+                let stats = session.repository().stats();
+                println!(
+                    "function locator: {} hits, {} misses ({:.0}% hit rate), {} inserts, {} invalidations",
+                    stats.hits,
+                    stats.misses,
+                    100.0 * stats.hit_rate(),
+                    stats.inserts,
+                    stats.invalidations
+                );
             }
             _ if trimmed.starts_with(".mode") => {
                 let mode = match trimmed.split_whitespace().nth(1) {
