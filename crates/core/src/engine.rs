@@ -7,6 +7,7 @@ use majic_codegen::{compile_executable, CodegenOptions};
 use majic_infer::{infer_jit, infer_speculative, Annotations, CalleeOracle, InferOptions};
 use majic_interp::Interp;
 use majic_ir::passes::PassOptions;
+use majic_repo::cache::{CacheEntry, RepoCache};
 use majic_repo::{CodeQuality, CompiledVersion, Repository};
 use majic_runtime::builtins::CallCtx;
 use majic_runtime::{RuntimeError, RuntimeResult, Value};
@@ -117,10 +118,43 @@ pub struct Majic {
     next_node_id: u32,
     /// Background speculative-compilation pool, when started.
     spec: Option<SpecWorkerPool>,
+    /// Attached persistent cache, if any ([`Majic::attach_cache`]).
+    cache: Option<RepoCache>,
+    /// Cache entries loaded from disk but not yet tied to live source:
+    /// they install into the repository only when `load_source`
+    /// registers the matching function with a matching source hash.
+    pending_cache: HashMap<String, Vec<CacheEntry>>,
+    /// Running warm-start accounting ([`Majic::cache_report`]).
+    cache_report: CacheReport,
     /// Engine configuration (mutable between calls).
     pub options: EngineOptions,
     /// Cumulative phase times since the last [`Majic::reset_times`].
     pub times: PhaseTimes,
+}
+
+/// Cumulative accounting of one session's persistent-cache activity.
+///
+/// Mirrored into the `repo.cache.*` trace counters; this struct is the
+/// authoritative per-session record (trace counters are process-global).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Entries that decoded and checksummed cleanly from disk.
+    pub loaded: usize,
+    /// Entries installed into the live repository after their function's
+    /// source hash matched (`repo.cache.warm_hit`).
+    pub installed: usize,
+    /// Whole-file rejections: bad magic or container version
+    /// (`repo.cache.reject.version`).
+    pub rejected_version: usize,
+    /// Whole-file rejections: compiler build fingerprint mismatch
+    /// (`repo.cache.reject.fingerprint`).
+    pub rejected_fingerprint: usize,
+    /// Entries dropped for checksum/framing/decode damage
+    /// (`repo.cache.reject.checksum`).
+    pub rejected_checksum: usize,
+    /// Entries whose function was reloaded with different source
+    /// (`repo.cache.reject.source_hash`).
+    pub rejected_source_hash: usize,
 }
 
 impl Default for Majic {
@@ -139,6 +173,9 @@ impl Majic {
             known: Arc::new(HashSet::new()),
             next_node_id: 0,
             spec: None,
+            cache: None,
+            pending_cache: HashMap::new(),
+            cache_report: CacheReport::default(),
             options: EngineOptions::default(),
             times: PhaseTimes::default(),
         }
@@ -174,6 +211,18 @@ impl Majic {
                 known.insert(f.name.clone());
                 registry.insert(f.name.clone(), f.clone());
                 self.interp.define_function(f.clone());
+            }
+            // Warm start: now that the authoritative source is known,
+            // cached compiled versions whose source hash still matches
+            // may install into the repository.
+            for f in &file.functions {
+                install_cached(
+                    &mut self.pending_cache,
+                    &self.repo,
+                    &mut self.cache_report,
+                    &f.name,
+                    source_hash(f),
+                );
             }
             // A running pool snoops newly loaded sources (the paper's
             // "source directory snoop"): speculate on them right away.
@@ -408,6 +457,100 @@ impl Majic {
         Some(pool.stats())
     }
 
+    /// Attach a persistent repository cache at `path` and load whatever
+    /// it holds (see `docs/CACHE_FORMAT.md`).
+    ///
+    /// Loading is infallible: a missing file is a cold start, and any
+    /// corruption, truncation, version skew, or fingerprint mismatch
+    /// degrades to a cold start for the affected entries — never a panic
+    /// and never stale code. Loaded entries do **not** enter the live
+    /// repository yet; each installs only when [`Majic::load_source`]
+    /// registers its function with an unchanged source hash (functions
+    /// already registered are checked immediately).
+    ///
+    /// An attached cache is flushed by [`Majic::save_cache`] and,
+    /// best-effort, when the session drops.
+    pub fn attach_cache(&mut self, path: impl Into<std::path::PathBuf>) -> CacheReport {
+        let cache = RepoCache::new(path, majic_codegen::build_fingerprint());
+        let (entries, load) = cache.load();
+        self.cache = Some(cache);
+        self.cache_report.loaded += load.loaded;
+        self.cache_report.rejected_version += load.rejected_version;
+        self.cache_report.rejected_fingerprint += load.rejected_fingerprint;
+        self.cache_report.rejected_checksum += load.rejected_checksum;
+        for e in entries {
+            self.pending_cache
+                .entry(e.name.clone())
+                .or_default()
+                .push(e);
+        }
+        // Sources loaded before the cache was attached can warm up now.
+        let names: Vec<String> = self
+            .pending_cache
+            .keys()
+            .filter(|n| self.registry.contains_key(*n))
+            .cloned()
+            .collect();
+        for name in names {
+            let hash = source_hash(&self.registry[&name]);
+            install_cached(
+                &mut self.pending_cache,
+                &self.repo,
+                &mut self.cache_report,
+                &name,
+                hash,
+            );
+        }
+        self.cache_report
+    }
+
+    /// Flush the repository to the attached cache (atomic write).
+    /// Returns the number of entries written, or 0 with no cache
+    /// attached.
+    ///
+    /// Entries still pending from load (their functions were never
+    /// re-registered this session, so their sources were never
+    /// contradicted) are carried over rather than dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic save.
+    pub fn save_cache(&mut self) -> std::io::Result<usize> {
+        let Some(cache) = &self.cache else {
+            return Ok(0);
+        };
+        let mut entries: Vec<CacheEntry> = Vec::new();
+        for (name, versions) in self.repo.entries() {
+            // Only functions whose source is in hand can be revalidated
+            // next session.
+            let Some(f) = self.registry.get(&name) else {
+                continue;
+            };
+            let hash = source_hash(f);
+            for version in versions {
+                entries.push(CacheEntry {
+                    name: name.clone(),
+                    source_hash: hash,
+                    version,
+                });
+            }
+        }
+        let mut carried: Vec<&String> = self.pending_cache.keys().collect();
+        carried.sort();
+        let carried: Vec<CacheEntry> = carried
+            .into_iter()
+            .flat_map(|n| self.pending_cache[n].iter().cloned())
+            .collect();
+        entries.extend(carried);
+        cache.save(&entries)?;
+        Ok(entries.len())
+    }
+
+    /// This session's warm-start accounting so far.
+    pub fn cache_report(&self) -> CacheReport {
+        self.cache_report
+    }
+
     /// Does `name`'s static call graph reach a function compiled code
     /// cannot express (`global` / `clear`)?
     fn reaches_uncompilable(&self, name: &str) -> bool {
@@ -481,6 +624,52 @@ impl Majic {
     /// Returns I/O errors from writing `path`.
     pub fn export_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         majic_trace::export::write_chrome_trace(path.as_ref())
+    }
+}
+
+impl Drop for Majic {
+    /// Best-effort shutdown flush: with a cache attached, finish any
+    /// background speculation (so its versions are included) and save.
+    /// Errors are swallowed — drop must not panic, and a failed flush
+    /// only costs next session's warm start.
+    fn drop(&mut self) {
+        if self.cache.is_some() {
+            self.finish_speculation();
+            let _ = self.save_cache();
+        }
+    }
+}
+
+/// The per-function invalidation key: an FNV-1a hash of the canonical
+/// (pretty-printed) source. Whitespace/comment-insensitive by
+/// construction, stable across sessions and platforms.
+fn source_hash(f: &Function) -> u64 {
+    majic_types::wire::fnv1a(format!("{f}").as_bytes())
+}
+
+/// Move `name`'s pending cache entries into the live repository if their
+/// recorded source hash matches the just-registered source; reject them
+/// otherwise. This is the gate that guarantees a stale cache is never
+/// executed.
+fn install_cached(
+    pending: &mut HashMap<String, Vec<CacheEntry>>,
+    repo: &Repository,
+    report: &mut CacheReport,
+    name: &str,
+    live_hash: u64,
+) {
+    let Some(entries) = pending.remove(name) else {
+        return;
+    };
+    for e in entries {
+        if e.source_hash == live_hash {
+            repo.insert(name, e.version);
+            report.installed += 1;
+            majic_trace::counter("repo.cache.warm_hit").inc();
+        } else {
+            report.rejected_source_hash += 1;
+            majic_trace::counter("repo.cache.reject.source_hash").inc();
+        }
     }
 }
 

@@ -33,11 +33,20 @@
 //! | [`ExecMode::Jit`] | on miss | fast selection + linear scan | MaJIC JIT (compile time counts) |
 //! | [`ExecMode::Spec`] | ahead of time ([`Majic::speculate_all`]) | optimizing backend | MaJIC speculative |
 //! | [`ExecMode::Falcon`] | on miss, exact signature | optimizing backend | FALCON batch compiler |
+//!
+//! # Warm start
+//!
+//! Attach a persistent cache ([`Majic::attach_cache`]) and the session
+//! reloads previously compiled versions from disk, so the first call of
+//! a warm session skips JIT latency entirely; [`Majic::save_cache`] (or
+//! drop) flushes new versions back. Stale or damaged caches degrade to a
+//! cold start — see `docs/CACHE_FORMAT.md` for the integrity gates.
 
 mod engine;
 mod spec;
 
-pub use engine::{EngineOptions, ExecMode, Majic, PhaseTimes, Platform};
+pub use engine::{CacheReport, EngineOptions, ExecMode, Majic, PhaseTimes, Platform};
+pub use majic_repo::cache::{LoadReport, RepoCache};
 pub use majic_repo::RepoStats;
 pub use spec::{SpecConfig, SpecRecord, SpecStats, SpecWorkerPool, DEFAULT_RECORD_CAPACITY};
 

@@ -20,8 +20,14 @@
 //! numbers are virtual until `majic-vm`'s linear-scan allocator assigns
 //! physical registers and spill slots.
 
+//!
+//! The [`serial`] module gives every IR type a canonical binary encoding
+//! so compiled functions can persist in the on-disk repository cache
+//! (`docs/CACHE_FORMAT.md`).
+
 mod inst;
 pub mod passes;
+pub mod serial;
 
 pub use inst::{
     Block, BlockId, CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, LoopInfo, Operand,

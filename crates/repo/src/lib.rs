@@ -26,6 +26,16 @@
 //! behind inserts on a function in a different shard, and concurrent
 //! readers of the same shard proceed in parallel; a shard's write lock
 //! is held only for the duration of one `Vec::push`.
+//!
+//! # Persistence
+//!
+//! The [`cache`] module persists repository contents across sessions in
+//! an integrity-checked on-disk file (`docs/CACHE_FORMAT.md`), turning
+//! speculative compilation into a cross-session asset.
+
+#![deny(missing_docs)]
+
+pub mod cache;
 
 use majic_types::{Signature, Type};
 use majic_vm::Executable;
@@ -291,6 +301,22 @@ impl Repository {
     /// Total compile time recorded across all inserted versions.
     pub fn total_compile_time(&self) -> Duration {
         Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time snapshot of every compiled version, grouped by
+    /// function and sorted by name (so serialized caches are
+    /// deterministic). Shards are locked one at a time; concurrent
+    /// inserts may or may not appear.
+    pub fn entries(&self) -> Vec<(String, Vec<CompiledVersion>)> {
+        let mut all: Vec<(String, Vec<CompiledVersion>)> = Vec::new();
+        for s in &self.shards {
+            let shard = s.read().expect("repository shard poisoned");
+            for (name, versions) in &shard.functions {
+                all.push((name.clone(), versions.clone()));
+            }
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 }
 

@@ -1,6 +1,6 @@
 //! Minimal wall-clock micro-benchmark harness (criterion replacement
 //! for offline builds). Bench targets declare `harness = false` and call
-//! [`run`] from `main`.
+//! [`bench()`] from `main`.
 //!
 //! Methodology mirrors the repo-wide "best of N" convention (paper
 //! §3.2): each benchmark is warmed up, then timed in batches sized to a

@@ -7,7 +7,7 @@
 //! * [`Rng`] — a deterministic SplitMix64 generator,
 //! * [`forall`] — a seeded property-test runner with reproducible
 //!   per-case seeds,
-//! * [`bench`] — a wall-clock micro-benchmark harness for
+//! * [`mod@bench`] — a wall-clock micro-benchmark harness for
 //!   `harness = false` bench targets,
 //! * [`json`] — a minimal JSON parser for structural assertions
 //!   (Chrome trace exports and the like),

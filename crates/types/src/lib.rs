@@ -16,6 +16,10 @@
 //! safety check (`Qi ⊑ Ti` for every actual parameter) and its
 //! Manhattan-distance best-match heuristic (paper §2.2.1).
 //!
+//! The [`wire`] module provides the zero-dependency binary codecs these
+//! types use when the repository persists compiled code across sessions
+//! (`docs/CACHE_FORMAT.md`).
+//!
 //! # Examples
 //!
 //! ```
@@ -30,11 +34,14 @@
 //! assert!(!t.is_subtype_of(&q));
 //! ```
 
+#![deny(missing_docs)]
+
 mod intrinsic;
 mod range;
 mod shape;
 mod signature;
 mod ty;
+pub mod wire;
 
 pub use intrinsic::Intrinsic;
 pub use range::Range;

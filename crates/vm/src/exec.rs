@@ -2,12 +2,13 @@
 //! register code.
 
 use majic_ir::{
-    CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, Operand, Reg, Slot, Terminator,
-    VarBinding,
+    serial, CBinOp, CUnOp, CmpOp, FBinOp, FUnOp, Function, GenOp, Inst, Operand, Reg, Slot,
+    Terminator, VarBinding,
 };
 use majic_runtime::builtins::{Builtin, CallCtx};
 use majic_runtime::ops::{self, Cmp, Subscript};
 use majic_runtime::{linalg, Complex, Matrix, RuntimeError, RuntimeResult, Value};
+use majic_types::wire::{Reader, WireError, WireResult, Writer};
 
 use crate::regalloc::{NUM_C_REGS, NUM_F_REGS};
 
@@ -121,6 +122,284 @@ impl Executable {
     /// Number of flattened steps (diagnostics / benches).
     pub fn step_count(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Serialize into the canonical binary form used by the on-disk
+    /// repository cache (`docs/CACHE_FORMAT.md`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.name);
+        w.u32(self.f_spill);
+        w.u32(self.c_spill);
+        w.u32(self.slots);
+        w.u32(self.params.len() as u32);
+        for p in &self.params {
+            serial::encode_binding(&mut w, *p);
+        }
+        w.u32(self.outputs.len() as u32);
+        for o in &self.outputs {
+            serial::encode_binding(&mut w, *o);
+        }
+        w.u32(self.steps.len() as u32);
+        for s in &self.steps {
+            match s {
+                Step::I(i) => {
+                    w.u8(0);
+                    serial::encode_inst(&mut w, i);
+                }
+                Step::Jump(t) => {
+                    w.u8(1);
+                    w.u32(*t);
+                }
+                Step::BranchZero { cond, target } => {
+                    w.u8(2);
+                    w.u32(cond.0);
+                    w.u32(*target);
+                }
+                Step::Ret => w.u8(3),
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize an [`Executable`] and **validate** it.
+    ///
+    /// The executor's hot loop uses unchecked register-file and
+    /// program-counter accesses that are sound only for code produced by
+    /// our own flattener. Decoded bytes are untrusted (a cache file may be
+    /// corrupt in ways its checksum cannot see, e.g. written by a buggy
+    /// build with a matching fingerprint), so after structural decoding
+    /// every register, spill, slot, and jump reference is bounds-checked
+    /// here. A failed check is a [`WireError`] — the cache loader treats
+    /// it like any other corruption and falls back to a cold compile.
+    ///
+    /// # Errors
+    ///
+    /// Any truncation, bad tag, trailing bytes, or out-of-bounds
+    /// reference.
+    pub fn decode(bytes: &[u8]) -> WireResult<Executable> {
+        let mut r = Reader::new(bytes);
+        let name = r.str()?;
+        let f_spill = r.u32()?;
+        let c_spill = r.u32()?;
+        let slots = r.u32()?;
+        let np = r.seq_len(1)?;
+        let mut params = Vec::with_capacity(np);
+        for _ in 0..np {
+            params.push(serial::decode_binding(&mut r)?);
+        }
+        let no = r.seq_len(1)?;
+        let mut outputs = Vec::with_capacity(no);
+        for _ in 0..no {
+            outputs.push(serial::decode_binding(&mut r)?);
+        }
+        let ns = r.seq_len(1)?;
+        let mut steps = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            steps.push(match r.u8()? {
+                0 => Step::I(serial::decode_inst(&mut r)?),
+                1 => Step::Jump(r.u32()?),
+                2 => Step::BranchZero {
+                    cond: Reg(r.u32()?),
+                    target: r.u32()?,
+                },
+                3 => Step::Ret,
+                _ => return Err(WireError::new("step tag")),
+            });
+        }
+        if !r.is_empty() {
+            return Err(WireError::new("trailing bytes after executable"));
+        }
+        let exe = Executable {
+            name,
+            steps,
+            f_spill,
+            c_spill,
+            slots,
+            params,
+            outputs,
+        };
+        exe.validate()?;
+        Ok(exe)
+    }
+
+    /// Bounds-check every reference in the decoded program (see
+    /// [`Executable::decode`]). Sound code never trips these.
+    fn validate(&self) -> WireResult<()> {
+        let v = Validator {
+            f_spill: self.f_spill,
+            c_spill: self.c_spill,
+            slots: self.slots,
+        };
+        for b in self.params.iter().chain(&self.outputs) {
+            v.binding(*b)?;
+        }
+        // `run_loop` advances the pc with unchecked reads; a program that
+        // can fall through its final step would walk off the end. The
+        // flattener always ends blocks with an explicit terminator, so
+        // require the same of decoded code: the last step must be an
+        // unconditional control transfer.
+        match self.steps.last() {
+            Some(Step::Ret) | Some(Step::Jump(_)) => {}
+            _ => return Err(WireError::new("executable must end in ret or jump")),
+        }
+        for s in &self.steps {
+            match s {
+                Step::Ret => {}
+                Step::Jump(t) => v.target(*t, self.steps.len())?,
+                Step::BranchZero { cond, target } => {
+                    v.f_reg(*cond)?;
+                    v.target(*target, self.steps.len())?;
+                }
+                Step::I(i) => v.inst(i)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bounds context for [`Executable::validate`].
+struct Validator {
+    f_spill: u32,
+    c_spill: u32,
+    slots: u32,
+}
+
+impl Validator {
+    fn f_reg(&self, r: Reg) -> WireResult<()> {
+        (r.0 < NUM_F_REGS)
+            .then_some(())
+            .ok_or(WireError::new("f register out of range"))
+    }
+
+    fn c_reg(&self, r: Reg) -> WireResult<()> {
+        (r.0 < NUM_C_REGS)
+            .then_some(())
+            .ok_or(WireError::new("c register out of range"))
+    }
+
+    fn f_sp(&self, s: u32) -> WireResult<()> {
+        (s < self.f_spill)
+            .then_some(())
+            .ok_or(WireError::new("f spill out of range"))
+    }
+
+    fn c_sp(&self, s: u32) -> WireResult<()> {
+        (s < self.c_spill)
+            .then_some(())
+            .ok_or(WireError::new("c spill out of range"))
+    }
+
+    fn slot(&self, s: Slot) -> WireResult<()> {
+        (s.0 < self.slots)
+            .then_some(())
+            .ok_or(WireError::new("slot out of range"))
+    }
+
+    fn target(&self, t: u32, len: usize) -> WireResult<()> {
+        ((t as usize) < len)
+            .then_some(())
+            .ok_or(WireError::new("jump target out of range"))
+    }
+
+    fn binding(&self, b: VarBinding) -> WireResult<()> {
+        match b {
+            VarBinding::F(r) => self.f_reg(r),
+            VarBinding::C(r) => self.c_reg(r),
+            VarBinding::Slot(s) => self.slot(s),
+            VarBinding::FSpill(s) => self.f_sp(s),
+            VarBinding::CSpill(s) => self.c_sp(s),
+        }
+    }
+
+    fn operand(&self, a: &Operand) -> WireResult<()> {
+        match a {
+            Operand::Slot(s) => self.slot(*s),
+            Operand::F(r) => self.f_reg(*r),
+            Operand::C(r) => self.c_reg(*r),
+            Operand::FSpill(s) => self.f_sp(*s),
+            Operand::CSpill(s) => self.c_sp(*s),
+            Operand::Str(_) | Operand::Colon => Ok(()),
+        }
+    }
+
+    fn inst(&self, i: &Inst) -> WireResult<()> {
+        match i {
+            Inst::FConst { d, .. } => self.f_reg(*d),
+            Inst::FMov { d, s } => self.f_reg(*d).and(self.f_reg(*s)),
+            Inst::FBin { d, a, b, .. } | Inst::FCmp { d, a, b, .. } => {
+                self.f_reg(*d).and(self.f_reg(*a)).and(self.f_reg(*b))
+            }
+            Inst::FUn { d, s, .. } => self.f_reg(*d).and(self.f_reg(*s)),
+            Inst::FSpillLoad { d, slot } => self.f_reg(*d).and(self.f_sp(*slot)),
+            Inst::FSpillStore { slot, s } => self.f_sp(*slot).and(self.f_reg(*s)),
+            Inst::CConst { d, .. } => self.c_reg(*d),
+            Inst::CMov { d, s } | Inst::CUn { d, s, .. } => self.c_reg(*d).and(self.c_reg(*s)),
+            Inst::CBin { d, a, b, .. } => self.c_reg(*d).and(self.c_reg(*a)).and(self.c_reg(*b)),
+            Inst::CAbs { d, s } | Inst::CPart { d, s, .. } => self.f_reg(*d).and(self.c_reg(*s)),
+            Inst::CMake { d, re, im } => self.c_reg(*d).and(self.f_reg(*re)).and(self.f_reg(*im)),
+            Inst::CSpillLoad { d, slot } => self.c_reg(*d).and(self.c_sp(*slot)),
+            Inst::CSpillStore { slot, s } => self.c_sp(*slot).and(self.c_reg(*s)),
+            Inst::ALoadF { d, arr, i, j, .. } => self
+                .f_reg(*d)
+                .and(self.slot(*arr))
+                .and(self.f_reg(*i))
+                .and(j.map_or(Ok(()), |j| self.f_reg(j))),
+            Inst::ALoadC { d, arr, i, j, .. } => self
+                .c_reg(*d)
+                .and(self.slot(*arr))
+                .and(self.f_reg(*i))
+                .and(j.map_or(Ok(()), |j| self.f_reg(j))),
+            Inst::AStoreF {
+                arr, i, j, v: val, ..
+            } => self
+                .slot(*arr)
+                .and(self.f_reg(*i))
+                .and(j.map_or(Ok(()), |j| self.f_reg(j)))
+                .and(self.f_reg(*val)),
+            Inst::AStoreC {
+                arr, i, j, v: val, ..
+            } => self
+                .slot(*arr)
+                .and(self.f_reg(*i))
+                .and(j.map_or(Ok(()), |j| self.f_reg(j)))
+                .and(self.c_reg(*val)),
+            Inst::ALoadConstF { d, arr, .. } => self.f_reg(*d).and(self.slot(*arr)),
+            Inst::AStoreConstF { arr, v, .. } => self.slot(*arr).and(self.f_reg(*v)),
+            Inst::FToSlot { slot, s } => self.slot(*slot).and(self.f_reg(*s)),
+            Inst::SlotToF { d, slot } | Inst::TruthF { d, slot } => {
+                self.f_reg(*d).and(self.slot(*slot))
+            }
+            Inst::CToSlot { slot, s } => self.slot(*slot).and(self.c_reg(*s)),
+            Inst::SlotToC { d, slot } => self.c_reg(*d).and(self.slot(*slot)),
+            Inst::SlotMov { d, s } => self.slot(*d).and(self.slot(*s)),
+            Inst::ExtentF { d, arr, .. } => self.f_reg(*d).and(self.slot(*arr)),
+            Inst::ErrUndefined(_) => Ok(()),
+            Inst::Gen { op, dsts, args } => {
+                for d in dsts {
+                    self.slot(*d)?;
+                }
+                for a in args {
+                    self.operand(a)?;
+                }
+                // `exec_gen` indexes some operand lists directly; enforce
+                // the minimum arity each op assumes so corrupt code errors
+                // here instead of panicking there.
+                let (min_args, min_dsts) = match op {
+                    GenOp::Binary(_) => (2, 0),
+                    GenOp::Unary(_) | GenOp::Transpose(_) => (1, 0),
+                    GenOp::IndexGet | GenOp::ResolveAmbiguous(_) | GenOp::Display(_) => (1, 0),
+                    GenOp::IndexSet { .. } => (2, 0),
+                    GenOp::Gemv => (5, 0),
+                    GenOp::EnsureReal { .. } => (0, 1),
+                    _ => (0, 0),
+                };
+                if args.len() < min_args || dsts.len() < min_dsts {
+                    return Err(WireError::new("genop arity"));
+                }
+                Ok(())
+            }
+        }
     }
 }
 
@@ -1330,6 +1609,64 @@ mod tests {
         };
         let out = run(&f, &[]).unwrap();
         assert_eq!(out[0], Value::complex_scalar(Complex::new(-5.0, 10.0)));
+    }
+
+    /// Flatten `sum_loop`, encode, decode, and run the decoded copy: it
+    /// must execute identically and re-encode to identical bytes.
+    #[test]
+    fn executable_round_trips_and_still_runs() {
+        let mut f = sum_loop();
+        let (fs, cs) = allocate(&mut f, RegAllocMode::LinearScan);
+        let exe = Executable::new(&f, fs, cs);
+        let bytes = exe.encode();
+        let back = Executable::decode(&bytes).unwrap();
+        assert_eq!(bytes, back.encode());
+        let out = execute(
+            &back,
+            &[Value::scalar(100.0)],
+            1,
+            &mut NoDispatch,
+            &mut CallCtx::new(),
+        )
+        .unwrap();
+        assert_eq!(out, vec![Value::scalar(5050.0)]);
+    }
+
+    /// Decode rejects structurally valid programs with out-of-range
+    /// references (the executor would hit UB on them).
+    #[test]
+    fn decode_rejects_out_of_range_code() {
+        let mut f = sum_loop();
+        let (fs, cs) = allocate(&mut f, RegAllocMode::LinearScan);
+        let exe = Executable::new(&f, fs, cs);
+
+        // Jump target beyond the program.
+        let mut evil = exe.clone();
+        evil.steps[3] = Step::Jump(evil.steps.len() as u32 + 7);
+        assert!(Executable::decode(&evil.encode()).is_err());
+
+        // Register beyond the fixed register file.
+        let mut evil = exe.clone();
+        evil.steps[0] = Step::I(Inst::FConst {
+            d: Reg(NUM_F_REGS + 1),
+            v: 0.0,
+        });
+        assert!(Executable::decode(&evil.encode()).is_err());
+
+        // Program that can fall off the end.
+        let mut evil = exe.clone();
+        evil.steps.push(Step::I(Inst::FConst { d: Reg(0), v: 0.0 }));
+        assert!(Executable::decode(&evil.encode()).is_err());
+
+        // Truncation at every prefix is an error, never a panic.
+        let bytes = exe.encode();
+        for n in 0..bytes.len() {
+            assert!(Executable::decode(&bytes[..n]).is_err());
+        }
+        // …and trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Executable::decode(&padded).is_err());
     }
 
     #[test]
