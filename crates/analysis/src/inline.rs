@@ -12,7 +12,7 @@
 //! `return`s become `break`s. Functions whose `return` sits inside one of
 //! their own loops, or that touch globals, are not inlined.
 
-use majic_ast::{Expr, ExprKind, Function, LValue, NodeId, Span, Stmt, StmtKind};
+use majic_ast::{BinOp, Expr, ExprKind, Function, LValue, NodeId, Span, Stmt, StmtKind};
 use std::collections::{HashMap, HashSet};
 
 /// Inliner configuration.
@@ -50,6 +50,7 @@ pub fn inline_function(
         next_id: next_node_id,
         tmp_counter: 0,
         depth: HashMap::new(),
+        defined: function.params.iter().cloned().collect(),
     };
     let mut out = function.clone();
     out.body = ctx.expand_block(&out.body, &local_names(function));
@@ -162,6 +163,46 @@ struct Inliner<'a> {
     tmp_counter: u32,
     /// Current expansion depth per function name (recursion control).
     depth: HashMap<String, usize>,
+    /// Variables definitely assigned at the current expansion point
+    /// (params, plus every unconditional assignment seen so far).
+    /// Reading one of these can never raise `Undefined`, which makes two
+    /// things safe: substituting it for a read-only formal without a
+    /// copy, and leaving it un-hoisted when a later operand's inlined
+    /// body is spliced ahead of it. Conditionally-assigned names
+    /// (if/while/for bodies) are deliberately excluded.
+    defined: HashSet<String>,
+}
+
+/// Does this expression contain a contextual `end` or `:` that would
+/// lose its meaning if the expression were hoisted out of the indexing
+/// operation it appears in? `end`/`:` nested inside a further indexing
+/// expression binds there and travels with it.
+fn has_contextual_marker(e: &Expr, locals: &HashSet<String>) -> bool {
+    match &e.kind {
+        ExprKind::End | ExprKind::Colon => true,
+        ExprKind::Apply { callee, args } => {
+            // Indexing a local rebinds `end`; a real call does not.
+            !locals.contains(callee) && args.iter().any(|a| has_contextual_marker(a, locals))
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            has_contextual_marker(lhs, locals) || has_contextual_marker(rhs, locals)
+        }
+        ExprKind::Unary { operand, .. } | ExprKind::Transpose { operand, .. } => {
+            has_contextual_marker(operand, locals)
+        }
+        ExprKind::Range { start, step, stop } => {
+            has_contextual_marker(start, locals)
+                || step
+                    .as_deref()
+                    .is_some_and(|s| has_contextual_marker(s, locals))
+                || has_contextual_marker(stop, locals)
+        }
+        ExprKind::Matrix(rows) => rows
+            .iter()
+            .flatten()
+            .any(|el| has_contextual_marker(el, locals)),
+        _ => false,
+    }
 }
 
 impl<'a> Inliner<'a> {
@@ -193,6 +234,83 @@ impl<'a> Inliner<'a> {
         Some(f)
     }
 
+    /// Could evaluating this expression fail or have an observable
+    /// effect? Only literals and definitely-assigned identifiers are
+    /// known safe; everything else (indexing, arithmetic that may hit an
+    /// undefined name, residual calls) is treated as fallible.
+    fn must_hoist(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Number { .. } | ExprKind::Str(_) | ExprKind::Colon | ExprKind::End => false,
+            ExprKind::Ident(n) => !self.defined.contains(n),
+            _ => true,
+        }
+    }
+
+    /// Expand the operands of a multi-operand construct left-to-right,
+    /// preserving MATLAB's evaluation order when a later operand's
+    /// callee body is spliced out: every earlier operand that could
+    /// fail is hoisted into a temporary evaluated *before* the splice.
+    /// When an earlier operand cannot be hoisted (it carries a
+    /// contextual `end`/`:` that must stay inside its subscript), the
+    /// later call is left un-inlined instead. The returned list is the
+    /// rewritten operands, in the same positions as the input.
+    fn expand_operand_list(
+        &mut self,
+        exprs: &[Expr],
+        locals: &HashSet<String>,
+        out: &mut Vec<Stmt>,
+        allow_splice: bool,
+    ) -> Vec<Expr> {
+        let mut done: Vec<Expr> = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            let mut buf = Vec::new();
+            let expanded = self.expand_expr(e, locals, &mut buf);
+            if buf.is_empty() {
+                done.push(expanded);
+                continue;
+            }
+            let can_commit = allow_splice
+                && done
+                    .iter()
+                    .all(|d| !self.must_hoist(d) || !has_contextual_marker(d, locals));
+            if !can_commit {
+                // Revert: keep the original call expression. The temps
+                // allocated for the discarded splice are never emitted
+                // or referenced again.
+                done.push(e.clone());
+                continue;
+            }
+            for d in done.iter_mut() {
+                if !self.must_hoist(d) {
+                    continue;
+                }
+                let tmp = self.fresh_tmp("seq");
+                let lhs = LValue::Var {
+                    name: tmp.clone(),
+                    id: self.fresh_id(),
+                    span: d.span,
+                };
+                out.push(Stmt {
+                    span: d.span,
+                    kind: StmtKind::Assign {
+                        lhs,
+                        rhs: d.clone(),
+                        suppressed: true,
+                    },
+                });
+                self.defined.insert(tmp.clone());
+                *d = Expr {
+                    id: self.fresh_id(),
+                    span: d.span,
+                    kind: ExprKind::Ident(tmp),
+                };
+            }
+            out.extend(buf);
+            done.push(expanded);
+        }
+        done
+    }
+
     /// Expand calls inside a block. `locals` holds the caller's variable
     /// names, so that `x(3)` with `x` a local is recognized as indexing,
     /// not a call.
@@ -220,6 +338,9 @@ impl<'a> Inliner<'a> {
                         suppressed: *suppressed,
                     },
                 });
+                // Both `x = …` and `x(i) = …` leave `x` defined
+                // (indexed stores auto-vivify).
+                self.defined.insert(lhs.name().to_owned());
             }
             StmtKind::Expr { expr, suppressed } => {
                 let expr = self.expand_expr(expr, locals, out);
@@ -238,10 +359,7 @@ impl<'a> Inliner<'a> {
                 args,
                 suppressed,
             } => {
-                let args: Vec<Expr> = args
-                    .iter()
-                    .map(|a| self.expand_expr(a, locals, out))
-                    .collect();
+                let args = self.expand_operand_list(args, locals, out, true);
                 if !locals.contains(callee) {
                     if let Some(callee_fn) = self.eligible(callee) {
                         let callee_fn = callee_fn.clone();
@@ -261,6 +379,9 @@ impl<'a> Inliner<'a> {
                                 },
                             });
                         }
+                        for lv in lhs {
+                            self.defined.insert(lv.name().to_owned());
+                        }
                         return;
                     }
                 }
@@ -274,6 +395,9 @@ impl<'a> Inliner<'a> {
                         suppressed: *suppressed,
                     },
                 });
+                for lv in lhs {
+                    self.defined.insert(lv.name().to_owned());
+                }
             }
             StmtKind::If {
                 branches,
@@ -284,6 +408,9 @@ impl<'a> Inliner<'a> {
                 // be hoisted past earlier ones, so only the first arm's
                 // condition is expanded.
                 let mut new_branches = Vec::with_capacity(branches.len());
+                // Assignments inside a branch are conditional: restore
+                // the definedness set after each arm.
+                let saved = self.defined.clone();
                 for (i, (cond, body)) in branches.iter().enumerate() {
                     let cond = if i == 0 {
                         self.expand_expr(cond, locals, out)
@@ -291,8 +418,10 @@ impl<'a> Inliner<'a> {
                         cond.clone()
                     };
                     new_branches.push((cond, self.expand_block(body, locals)));
+                    self.defined = saved.clone();
                 }
                 let else_body = else_body.as_ref().map(|b| self.expand_block(b, locals));
+                self.defined = saved;
                 out.push(Stmt {
                     span: s.span,
                     kind: StmtKind::If {
@@ -304,11 +433,15 @@ impl<'a> Inliner<'a> {
             StmtKind::While { cond, body } => {
                 // The condition re-evaluates every trip; hoisting would
                 // change semantics, so calls in while-conditions stay.
+                // The body may run zero times: restore definedness after.
+                let saved = self.defined.clone();
+                let body = self.expand_block(body, locals);
+                self.defined = saved;
                 out.push(Stmt {
                     span: s.span,
                     kind: StmtKind::While {
                         cond: cond.clone(),
-                        body: self.expand_block(body, locals),
+                        body,
                     },
                 });
             }
@@ -321,15 +454,40 @@ impl<'a> Inliner<'a> {
                 let iter = self.expand_expr(iter, locals, out);
                 let mut locals2 = locals.clone();
                 locals2.insert(var.clone());
+                // Inside the body the loop variable is assigned; the
+                // body itself may run zero times (empty range), so the
+                // definedness set is restored afterwards.
+                let saved = self.defined.clone();
+                self.defined.insert(var.clone());
+                let body = self.expand_block(body, &locals2);
+                self.defined = saved;
                 out.push(Stmt {
                     span: s.span,
                     kind: StmtKind::For {
                         var: var.clone(),
                         var_id: *var_id,
                         iter,
-                        body: self.expand_block(body, &locals2),
+                        body,
                     },
                 });
+            }
+            StmtKind::Clear(names) => {
+                if names.is_empty() {
+                    self.defined.clear();
+                } else {
+                    for n in names {
+                        self.defined.remove(n);
+                    }
+                }
+                out.push(s.clone());
+            }
+            StmtKind::Global(names) => {
+                // A global's value (and whether it is set at all) is
+                // unknowable here.
+                for n in names {
+                    self.defined.remove(n);
+                }
+                out.push(s.clone());
             }
             _ => out.push(s.clone()),
         }
@@ -339,10 +497,7 @@ impl<'a> Inliner<'a> {
     fn expand_expr(&mut self, e: &Expr, locals: &HashSet<String>, out: &mut Vec<Stmt>) -> Expr {
         let kind = match &e.kind {
             ExprKind::Apply { callee, args } => {
-                let args: Vec<Expr> = args
-                    .iter()
-                    .map(|a| self.expand_expr(a, locals, out))
-                    .collect();
+                let args = self.expand_operand_list(args, locals, out, true);
                 if !locals.contains(callee) {
                     if let Some(callee_fn) = self.eligible(callee) {
                         let callee_fn = callee_fn.clone();
@@ -359,31 +514,68 @@ impl<'a> Inliner<'a> {
                     args,
                 }
             }
-            ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
-                op: *op,
-                lhs: Box::new(self.expand_expr(lhs, locals, out)),
-                rhs: Box::new(self.expand_expr(rhs, locals, out)),
-            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                if matches!(op, BinOp::ShortAnd | BinOp::ShortOr) {
+                    // The rhs of `&&`/`||` evaluates lazily; splicing a
+                    // callee body out of it would force evaluation, so
+                    // only the lhs is expanded.
+                    ExprKind::Binary {
+                        op: *op,
+                        lhs: Box::new(self.expand_expr(lhs, locals, out)),
+                        rhs: rhs.clone(),
+                    }
+                } else {
+                    let operands = [(**lhs).clone(), (**rhs).clone()];
+                    let mut v = self
+                        .expand_operand_list(&operands, locals, out, true)
+                        .into_iter();
+                    ExprKind::Binary {
+                        op: *op,
+                        lhs: Box::new(v.next().expect("two operands in, two out")),
+                        rhs: Box::new(v.next().expect("two operands in, two out")),
+                    }
+                }
+            }
             ExprKind::Unary { op, operand } => ExprKind::Unary {
                 op: *op,
                 operand: Box::new(self.expand_expr(operand, locals, out)),
             },
-            ExprKind::Range { start, step, stop } => ExprKind::Range {
-                start: Box::new(self.expand_expr(start, locals, out)),
-                step: step
-                    .as_ref()
-                    .map(|s| Box::new(self.expand_expr(s, locals, out))),
-                stop: Box::new(self.expand_expr(stop, locals, out)),
-            },
-            ExprKind::Matrix(rows) => ExprKind::Matrix(
-                rows.iter()
-                    .map(|row| {
-                        row.iter()
-                            .map(|el| self.expand_expr(el, locals, out))
-                            .collect()
-                    })
-                    .collect(),
-            ),
+            ExprKind::Range { start, step, stop } => {
+                // The interpreter evaluates start, then stop, then step;
+                // the operand list must follow that order.
+                let mut operands = vec![(**start).clone(), (**stop).clone()];
+                if let Some(s) = step {
+                    operands.push((**s).clone());
+                }
+                let mut v = self.expand_operand_list(&operands, locals, out, true);
+                let new_step = if step.is_some() {
+                    Some(Box::new(v.pop().expect("step operand")))
+                } else {
+                    None
+                };
+                let new_stop = Box::new(v.pop().expect("stop operand"));
+                let new_start = Box::new(v.pop().expect("start operand"));
+                ExprKind::Range {
+                    start: new_start,
+                    step: new_step,
+                    stop: new_stop,
+                }
+            }
+            ExprKind::Matrix(rows) => {
+                let flat: Vec<Expr> = rows.iter().flatten().cloned().collect();
+                let mut v = self
+                    .expand_operand_list(&flat, locals, out, true)
+                    .into_iter();
+                ExprKind::Matrix(
+                    rows.iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(|_| v.next().expect("element count unchanged"))
+                                .collect()
+                        })
+                        .collect(),
+                )
+            }
             ExprKind::Transpose { operand, conjugate } => ExprKind::Transpose {
                 operand: Box::new(self.expand_expr(operand, locals, out)),
                 conjugate: *conjugate,
@@ -421,10 +613,17 @@ impl<'a> Inliner<'a> {
             match actual {
                 // Read-only formals bound to simple actuals are
                 // substituted directly — the paper's "read-only formal
-                // parameters are not copied".
+                // parameters are not copied". An identifier actual
+                // qualifies only when it is definitely assigned:
+                // substituting a possibly-undefined name would delay its
+                // `Undefined` error from the call site into the body.
                 Some(a)
                     if read_only
-                        && matches!(a.kind, ExprKind::Ident(_) | ExprKind::Number { .. }) =>
+                        && match &a.kind {
+                            ExprKind::Number { .. } => true,
+                            ExprKind::Ident(n) => self.defined.contains(n),
+                            _ => false,
+                        } =>
                 {
                     rename.insert(formal.clone(), RenameTo::Expr(a.clone()));
                 }
@@ -443,6 +642,7 @@ impl<'a> Inliner<'a> {
                             suppressed: true,
                         },
                     });
+                    self.defined.insert(tmp.clone());
                     rename.insert(formal.clone(), RenameTo::Name(tmp));
                 }
                 None => {
@@ -947,6 +1147,71 @@ mod tests {
         let text = render(&f);
         assert!(!text.contains("two("), "{text}");
         assert!(text.contains("a = __inl"), "{text}");
+    }
+
+    #[test]
+    fn possibly_undefined_actual_is_copied_not_substituted() {
+        // `g` is only conditionally assigned. Substituting it for the
+        // read-only formal would move its `Undefined` error from the
+        // call site into the middle of the spliced body; a copy at the
+        // call site keeps the error where the interpreter raises it.
+        let (f, _) = inline_first(
+            "function r = main(p)\nif p > 2\n g = 3;\nend\nr = f1(g);\nfunction r = f1(a)\nm = 7;\nr = a + m;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(text.contains("_a = g"), "copy missing: {text}");
+    }
+
+    #[test]
+    fn definitely_assigned_actual_is_still_substituted() {
+        let (f, _) = inline_first(
+            "function r = main(p)\ng = p + 1;\nr = f1(g);\nfunction r = f1(a)\nr = a * a;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(!text.contains("_a ="), "unexpected copy: {text}");
+        assert!(text.contains("g * g"), "substitution missing: {text}");
+    }
+
+    #[test]
+    fn earlier_fallible_operand_is_sequenced_before_splice() {
+        // `v(1)` can fail; the interpreter evaluates it before the call
+        // to f1, so the splice must not push f1's body ahead of it.
+        let (f, _) = inline_first(
+            "function r = main(v)\nr = v(1) + f1(2);\nfunction r = f1(a)\nr = a * 3;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(!text.contains("f1("), "call survived: {text}");
+        let seq = text.find("_seq").expect("sequencing temp missing");
+        let body = text.find("* 3").expect("inlined body missing");
+        assert!(seq < body, "operand not sequenced before splice: {text}");
+    }
+
+    #[test]
+    fn contextual_end_blocks_reordering_inline() {
+        // `(end - 1)` cannot be hoisted out of the subscript position
+        // it appears in, so the later call stays un-inlined rather than
+        // being spliced ahead of it.
+        let (f, _) = inline_first(
+            "function r = main(v)\nr = v((end - 1) + f1(2));\nfunction r = f1(a)\nr = a * 3;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(text.contains("f1("), "should not inline: {text}");
+    }
+
+    #[test]
+    fn end_inside_local_indexing_travels_with_its_operand() {
+        // `v(end)` binds `end` to `v`'s extent, so the whole operand is
+        // hoistable and the later call still inlines.
+        let (f, _) = inline_first(
+            "function r = main(v)\nr = v(v(end)) + f1(2);\nfunction r = f1(a)\nr = a * 3;\n",
+            InlineOptions::default(),
+        );
+        let text = render(&f);
+        assert!(!text.contains("f1("), "call survived: {text}");
     }
 
     #[test]

@@ -57,6 +57,12 @@ enum VarLoc {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum RVal {
     F(Reg),
+    /// An `F` register holding 0/1 whose value is *logical* (the result
+    /// of a comparison or logical operator). Arithmetic consumes it
+    /// like any `F` register, but boxing must produce `Value::Bool` so
+    /// compiled code preserves the class the interpreter observes
+    /// (function results, logical indexing, `disp`).
+    FB(Reg),
     C(Reg),
     Slot(Slot),
 }
@@ -235,10 +241,16 @@ impl<'a> Gen<'a> {
                 if forced_slot[i] || types[i].is_empty() {
                     return VarLoc::Slot(Slot(u32::MAX)); // placeholder
                 }
-                let all_f = types[i].iter().all(|t| kind_of(t) == Kind::F);
-                let all_scalar = types[i]
-                    .iter()
-                    .all(|t| matches!(kind_of(t), Kind::F | Kind::C));
+                // A variable that may hold a logical scalar lives in a
+                // slot: an unboxed `F` register cannot carry the class
+                // bit, and the class is observable (logical indexing,
+                // function results, display).
+                let maybe_bool = types[i].iter().any(|t| t.intrinsic == Intrinsic::Bool);
+                let all_f = !maybe_bool && types[i].iter().all(|t| kind_of(t) == Kind::F);
+                let all_scalar = !maybe_bool
+                    && types[i]
+                        .iter()
+                        .all(|t| matches!(kind_of(t), Kind::F | Kind::C));
                 if all_f {
                     VarLoc::F(Reg(u32::MAX))
                 } else if all_scalar {
@@ -309,7 +321,8 @@ impl<'a> Gen<'a> {
     #[allow(clippy::wrong_self_convention)]
     fn to_f(&mut self, v: RVal) -> Reg {
         match v {
-            RVal::F(r) => r,
+            // A logical 0/1 *is* its double value (`true + 1 == 2`).
+            RVal::F(r) | RVal::FB(r) => r,
             RVal::C(c) => {
                 let d = self.fresh_f();
                 self.emit(Inst::CPart {
@@ -331,7 +344,7 @@ impl<'a> Gen<'a> {
     fn to_c(&mut self, v: RVal) -> Reg {
         match v {
             RVal::C(r) => r,
-            RVal::F(r) => {
+            RVal::F(r) | RVal::FB(r) => {
                 let zero = self.fconst(0.0);
                 let d = self.fresh_c();
                 self.emit(Inst::CMake { d, re: r, im: zero });
@@ -354,6 +367,11 @@ impl<'a> Gen<'a> {
                 self.emit(Inst::FToSlot { slot, s: r });
                 slot
             }
+            RVal::FB(r) => {
+                let slot = self.fresh_slot();
+                self.emit(Inst::FToSlotBool { slot, s: r });
+                slot
+            }
             RVal::C(r) => {
                 let slot = self.fresh_slot();
                 self.emit(Inst::CToSlot { slot, s: r });
@@ -366,6 +384,10 @@ impl<'a> Gen<'a> {
     fn to_operand(&mut self, v: RVal) -> Operand {
         match v {
             RVal::F(r) => Operand::F(r),
+            // `Operand::F` materializes as a real scalar in the VM, so
+            // logical values must cross generic boundaries boxed — the
+            // class is observable to callees, indexing, and display.
+            RVal::FB(_) => Operand::Slot(self.to_slot(v)),
             RVal::C(r) => Operand::C(r),
             RVal::Slot(s) => Operand::Slot(s),
         }
@@ -374,6 +396,8 @@ impl<'a> Gen<'a> {
     /// Truthiness of a value into an `F` register (0/1).
     fn truth(&mut self, v: RVal, t: &Type) -> Reg {
         match v {
+            // Logical values are already 0/1 — use them directly.
+            RVal::FB(r) => r,
             RVal::F(r) => {
                 // Scalars are true iff nonzero; comparisons already
                 // produce 0/1, so `r != 0` is the general form.
@@ -618,6 +642,7 @@ impl<'a> Gen<'a> {
                     }
                     VarLoc::Slot(slot) => match v {
                         RVal::F(s) => self.emit(Inst::FToSlot { slot, s }),
+                        RVal::FB(s) => self.emit(Inst::FToSlotBool { slot, s }),
                         RVal::C(s) => self.emit(Inst::CToSlot { slot, s }),
                         RVal::Slot(s) => {
                             if s != slot {
@@ -653,6 +678,9 @@ impl<'a> Gen<'a> {
                             && self.ann.ty(a.id).is_scalar()
                             && self.ann.ty(a.id).intrinsic.le(&Intrinsic::Real)
                     });
+                // A logical RHS takes the generic store path: storing a
+                // logical into a logical array keeps the array logical,
+                // which the real-scalar fast path cannot express.
                 let v_kind_f = matches!(v, RVal::F(_));
                 if all_scalar_subs && v_kind_f && base_t.intrinsic.le(&Intrinsic::Real) {
                     let idx: Vec<Reg> = args
@@ -1238,7 +1266,7 @@ impl<'a> Gen<'a> {
                             d,
                             s,
                         });
-                        RVal::F(d)
+                        RVal::FB(d)
                     }
                     (op, _, v) => {
                         let a = self.to_operand(v);
@@ -1401,7 +1429,12 @@ impl<'a> Gen<'a> {
                         j: idx.get(1).copied(),
                         checked,
                     });
-                    return RVal::F(d);
+                    // An element of a logical array is itself logical.
+                    return if base_t.intrinsic == Intrinsic::Bool {
+                        RVal::FB(d)
+                    } else {
+                        RVal::F(d)
+                    };
                 }
                 if all_scalar_subs
                     && base_t.intrinsic.le(&Intrinsic::Complex)
@@ -1583,10 +1616,16 @@ impl<'a> Gen<'a> {
                 }
             }
         }
-        // Complex-scalar math.
+        // Complex-scalar math — only for arguments that are themselves
+        // complex. A *real* argument whose result is inferred complex
+        // (sqrt/log of a maybe-negative range) must go through the
+        // generic builtin: the runtime decides real-vs-complex from the
+        // actual value (`sqrt(NaN)` is the real NaN, `sqrt(4)` is real
+        // even when the range admits negatives), and a C register
+        // commits to the complex class statically.
         if !self.opts.mcc_mode && kind_of(t) == Kind::C && args.len() == 1 {
             let at = self.ann.ty(args[0].id);
-            if matches!(kind_of(&at), Kind::F | Kind::C) {
+            if kind_of(&at) == Kind::C {
                 let cop = match b {
                     Builtin::Sqrt => Some(CUnOp::Sqrt),
                     Builtin::Exp => Some(CUnOp::Exp),
@@ -1784,7 +1823,13 @@ impl<'a> Gen<'a> {
                     BinOp::ShortAnd | BinOp::ShortOr => unreachable!(),
                 };
                 self.emit(inst);
-                return RVal::F(d);
+                // Comparisons and logical operators produce the logical
+                // class; track that so boxing preserves it.
+                return if op.is_relational() || matches!(op, BinOp::And | BinOp::Or) {
+                    RVal::FB(d)
+                } else {
+                    RVal::F(d)
+                };
             }
 
             // Complex-scalar arithmetic.
@@ -1825,7 +1870,7 @@ impl<'a> Gen<'a> {
                     _ => unreachable!(),
                 };
                 self.emit(Inst::FCmp { op: cop, d, a, b });
-                return RVal::F(d);
+                return RVal::FB(d);
             }
 
             // Small-vector unrolling (paper: "elementary vector
@@ -1896,7 +1941,8 @@ impl<'a> Gen<'a> {
         self.switch_to(rhs_end);
         self.seal(Terminator::Jump(merge));
         self.switch_to(merge);
-        RVal::F(result)
+        // `&&`/`||` always yield a logical scalar.
+        RVal::FB(result)
     }
 
     /// Detect `a*X + b*(C*Y)` shapes (and simpler variants) and emit a

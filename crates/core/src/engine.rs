@@ -673,7 +673,7 @@ fn install_cached(
     }
 }
 
-fn signature_of(args: &[Value]) -> Signature {
+pub(crate) fn signature_of(args: &[Value]) -> Signature {
     args.iter().map(Value::type_of).collect()
 }
 
@@ -799,6 +799,11 @@ impl EngineDispatcher<'_> {
             ExecMode::Falcon => Pipeline::Opt,
             ExecMode::Interpret => Pipeline::Jit,
         };
+        // `compile_function` already speaks `RuntimeError` (codegen
+        // failures arrive as `Raised("cannot compile: …")`); wrapping
+        // again would collapse e.g. `Undefined` into `Raised` and make
+        // compiled modes disagree with the interpreter about the error
+        // class of `r = v` with `v` never assigned.
         let version = compile_function(
             self.registry,
             self.known,
@@ -809,8 +814,7 @@ impl EngineDispatcher<'_> {
             pipeline,
             self.next_node_id,
             self.times,
-        )
-        .map_err(|e| RuntimeError::Raised(e.to_string()))?;
+        )?;
         self.repo.insert(name, version);
         let v = self
             .repo

@@ -42,9 +42,11 @@
 //! drop) flushes new versions back. Stale or damaged caches degrade to a
 //! cold start — see `docs/CACHE_FORMAT.md` for the integrity gates.
 
+pub mod diff;
 mod engine;
 mod spec;
 
+pub use diff::{DiffCase, DiffReport, Divergence, DivergenceKind, ModeOutcome};
 pub use engine::{CacheReport, EngineOptions, ExecMode, Majic, PhaseTimes, Platform};
 pub use majic_repo::cache::{LoadReport, RepoCache};
 pub use majic_repo::RepoStats;

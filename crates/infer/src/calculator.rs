@@ -138,6 +138,19 @@ fn int_preserving(a: &Type, b: &Type) -> Intrinsic {
     a.intrinsic.numeric_join(b.intrinsic)
 }
 
+/// `int` means "integral-valued double", which excludes ±∞ (a non-finite
+/// value types as `real` at runtime). Endpoint arithmetic overflows to
+/// an infinite bound exactly when the concrete operation can, so an
+/// integral result may only claim `int` while its interval stays
+/// finite. A `⊥` range describes no values and keeps `int` vacuously.
+fn int_unless_overflow(range: &Range) -> Intrinsic {
+    if range.is_bottom() || (range.lo().is_finite() && range.hi().is_finite()) {
+        Intrinsic::Int
+    } else {
+        Intrinsic::Real
+    }
+}
+
 // ---------------------------------------------------------------------
 // Binary operators
 // ---------------------------------------------------------------------
@@ -173,12 +186,13 @@ pub fn binary(op: BinOp, a: &Type, b: &Type, o: &InferOptions) -> Type {
 fn arith(a: &Type, b: &Type, rf: fn(Range, Range) -> Range, is_div: bool) -> Type {
     // rule arith.int_scalar / arith.real_scalar / arith.cplx_scalar
     if int_scalar(a) && int_scalar(b) && !is_div {
-        return scalar_of(Intrinsic::Int, rf(a.range, b.range));
+        let r = rf(a.range, b.range);
+        return scalar_of(int_unless_overflow(&r), r);
     }
     if real_scalar(a) && real_scalar(b) {
         let r = rf(a.range, b.range);
         let intr = if !is_div && at_most(a, Intrinsic::Int) && at_most(b, Intrinsic::Int) {
-            Intrinsic::Int
+            int_unless_overflow(&r)
         } else {
             Intrinsic::Real
         };
@@ -203,6 +217,11 @@ fn arith(a: &Type, b: &Type, rf: fn(Range, Range) -> Range, is_div: bool) -> Typ
         } else {
             Range::top()
         };
+        let intr = if intr == Intrinsic::Int {
+            int_unless_overflow(&range)
+        } else {
+            intr
+        };
         return with_shape(intr, min, max, range);
     }
     // implicit default rule
@@ -215,7 +234,8 @@ fn elem_pow(a: &Type, b: &Type) -> Type {
     if int_scalar(a) && int_scalar(b) {
         if let Some(e) = b.range.as_constant() {
             if e >= 0.0 {
-                return scalar_of(Intrinsic::Int, a.range.powi(e));
+                let r = a.range.powi(e);
+                return scalar_of(int_unless_overflow(&r), r);
             }
         }
         return scalar_of(Intrinsic::Real, Range::top());
@@ -280,9 +300,29 @@ fn mul(a: &Type, b: &Type) -> Type {
             rows: a.max_shape.rows,
             cols: b.max_shape.cols,
         };
-        return with_shape(int_preserving(a, b), min, max, Range::top());
+        let mut t = with_shape(int_preserving(a, b), min, max, Range::top());
+        // A maybe-scalar operand turns `*` elementwise at runtime, so
+        // the result may take the other operand's shape.
+        t = join_maybe_scalar_alternatives(t, a, b);
+        return t;
     }
     Type::top()
+}
+
+/// Matrix-op shape rules (`*`, `/`, `\`) compute shapes from both
+/// operands' extents, but when either operand is 1×1 at runtime the
+/// operation degenerates to scalar × matrix and the result takes the
+/// *other* operand's shape. Join those alternatives in whenever an
+/// operand's inferred shape admits a scalar.
+fn join_maybe_scalar_alternatives(t: Type, a: &Type, b: &Type) -> Type {
+    let mut t = t;
+    if a.may_be_scalar() {
+        t = t.join(&with_shape(t.intrinsic, b.min_shape, b.max_shape, t.range));
+    }
+    if b.may_be_scalar() {
+        t = t.join(&with_shape(t.intrinsic, a.min_shape, a.max_shape, t.range));
+    }
+    t
 }
 
 fn rdiv(a: &Type, b: &Type) -> Type {
@@ -299,12 +339,13 @@ fn rdiv(a: &Type, b: &Type) -> Type {
             rows: a.max_shape.rows,
             cols: b.max_shape.rows,
         };
-        return with_shape(
+        let t = with_shape(
             int_preserving(a, b).join(&Intrinsic::Real),
             min,
             max,
             Range::top(),
         );
+        return join_maybe_scalar_alternatives(t, a, b);
     }
     Type::top()
 }
@@ -323,12 +364,13 @@ fn ldiv(a: &Type, b: &Type) -> Type {
             rows: a.max_shape.cols,
             cols: b.max_shape.cols,
         };
-        return with_shape(
+        let t = with_shape(
             int_preserving(a, b).join(&Intrinsic::Real),
             min,
             max,
             Range::top(),
         );
+        return join_maybe_scalar_alternatives(t, a, b);
     }
     Type::top()
 }
@@ -373,7 +415,14 @@ pub fn unary(op: UnOp, a: &Type, o: &InferOptions) -> Type {
         UnOp::Plus => *a,
         UnOp::Neg => {
             if is_numeric(a) {
-                with_shape(a.intrinsic, a.min_shape, a.max_shape, a.range.neg())
+                // Negation converts logicals to numeric (`-true` is the
+                // double -1, not a logical), so Bool promotes to Int.
+                let intrinsic = if a.intrinsic == Intrinsic::Bool {
+                    Intrinsic::Int
+                } else {
+                    a.intrinsic
+                };
+                with_shape(intrinsic, a.min_shape, a.max_shape, a.range.neg())
             } else {
                 Type::top()
             }
@@ -409,6 +458,19 @@ pub fn transpose(a: &Type, o: &InferOptions) -> Type {
     o.sanitize(t)
 }
 
+/// `floor(span + ε) + 1` as an exact element count, or `None` when the
+/// span is too large to count in a `u64` — a bare `as u64` saturates
+/// there and the `+ 1` overflows (fuzzer reproducer: `0:1e-300:1`).
+fn extent_of_span(span: f64) -> Option<u64> {
+    let nf = (span + 1e-10).floor();
+    // 2^53: the last f64 whose successor integers are still exact.
+    if nf < 9_007_199_254_740_992.0 {
+        Some(nf as u64 + 1)
+    } else {
+        None
+    }
+}
+
 /// Forward transfer for `start : step : stop`.
 pub fn range_expr(start: &Type, step: Option<&Type>, stop: &Type, o: &InferOptions) -> Type {
     let one = Type::constant(1.0);
@@ -421,12 +483,21 @@ pub fn range_expr(start: &Type, step: Option<&Type>, stop: &Type, o: &InferOptio
     ) {
         (Some(a), Some(s), Some(b)) if s != 0.0 => {
             let span = (b - a) / s;
-            let n = if span < 0.0 {
-                0
+            if span.is_nan() {
+                // A NaN endpoint or step yields the 1x0 empty at
+                // runtime (see `majic_runtime::ops::range`).
+                (Dim::Finite(0), Dim::Finite(0))
+            } else if span < 0.0 {
+                (Dim::Finite(0), Dim::Finite(0))
             } else {
-                (span + 1e-10).floor() as u64 + 1
-            };
-            (Dim::Finite(n), Dim::Finite(n))
+                match extent_of_span(span) {
+                    // Beyond any representable extent the runtime
+                    // raises AllocLimit, so no value needs describing;
+                    // stay sound with an unbounded upper dimension.
+                    None => (Dim::Finite(0), Dim::Inf),
+                    Some(n) => (Dim::Finite(n), Dim::Finite(n)),
+                }
+            }
         }
         // rule colon.bounded: a bounded span bounds the extent.
         _ => {
@@ -436,7 +507,7 @@ pub fn range_expr(start: &Type, step: Option<&Type>, stop: &Type, o: &InferOptio
                     if span < 0.0 {
                         Dim::Finite(0)
                     } else {
-                        Dim::Finite(span as u64 + 1)
+                        extent_of_span(span).map_or(Dim::Inf, Dim::Finite)
                     }
                 }
                 _ => Dim::Inf,
@@ -732,6 +803,38 @@ pub fn index_write(base: &Type, subs: &[SubTy], rhs: &Type, o: &InferOptions) ->
         }
         _ => (Shape::bottom(), Shape::top()),
     };
+    // A store that grows the array (or vivifies a fresh variable) fills
+    // every element it did not write with 0.0; the result range must
+    // include that fill unless the subscripts provably stay within the
+    // extent the array is guaranteed to have already. A fresh variable
+    // is only exactly covered when the store lands at position 1.
+    let no_fill = match subs {
+        [one] => {
+            let (_, hi) = req(one);
+            let guaranteed = if base.intrinsic == Intrinsic::Bottom {
+                Dim::Finite(1)
+            } else {
+                base.min_shape.rows.saturating_mul(base.min_shape.cols)
+            };
+            hi.le(guaranteed)
+        }
+        [r, c] => {
+            let (_, rhi) = req(r);
+            let (_, chi) = req(c);
+            let (gr, gc) = if base.intrinsic == Intrinsic::Bottom {
+                (Dim::Finite(1), Dim::Finite(1))
+            } else {
+                (base.min_shape.rows, base.min_shape.cols)
+            };
+            rhi.le(gr) && chi.le(gc)
+        }
+        _ => false,
+    };
+    let range = if no_fill {
+        range
+    } else {
+        range.join(&Range::constant(0.0))
+    };
     o.sanitize(with_shape(intrinsic, min, max, range))
 }
 
@@ -897,7 +1000,17 @@ pub fn builtin(b: Builtin, args: &[Type], nargout: usize, o: &InferOptions) -> V
                 Round => a.range.round(),
                 _ => a.range.floor().join(&a.range.ceil()),
             };
-            one(with_shape(Intrinsic::Int, a.min_shape, a.max_shape, r))
+            // `floor(NaN)` is NaN and `floor(±∞)` is ±∞, which type as
+            // `real` at runtime. A NaN value carries the ⊥ range, which
+            // subsumes under every inferred range, so a finite range is
+            // no evidence against NaN — only an integral input intrinsic
+            // (which NaN never satisfies) lets the result claim `int`.
+            let intrinsic = if a.intrinsic.le(&Intrinsic::Int) {
+                Intrinsic::Int
+            } else {
+                Intrinsic::Real
+            };
+            one(with_shape(intrinsic, a.min_shape, a.max_shape, r))
         }
         Sign => {
             let a = arg(0);
@@ -1211,6 +1324,54 @@ mod tests {
     }
 
     #[test]
+    fn int_arithmetic_that_may_overflow_degrades_to_real() {
+        // Found by the differential fuzzer: 2 .^ 1e10 is `inf` at
+        // runtime, which types as real, so an unbounded interval must
+        // not claim int. Finite intervals keep it.
+        let t = binary(
+            BinOp::ElemPow,
+            &Type::constant(2.0),
+            &Type::constant(1e10),
+            &o(),
+        );
+        assert_eq!(t.intrinsic, Intrinsic::Real);
+        let t = binary(
+            BinOp::ElemPow,
+            &Type::constant(2.0),
+            &Type::constant(10.0),
+            &o(),
+        );
+        assert_eq!(t.intrinsic, Intrinsic::Int);
+
+        // Same for +/-/*: a widened (⊤) operand admits overflow.
+        let wide = Type::scalar(Intrinsic::Int);
+        let t = binary(BinOp::Add, &wide, &Type::constant(1.0), &o());
+        assert_eq!(t.intrinsic, Intrinsic::Real);
+        let t = binary(BinOp::Mul, &Type::constant(3.0), &Type::constant(4.0), &o());
+        assert_eq!(t.intrinsic, Intrinsic::Int);
+    }
+
+    #[test]
+    fn growing_store_joins_zero_fill_into_range() {
+        // Found by the differential fuzzer: `m(5) = 5` vivifies m as
+        // [0 0 0 0 5], so the inferred range must include the 0.0 fill,
+        // not just the stored value.
+        let five = SubTy::Ty(Type::constant(5.0));
+        let t = index_write(
+            &Type::bottom(),
+            std::slice::from_ref(&five),
+            &Type::constant(5.0),
+            &o(),
+        );
+        assert_eq!(t.range, Range::new(0.0, 5.0));
+
+        // A store inside the guaranteed extent leaves the range alone.
+        let base = Type::matrix(Intrinsic::Int, 1, 8).with_range(Range::new(3.0, 4.0));
+        let t = index_write(&base, &[five], &Type::constant(5.0), &o());
+        assert_eq!(t.range, Range::new(3.0, 5.0));
+    }
+
+    #[test]
     fn division_degrades_int_to_real() {
         let t = binary(
             BinOp::ElemDiv,
@@ -1447,5 +1608,60 @@ mod tests {
             &o(),
         );
         assert_eq!(t.exact_shape(), Some(Shape::new(2, 2)));
+    }
+
+    #[test]
+    fn negating_a_logical_is_numeric() {
+        // Found by the differential fuzzer: `-true` is the double -1.0,
+        // which Bool (values 0/1) does not admit.
+        let b = with_shape(
+            Intrinsic::Bool,
+            Shape::scalar(),
+            Shape::scalar(),
+            Range::new(0.0, 1.0),
+        );
+        let t = unary(UnOp::Neg, &b, &o());
+        assert_ne!(t.intrinsic, Intrinsic::Bool);
+        assert!(t.intrinsic.le(&Intrinsic::Int));
+        assert_eq!(t.range, Range::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn floor_of_real_cannot_claim_int() {
+        // Found by the differential fuzzer: floor(NaN) is NaN, which
+        // types as real with the ⊥ range — a range every interval
+        // admits — so only an integral input intrinsic justifies `int`.
+        let real = Type::scalar(Intrinsic::Real);
+        for b in [Builtin::Floor, Builtin::Ceil, Builtin::Round, Builtin::Fix] {
+            let t = builtin(b, &[real], 1, &o());
+            assert_eq!(t[0].intrinsic, Intrinsic::Real, "{b:?}");
+        }
+        // An already-integral operand (NaN-free by construction) keeps
+        // the precise class.
+        let t = builtin(Builtin::Floor, &[Type::constant(3.0)], 1, &o());
+        assert_eq!(t[0].intrinsic, Intrinsic::Int);
+    }
+
+    #[test]
+    fn matmul_joins_scalar_broadcast_alternative() {
+        // Found by the differential fuzzer: 4x4 times a join of 1x1 and
+        // 4x1 was typed 4x1, but the runtime scalar case scales the
+        // matrix and produces 4x4.
+        let a = Type::matrix(Intrinsic::Real, 4, 4);
+        let b = with_shape(
+            Intrinsic::Real,
+            Shape::scalar(),
+            Shape::new(4, 1),
+            Range::top(),
+        );
+        let t = binary(BinOp::Mul, &a, &b, &o());
+        assert!(
+            Shape::new(4, 4).le(&t.max_shape),
+            "scalar-broadcast shape not covered: {t:?}"
+        );
+        let t = binary(BinOp::Div, &a, &b, &o());
+        assert!(Shape::new(4, 4).le(&t.max_shape), "rdiv: {t:?}");
+        let t = binary(BinOp::LeftDiv, &b, &a, &o());
+        assert!(Shape::new(4, 4).le(&t.max_shape), "ldiv: {t:?}");
     }
 }

@@ -62,7 +62,33 @@ impl Annotations {
 type Env = Vec<Type>;
 
 fn join_env(a: &Env, b: &Env) -> Env {
-    a.iter().zip(b).map(|(x, y)| x.join(y)).collect()
+    a.iter().zip(b).map(|(x, y)| join_var(x, y)).collect()
+}
+
+/// Join two per-variable dataflow states.
+///
+/// In the environment, `⊥` means "unbound on this path" — *not*
+/// "unreachable". The lattice join treats `⊥` as an identity, which is
+/// right for upper bounds but unsound for the *guarantees* carried in
+/// `min_shape`: a variable that is unbound on one incoming path (the
+/// first iteration of a loop that assigns it, an `if` without an `else`)
+/// auto-vivifies from empty when indexed-stored, so code reaching the
+/// merge cannot assume any minimum extent. Keeping the defined side's
+/// `min_shape` let codegen remove store checks that the first iteration
+/// still needs (the unchecked store path refuses to vivify and raises
+/// `Undefined` where the interpreter succeeds).
+fn join_var(x: &Type, y: &Type) -> Type {
+    let j = x.join(y);
+    let xb = x.intrinsic == Intrinsic::Bottom;
+    let yb = y.intrinsic == Intrinsic::Bottom;
+    if xb == yb {
+        j
+    } else {
+        Type {
+            min_shape: majic_types::Shape::bottom(),
+            ..j
+        }
+    }
 }
 
 pub(crate) struct ForwardEngine<'a, O: CalleeOracle> {

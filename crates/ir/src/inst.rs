@@ -476,6 +476,17 @@ pub enum Inst {
         /// Source register.
         s: Reg,
     },
+    /// Box an `F` scalar known to hold 0/1 into a slot as a *logical*
+    /// scalar (`Value::Bool`). Emitted where the inferred type of the
+    /// boxed value is `bool`, so compiled code preserves the logical
+    /// class the interpreter produces for comparisons — observable via
+    /// logical indexing and function results.
+    FToSlotBool {
+        /// Destination slot.
+        slot: Slot,
+        /// Source register.
+        s: Reg,
+    },
     /// Unbox a slot into an `F` register (errors unless the slot holds a
     /// real scalar — type inference guarantees it does).
     SlotToF {
@@ -693,7 +704,9 @@ impl Inst {
                 }
                 out
             }
-            Inst::AStoreConstF { v, .. } | Inst::FToSlot { s: v, .. } => vec![*v],
+            Inst::AStoreConstF { v, .. }
+            | Inst::FToSlot { s: v, .. }
+            | Inst::FToSlotBool { s: v, .. } => vec![*v],
             Inst::Gen { args, .. } => args
                 .iter()
                 .filter_map(|a| match a {

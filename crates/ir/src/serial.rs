@@ -24,7 +24,7 @@ use majic_types::wire::{Reader, WireError, WireResult, Writer};
 /// Version of the IR encoding (instruction set + layout). Bump on any
 /// change to the tags or field layouts below; the compiler build
 /// fingerprint embeds it, invalidating existing cache files.
-pub const IR_FORMAT_VERSION: u32 = 1;
+pub const IR_FORMAT_VERSION: u32 = 2;
 
 /// The complete set of generic binary-operator spellings the executor
 /// understands (see `majic_vm`'s `exec_gen`). Decoding any other string
@@ -511,6 +511,11 @@ pub fn encode_inst(w: &mut Writer, v: &Inst) {
             w.u8(30);
             w.str(name);
         }
+        Inst::FToSlotBool { slot: s, s: src } => {
+            w.u8(31);
+            slot(w, *s);
+            reg(w, *src);
+        }
     }
 }
 
@@ -676,6 +681,10 @@ pub fn decode_inst(r: &mut Reader<'_>) -> WireResult<Inst> {
             Inst::Gen { op, dsts, args }
         }
         30 => Inst::ErrUndefined(r.str()?),
+        31 => Inst::FToSlotBool {
+            slot: rd_slot(r)?,
+            s: rd_reg(r)?,
+        },
         _ => return Err(WireError::new("inst tag")),
     })
 }
@@ -980,6 +989,10 @@ mod tests {
             Inst::FToSlot {
                 slot: Slot(0),
                 s: Reg(1),
+            },
+            Inst::FToSlotBool {
+                slot: Slot(2),
+                s: Reg(3),
             },
             Inst::SlotToF {
                 d: Reg(0),

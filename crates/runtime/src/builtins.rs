@@ -389,31 +389,46 @@ fn arg<'a>(args: &'a [Value], k: usize, name: &str) -> RuntimeResult<&'a Value> 
 }
 
 /// Decode `zeros()`, `zeros(n)`, `zeros(m, n)`, `zeros([m n])`.
+///
+/// The returned extent is validated against the allocation ceiling
+/// ([`crate::checked_numel`]) so callers may multiply and allocate
+/// freely: a hostile `zeros(1e300)` or a `rows * cols` that would wrap
+/// `usize` surfaces as [`RuntimeError::AllocLimit`] here, before any
+/// buffer exists for downstream code to trust.
 fn creation_dims(name: &str, args: &[Value]) -> RuntimeResult<(usize, usize)> {
     let to_dim = |v: f64| -> RuntimeResult<usize> {
-        if v < 0.0 || !v.is_finite() {
+        if v < 0.0 {
             return Err(RuntimeError::BadSubscript(format!("{v}")));
         }
-        // MATLAB warns on fractional sizes and truncates; we truncate too.
+        if v.is_nan() {
+            return Err(RuntimeError::BadSubscript(format!("{v}")));
+        }
+        // MATLAB warns on fractional sizes and truncates; we truncate
+        // too. Infinite sizes saturate and are rejected by the ceiling
+        // check below.
         Ok(v as usize)
     };
-    match args.len() {
-        0 => Ok((1, 1)),
+    let (r, c) = match args.len() {
+        0 => (1, 1),
         1 => {
             if args[0].numel() == 2 {
                 let m = args[0].to_real_matrix()?;
-                Ok((to_dim(m.get_linear(0))?, to_dim(m.get_linear(1))?))
+                (to_dim(m.get_linear(0))?, to_dim(m.get_linear(1))?)
             } else {
                 let n = to_dim(args[0].to_scalar()?)?;
-                Ok((n, n))
+                (n, n)
             }
         }
-        2 => Ok((to_dim(args[0].to_scalar()?)?, to_dim(args[1].to_scalar()?)?)),
-        n => Err(RuntimeError::BadArity {
-            name: name.to_owned(),
-            detail: format!("{n} arguments"),
-        }),
-    }
+        2 => (to_dim(args[0].to_scalar()?)?, to_dim(args[1].to_scalar()?)?),
+        n => {
+            return Err(RuntimeError::BadArity {
+                name: name.to_owned(),
+                detail: format!("{n} arguments"),
+            })
+        }
+    };
+    crate::checked_numel(r, c)?;
+    Ok((r, c))
 }
 
 fn real_only(args: &[Value], name: &str, f: impl Fn(f64) -> f64) -> RuntimeResult<Vec<Value>> {

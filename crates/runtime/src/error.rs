@@ -33,6 +33,18 @@ pub enum RuntimeError {
     },
     /// `error(...)` raised by user code, or another fatal condition.
     Raised(String),
+    /// A requested array would exceed the per-matrix element-count
+    /// ceiling (or overflow `usize`). Raised *before* allocating, so a
+    /// hostile `zeros(1e300)` degrades to a catchable error instead of
+    /// an abort — and, crucially, a wrapped `rows * cols` can never
+    /// leave a small buffer behind large logical extents for the VM's
+    /// unchecked-dispatch fast path to trust.
+    AllocLimit {
+        /// Human-readable requested extent (e.g. `"1000000x1000000"`).
+        requested: String,
+        /// The active ceiling in elements ([`crate::numel_limit`]).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -51,6 +63,12 @@ impl fmt::Display for RuntimeError {
                 write!(f, "bad call to '{name}': {detail}")
             }
             RuntimeError::Raised(s) => f.write_str(s),
+            RuntimeError::AllocLimit { requested, limit } => {
+                write!(
+                    f,
+                    "requested {requested} array exceeds the maximum element count ({limit})"
+                )
+            }
         }
     }
 }

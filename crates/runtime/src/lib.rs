@@ -34,6 +34,6 @@ mod value;
 
 pub use complex::Complex;
 pub use error::{RuntimeError, RuntimeResult};
-pub use matrix::Matrix;
+pub use matrix::{checked_numel, numel_limit, set_numel_limit, Matrix, DEFAULT_NUMEL_LIMIT};
 pub use rng::Lcg;
 pub use value::Value;

@@ -1,10 +1,59 @@
 //! Column-major dense matrices with MATLAB resize semantics.
 
+use crate::{RuntimeError, RuntimeResult};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Arrays above this element count are never oversized (paper §2.6.1:
 /// "Large arrays are never oversized").
 const OVERSIZE_LIMIT: usize = 1 << 20;
+
+/// Default per-matrix element-count ceiling (2²⁸ elements ≈ 2 GiB of
+/// doubles): generous for every workload in the repo, small enough that
+/// a hostile `zeros(n)` fails fast instead of aborting the process.
+pub const DEFAULT_NUMEL_LIMIT: usize = 1 << 28;
+
+/// Active ceiling; `0` means "not yet initialized from the environment".
+static NUMEL_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// The active per-matrix element-count ceiling. Initialized on first use
+/// from `MAJIC_MAX_NUMEL` (falling back to [`DEFAULT_NUMEL_LIMIT`]);
+/// adjustable at runtime with [`set_numel_limit`].
+pub fn numel_limit() -> usize {
+    let v = NUMEL_LIMIT.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let init = std::env::var("MAJIC_MAX_NUMEL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(DEFAULT_NUMEL_LIMIT);
+    NUMEL_LIMIT.store(init, Ordering::Relaxed);
+    init
+}
+
+/// Override the per-matrix element-count ceiling (process-global).
+pub fn set_numel_limit(n: usize) {
+    NUMEL_LIMIT.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Validate a logical extent against `usize` overflow and the active
+/// ceiling, returning the element count.
+///
+/// # Errors
+///
+/// [`RuntimeError::AllocLimit`] when `rows * cols` overflows or exceeds
+/// [`numel_limit`].
+pub fn checked_numel(rows: usize, cols: usize) -> RuntimeResult<usize> {
+    match rows.checked_mul(cols) {
+        Some(n) if n <= numel_limit() => Ok(n),
+        _ => Err(RuntimeError::AllocLimit {
+            requested: format!("{rows}x{cols}"),
+            limit: numel_limit(),
+        }),
+    }
+}
 
 /// A column-major matrix with an explicit leading dimension.
 ///
@@ -27,25 +76,48 @@ pub struct Matrix<T> {
 
 impl<T: Clone + Default + PartialEq> Matrix<T> {
     /// A `rows × cols` matrix of default elements (zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent overflows or exceeds [`numel_limit`] — use
+    /// [`Matrix::try_zeros`] where the extent is program-controlled.
     pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        Matrix::try_zeros(rows, cols).expect("matrix extent within the allocation ceiling")
+    }
+
+    /// A `rows × cols` matrix of default elements, with the extent
+    /// validated first ([`checked_numel`]): the allocation either covers
+    /// the full logical extent or fails as a catchable runtime error —
+    /// a wrapped `rows * cols` can never under-allocate.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AllocLimit`] on overflow or ceiling excess.
+    pub fn try_zeros(rows: usize, cols: usize) -> RuntimeResult<Matrix<T>> {
+        let numel = checked_numel(rows, cols)?;
         if majic_trace::vm_profile_enabled() {
             majic_trace::counter("matrix.alloc").inc();
         }
-        Matrix {
+        Ok(Matrix {
             rows,
             cols,
             lda: rows,
-            data: Rc::new(vec![T::default(); rows * cols]),
-        }
+            data: Rc::new(vec![T::default(); numel]),
+        })
     }
 
     /// A matrix from column-major data.
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != rows * cols`.
+    /// Panics if `data.len() != rows * cols` (the product computed
+    /// without wrapping).
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Matrix<T> {
-        assert_eq!(data.len(), rows * cols, "column-major data length");
+        assert_eq!(
+            rows.checked_mul(cols),
+            Some(data.len()),
+            "column-major data length"
+        );
         Matrix {
             rows,
             cols,
@@ -263,15 +335,40 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
     /// Grow the logical extent to at least `(new_rows, new_cols)`,
     /// zero-filling new cells.
     ///
+    /// # Panics
+    ///
+    /// Panics if the target extent overflows or exceeds [`numel_limit`]
+    /// — use [`Matrix::try_grow`] where the extent is program-controlled
+    /// (e.g. growth driven by a user subscript).
+    pub fn grow(&mut self, new_rows: usize, new_cols: usize, oversize: bool) {
+        self.try_grow(new_rows, new_cols, oversize)
+            .expect("growth within the allocation ceiling");
+    }
+
+    /// Grow the logical extent to at least `(new_rows, new_cols)`,
+    /// zero-filling new cells, after validating the extent against
+    /// [`checked_numel`].
+    ///
     /// With `oversize` set, a re-layout allocates ~10% slack in each grown
     /// dimension so that subsequent growth stays within the allocation
     /// (paper §2.6.1). Oversizing is skipped for large arrays. Growth
     /// within the existing allocation never copies.
-    pub fn grow(&mut self, new_rows: usize, new_cols: usize, oversize: bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AllocLimit`] when the target logical extent
+    /// overflows or exceeds the ceiling (the matrix is left unchanged).
+    pub fn try_grow(
+        &mut self,
+        new_rows: usize,
+        new_cols: usize,
+        oversize: bool,
+    ) -> RuntimeResult<()> {
         let new_rows = new_rows.max(self.rows);
         let new_cols = new_cols.max(self.cols);
+        checked_numel(new_rows, new_cols)?;
         if new_rows == self.rows && new_cols == self.cols {
-            return;
+            return Ok(());
         }
         let alloc_cols = self.data.len().checked_div(self.lda).unwrap_or(0);
         if majic_trace::vm_profile_enabled() {
@@ -283,7 +380,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
             // so no fill is needed.
             self.rows = new_rows;
             self.cols = new_cols;
-            return;
+            return Ok(());
         }
         // Re-layout required.
         if majic_trace::vm_profile_enabled() {
@@ -297,8 +394,14 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
                 n
             }
         };
-        let new_lda = headroom(new_rows, new_rows > self.rows).max(self.lda);
-        let new_alloc_cols = headroom(new_cols, new_cols > self.cols).max(alloc_cols);
+        let mut new_lda = headroom(new_rows, new_rows > self.rows).max(self.lda);
+        let mut new_alloc_cols = headroom(new_cols, new_cols > self.cols).max(alloc_cols);
+        if new_lda.checked_mul(new_alloc_cols).is_none() {
+            // Headroom overflowed the address space: fall back to the
+            // exact (already validated) extent.
+            new_lda = new_rows.max(self.lda);
+            new_alloc_cols = new_cols.max(alloc_cols);
+        }
         let mut data = vec![T::default(); new_lda * new_alloc_cols];
         for c in 0..self.cols {
             for r in 0..self.rows {
@@ -309,6 +412,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
         self.lda = new_lda;
         self.rows = new_rows;
         self.cols = new_cols;
+        Ok(())
     }
 
     /// Does the allocation have slack beyond the logical extent?
@@ -330,6 +434,44 @@ impl<T: Clone + Default + PartialEq> PartialEq for Matrix<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_zeros_rejects_overflowing_and_oversized_extents() {
+        // rows * cols wrapping usize must never produce a small buffer
+        // behind a huge logical extent.
+        assert!(matches!(
+            Matrix::<f64>::try_zeros(usize::MAX, 2),
+            Err(RuntimeError::AllocLimit { .. })
+        ));
+        // Beyond the ceiling but without overflow: same error.
+        assert!(matches!(
+            Matrix::<f64>::try_zeros(numel_limit(), 2),
+            Err(RuntimeError::AllocLimit { .. })
+        ));
+        // Within the ceiling: fine.
+        assert!(Matrix::<f64>::try_zeros(4, 4).is_ok());
+    }
+
+    #[test]
+    fn try_grow_rejects_oversized_extents() {
+        let mut m: Matrix<f64> = Matrix::zeros(2, 2);
+        assert!(matches!(
+            m.try_grow(usize::MAX, 2, true),
+            Err(RuntimeError::AllocLimit { .. })
+        ));
+        // The failed growth must leave the matrix untouched.
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert!(m.try_grow(3, 3, false).is_ok());
+        assert_eq!((m.rows(), m.cols()), (3, 3));
+    }
+
+    #[test]
+    fn checked_numel_boundaries() {
+        assert_eq!(checked_numel(0, 0).unwrap(), 0);
+        assert_eq!(checked_numel(1, numel_limit()).unwrap(), numel_limit());
+        assert!(checked_numel(1, numel_limit() + 1).is_err());
+        assert!(checked_numel(usize::MAX, usize::MAX).is_err());
+    }
 
     #[test]
     fn construction_and_access() {

@@ -416,7 +416,9 @@ pub fn logical(a: &Value, b: &Value, or: bool) -> RuntimeResult<Value> {
 ///
 /// # Errors
 ///
-/// Fails when `step` is zero or operands are not numeric scalars.
+/// Fails when `step` is zero, operands are not numeric scalars, or the
+/// element count exceeds the allocation ceiling (`0:1e-300:1` asks for
+/// ~1e300 elements).
 pub fn range(start: &Value, step: Option<&Value>, stop: &Value) -> RuntimeResult<Value> {
     let a = start.to_scalar()?;
     let s = match step {
@@ -427,12 +429,30 @@ pub fn range(start: &Value, step: Option<&Value>, stop: &Value) -> RuntimeResult
     if s == 0.0 {
         return Err(RuntimeError::Raised("range step cannot be zero".to_owned()));
     }
+    // A NaN endpoint or step satisfies no iteration condition: MATLAB
+    // returns the 1×0 empty. (Without this, `span` goes NaN below,
+    // skips the `span < 0` empty return, and the NaN→usize cast lands
+    // on n = 1, yielding `[NaN]` — a compiled-vs-interpreted
+    // divergence, since counted loops compare against NaN and run zero
+    // iterations.)
+    if a.is_nan() || s.is_nan() || b.is_nan() {
+        return Ok(Value::Real(Matrix::zeros(1, 0)));
+    }
     let span = (b - a) / s;
     if span < 0.0 {
         return Ok(Value::Real(Matrix::zeros(1, 0)));
     }
     // Tolerate floating-point endpoints a hair short of an exact count.
-    let n = (span + 1e-10).floor() as usize + 1;
+    let nf = (span + 1e-10).floor() + 1.0;
+    if nf > crate::numel_limit() as f64 || nf.is_nan() {
+        // Also catches infinite spans (`1:Inf`), whose usize cast would
+        // otherwise saturate and wrap the `+ 1`.
+        return Err(RuntimeError::AllocLimit {
+            requested: format!("1x{nf:e}"),
+            limit: crate::numel_limit(),
+        });
+    }
+    let n = nf as usize;
     let data: Vec<f64> = (0..n).map(|k| a + k as f64 * s).collect();
     Ok(Value::Real(Matrix::from_vec(1, n, data)))
 }
@@ -628,9 +648,9 @@ fn index_set_mat<T: Clone + Default + PartialEq>(
             if max > m.numel() {
                 // Linear-index growth is only legal for vectors/empties.
                 if m.is_empty() || m.rows() == 1 {
-                    m.grow(1, max, oversize);
+                    m.try_grow(1, max, oversize)?;
                 } else if m.cols() == 1 {
-                    m.grow(max, 1, oversize);
+                    m.try_grow(max, 1, oversize)?;
                 } else {
                     return Err(RuntimeError::IndexOutOfBounds {
                         index: max.to_string(),
@@ -666,7 +686,7 @@ fn index_set_mat<T: Clone + Default + PartialEq>(
             let need_r = ridx.iter().copied().max().map_or(0, |k| k + 1);
             let need_c = cidx.iter().copied().max().map_or(0, |k| k + 1);
             if need_r > m.rows() || need_c > m.cols() {
-                m.grow(need_r.max(m.rows()), need_c.max(m.cols()), oversize);
+                m.try_grow(need_r.max(m.rows()), need_c.max(m.cols()), oversize)?;
             }
             let mut pos = 0;
             for &c in &cidx {
@@ -782,6 +802,68 @@ mod tests {
 
     fn rv(rows: Vec<Vec<f64>>) -> Value {
         Value::Real(Matrix::from_rows(rows))
+    }
+
+    #[test]
+    fn range_with_nan_endpoint_or_step_is_empty() {
+        // MATLAB: colon with any NaN bound yields 1x0 empty, and the
+        // compiled counted-loop lowering (`i < n` is false for NaN `n`)
+        // runs zero iterations — the materialized range must agree.
+        for (a, s, b) in [
+            (f64::NAN, 1.0, 5.0),
+            (1.0, f64::NAN, 5.0),
+            (1.0, 1.0, f64::NAN),
+            (f64::NAN, f64::NAN, f64::NAN),
+        ] {
+            let (av, sv, bv) = (Value::scalar(a), Value::scalar(s), Value::scalar(b));
+            let v = range(&av, Some(&sv), &bv).unwrap();
+            match v {
+                Value::Real(m) => {
+                    assert_eq!((m.rows(), m.cols()), (1, 0), "{a}:{s}:{b}");
+                }
+                other => panic!("expected real empty, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn range_element_count_is_capped() {
+        // 0:1e-300:1 would ask for ~1e300 elements; must surface as a
+        // catchable AllocLimit, not an OOM abort or a bogus cast.
+        let r = |a: f64, s: f64, b: f64| {
+            range(
+                &Value::scalar(a),
+                Some(&Value::scalar(s)),
+                &Value::scalar(b),
+            )
+        };
+        match r(0.0, 1e-300, 1.0) {
+            Err(RuntimeError::AllocLimit { .. }) => {}
+            other => panic!("expected AllocLimit, got {other:?}"),
+        }
+        match r(1.0, 1.0, f64::INFINITY) {
+            Err(RuntimeError::AllocLimit { .. }) => {}
+            other => panic!("expected AllocLimit, got {other:?}"),
+        }
+        // A plain huge-but-degenerate range still works.
+        assert_eq!(r(5.0, 1.0, 4.0).unwrap().numel(), 0);
+    }
+
+    #[test]
+    fn index_set_growth_is_capped() {
+        // Scalar store far past the ceiling must fail cleanly rather
+        // than attempt a monstrous zero-filled reallocation.
+        let big = 1.0 + crate::numel_limit() as f64;
+        let mut base = Value::Real(Matrix::zeros(1, 1));
+        let subs = [
+            Subscript::Index(Value::scalar(1.0)),
+            Subscript::Index(Value::scalar(big)),
+        ];
+        let r = index_set(&mut base, &subs, &Value::scalar(7.0), true);
+        match r {
+            Err(RuntimeError::AllocLimit { .. }) => {}
+            other => panic!("expected AllocLimit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -162,8 +162,12 @@ impl Value {
                     lo = lo.min(v);
                     hi = hi.max(v);
                 }
+                // An empty matrix has no elements, so every range
+                // constraint holds vacuously: ⊥ is ≤ any range, where ⊤
+                // would spuriously fail subsumption checks against
+                // inferred types with narrowed ranges.
                 let range = if m.is_empty() {
-                    Range::top()
+                    Range::bottom()
                 } else {
                     Range::new(lo, hi)
                 };
@@ -182,7 +186,7 @@ impl Value {
             },
             Value::Bool(m) => {
                 let range = if m.is_empty() {
-                    Range::new(0.0, 1.0)
+                    Range::bottom()
                 } else {
                     let any_true = m.iter().any(|&b| b);
                     let any_false = m.iter().any(|&b| !b);
@@ -303,6 +307,20 @@ mod tests {
         let t = Value::bool_scalar(true).type_of();
         assert_eq!(t.intrinsic, Intrinsic::Bool);
         assert_eq!(t.range, Range::constant(1.0));
+    }
+
+    #[test]
+    fn empty_values_have_bottom_range() {
+        use majic_types::Lattice;
+        // Found by the differential fuzzer: an empty `3:0` result was
+        // typed with a ⊤ range, which is not subsumed by any inferred
+        // type whose range has been narrowed (e.g. `<0,inf>` from
+        // `abs`). With no elements, every range holds vacuously.
+        let t = Value::Real(Matrix::zeros(1, 0)).type_of();
+        assert!(t.range.is_bottom());
+        assert!(t.range.le(&Range::new(0.0, 1.0)));
+        let t = Value::Bool(Matrix::zeros(0, 0)).type_of();
+        assert!(t.range.is_bottom());
     }
 
     #[test]

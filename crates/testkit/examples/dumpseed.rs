@@ -1,0 +1,14 @@
+//! Print the program the differential fuzzer generates for a seed, in
+//! the regression-corpus format — handy for triaging a divergence
+//! without running the whole oracle.
+//!
+//! Usage: `cargo run -p majic-testkit --example dumpseed -- <seed>`
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .expect("usage: dumpseed <seed>")
+        .parse()
+        .expect("seed must be an integer");
+    println!("{}", majic_testkit::fuzzgen::generate(seed).render_corpus());
+}

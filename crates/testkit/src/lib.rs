@@ -13,9 +13,12 @@
 //!   (Chrome trace exports and the like),
 //! * [`output`] — a routable `Write` sink the bench harness and
 //!   property runner report through, so tests can capture and assert
-//!   on their output.
+//!   on their output,
+//! * [`fuzzgen`] — a grammar-based MATLAB program generator and
+//!   test-case shrinker for the differential fuzzer (`crates/fuzz`).
 
 pub mod bench;
+pub mod fuzzgen;
 pub mod json;
 pub mod output;
 

@@ -135,7 +135,23 @@ impl Range {
         if other.lo <= 0.0 && other.hi >= 0.0 {
             return Range::top();
         }
-        self.mul(Range::new(1.0 / other.hi, 1.0 / other.lo))
+        // Divide endpoints directly: going through reciprocals
+        // (`a * (1/b)`) rounds twice, so the interval could exclude the
+        // correctly-rounded runtime quotient (10/7 ≠ 10*(1/7) in f64).
+        // Rounding is monotone, so endpoint quotients bound every
+        // interior quotient even in floating point.
+        let quotients = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        if quotients.iter().any(|q| q.is_nan()) {
+            return Range::top();
+        }
+        let lo = quotients.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = quotients.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Range::new(lo, hi)
     }
 
     /// Interval power for integral known exponents; `⊤` otherwise.
@@ -144,6 +160,12 @@ impl Range {
             return Range::bottom();
         }
         if n.fract() != 0.0 || !n.is_finite() {
+            return Range::top();
+        }
+        // `as i32` saturates for |n| beyond i32, silently turning e.g.
+        // x^1e10 into x^i32::MAX — a *different* function whose interval
+        // would be unsound to trust. Widen instead.
+        if n < f64::from(i32::MIN) || n > f64::from(i32::MAX) {
             return Range::top();
         }
         let n = n as i32;
@@ -314,6 +336,23 @@ mod tests {
     use super::*;
 
     #[test]
+    fn powi_huge_exponent_widens_to_top() {
+        // `n as i32` saturates for |n| > i32::MAX; the interval for
+        // x^i32::MAX is not the interval for x^1e10, so powi must widen
+        // rather than silently analyze a different function.
+        let x = Range::new(0.5, 2.0);
+        assert_eq!(x.powi(1e10), Range::top());
+        assert_eq!(x.powi(-1e10), Range::top());
+        assert_eq!(x.powi(4e9), Range::top());
+        // Boundary values that do fit stay precise.
+        assert!(x.powi(2.0).le(&Range::new(0.25, 4.0)));
+        assert_eq!(
+            Range::constant(1.0).powi(f64::from(i32::MAX)),
+            Range::constant(1.0)
+        );
+    }
+
+    #[test]
     fn malformed_ranges_collapse_to_bottom() {
         assert!(Range::new(2.0, 1.0).is_bottom());
         assert!(Range::new(f64::NAN, 1.0).is_bottom());
@@ -328,6 +367,18 @@ mod tests {
         assert!(Range::bottom().le(&small));
         assert!(small.le(&Range::top()));
         assert!(!small.le(&Range::bottom()));
+    }
+
+    #[test]
+    fn constant_division_matches_runtime_rounding() {
+        // Found by the differential fuzzer: 10/7 computed as 10*(1/7)
+        // rounds twice and lands one ulp below the runtime quotient,
+        // so the inferred "constant" excluded the actual value.
+        let q = Range::constant(10.0).div(Range::constant(7.0));
+        assert_eq!(q, Range::constant(10.0 / 7.0));
+        // Sign-definite interval endpoints still bound interior pairs.
+        let r = Range::new(1.0, 2.0).div(Range::new(4.0, 8.0));
+        assert_eq!(r, Range::new(1.0 / 8.0, 2.0 / 4.0));
     }
 
     #[test]

@@ -95,9 +95,9 @@ impl Type {
         self.exact_shape().is_some_and(Shape::is_scalar)
     }
 
-    /// Could this be a scalar? (max shape admits `1 × 1`.)
+    /// Could this be a scalar? (`1 × 1` lies between the bounds.)
     pub fn may_be_scalar(&self) -> bool {
-        Shape::scalar().le(&self.max_shape)
+        self.min_shape.le(&Shape::scalar()) && Shape::scalar().le(&self.max_shape)
     }
 
     /// The constant value, if this type pins one down.

@@ -366,7 +366,9 @@ impl Validator {
                 .and(self.c_reg(*val)),
             Inst::ALoadConstF { d, arr, .. } => self.f_reg(*d).and(self.slot(*arr)),
             Inst::AStoreConstF { arr, v, .. } => self.slot(*arr).and(self.f_reg(*v)),
-            Inst::FToSlot { slot, s } => self.slot(*slot).and(self.f_reg(*s)),
+            Inst::FToSlot { slot, s } | Inst::FToSlotBool { slot, s } => {
+                self.slot(*slot).and(self.f_reg(*s))
+            }
             Inst::SlotToF { d, slot } | Inst::TruthF { d, slot } => {
                 self.f_reg(*d).and(self.slot(*slot))
             }
@@ -631,6 +633,7 @@ fn opcode_name(inst: &Inst) -> &'static str {
         Inst::ALoadConstF { .. } => "aload_const_f",
         Inst::AStoreConstF { .. } => "astore_const_f",
         Inst::FToSlot { .. } => "f_to_slot",
+        Inst::FToSlotBool { .. } => "f_to_slot_bool",
         Inst::SlotToF { .. } => "slot_to_f",
         Inst::CToSlot { .. } => "c_to_slot",
         Inst::SlotToC { .. } => "slot_to_c",
@@ -1074,6 +1077,9 @@ fn exec_inst(
         Inst::FToSlot { slot, s } => {
             m.slots[slot.index()] = Some(Value::scalar(m.f[s.index()]));
         }
+        Inst::FToSlotBool { slot, s } => {
+            m.slots[slot.index()] = Some(Value::bool_scalar(m.f[s.index()] != 0.0));
+        }
         Inst::SlotToF { d, slot } => {
             let v = m.slots[slot.index()]
                 .as_ref()
@@ -1346,7 +1352,7 @@ fn exec_gen(
             store_results(dsts, vec![result], m, "dgemv")
         }
         GenOp::AllocReal { rows, cols } => {
-            let v = Value::Real(Matrix::zeros(*rows as usize, *cols as usize));
+            let v = Value::Real(Matrix::try_zeros(*rows as usize, *cols as usize)?);
             store_results(dsts, vec![v], m, "alloc")
         }
         GenOp::EnsureReal { rows, cols } => {
@@ -1354,7 +1360,7 @@ fn exec_gen(
             let slot = &mut m.slots[dsts[0].index()];
             match slot {
                 Some(Value::Real(mat)) if mat.rows() == r && mat.cols() == c => {}
-                _ => *slot = Some(Value::Real(Matrix::zeros(r, c))),
+                _ => *slot = Some(Value::Real(Matrix::try_zeros(r, c)?)),
             }
             Ok(())
         }

@@ -453,7 +453,7 @@ fn regs_of_mut(inst: &mut Inst, class: Class, role: RegRole) -> Vec<&mut Reg> {
                     vec![]
                 }
             }
-            AStoreConstF { v, .. } | FToSlot { s: v, .. } => {
+            AStoreConstF { v, .. } | FToSlot { s: v, .. } | FToSlotBool { s: v, .. } => {
                 if src {
                     vec![v]
                 } else {

@@ -1,0 +1,12 @@
+% Fixed: compiled modes dropped the logical class when a relational
+% result flowed through scalar F registers — element loads from a
+% logical array, `~`, short-circuit results and scalar comparisons all
+% came back double where the interpreter kept logical. Bool-carrying
+% F registers now record the class and re-box through FToSlotBool.
+% entry: f0
+% arg: scalar 2.0
+function r = f0(p0)
+v = ([1.0 2.0 3.0] ~= p0);
+w = v;
+w(2.0) = (p0 > 1.0);
+r = w(3.0);

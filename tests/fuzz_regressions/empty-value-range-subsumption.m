@@ -1,0 +1,8 @@
+% Fixed: an empty matrix was typed with a ⊤ value range, which is not
+% subsumed by inferred types whose range has been narrowed (here
+% `<0,inf>` via `abs`), tripping the soundness oracle on a vacuously
+% safe value. Empty values now carry a ⊥ range.
+% entry: f0
+% arg: scalar 0.0
+function r = f0(x)
+r = (3.0 : abs(x));

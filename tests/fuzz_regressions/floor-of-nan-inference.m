@@ -1,0 +1,9 @@
+% Fixed: floor/ceil/round/fix of a Real operand were typed Int, but
+% floor(NaN) is NaN, which no Int admits — a soundness violation. A
+% NaN value carries the bottom range, so a finite inferred range is no
+% evidence against it; the result is Int only when the operand's
+% intrinsic already excludes NaN.
+% entry: f0
+% arg: scalar NaN
+function r = f0(x)
+r = floor(x);

@@ -1,0 +1,14 @@
+% Fixed: splicing an inlined callee body hoisted it ahead of earlier
+% operands of the containing expression, so when an earlier operand
+% failed first under the interpreter (here a bad subscript), compiled
+% modes raised the callee body's error instead. Fallible earlier
+% operands are now hoisted into sequencing temporaries ahead of the
+% splice, preserving left-to-right evaluation.
+% entry: f0
+% arg: scalar 1.0
+function r = f0(p0)
+v1 = 0.0;
+r = (v1(v1, v1) >= f2(p0));
+function r = f2(a)
+m(6.0, 4.0) = 6.0;
+r = a + 1.0;

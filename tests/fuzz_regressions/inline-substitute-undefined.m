@@ -1,0 +1,15 @@
+% Fixed: the inliner substituted a read-only formal's identifier actual
+% into the callee body without a copy even when that identifier was
+% never assigned, delaying the `Undefined` error from the call site
+% into the middle of the spliced body (or past it entirely). Direct
+% substitution now requires the actual to be definitely assigned.
+% entry: f0
+% arg: scalar 1.0
+function r = f0(p0)
+if (p0 > 2.0)
+  g = 3.0;
+end
+r = f1(g);
+function r = f1(a)
+m(2.0, 2.0) = 7.0;
+r = a + m(1.0, 1.0);

@@ -1,0 +1,12 @@
+% Fixed: a variable first indexed-stored *inside* a loop was typed at
+% the store site with the back-edge's min-shape (the loop-entry join
+% treated unbound ⊥ as an identity), so codegen removed the store
+% check and the first iteration refused to auto-vivify, raising
+% `Undefined("slot …")` where the interpreter succeeds.
+% entry: f0
+% arg: scalar 1.0
+function r = f0(x)
+for k = 1.0 : 4.0
+  m(5.0) = 5.0;
+end
+r = m(5.0);

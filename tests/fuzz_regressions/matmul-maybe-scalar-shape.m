@@ -1,0 +1,14 @@
+% Fixed: the inferred shape of `a * b` ignored the scalar-broadcast
+% alternative when an operand was only possibly scalar: a 4x4 matrix
+% times a join of 1x1 and 4x1 was typed 4x1, but at runtime the scalar
+% case scales the matrix and produces 4x4 — a soundness violation.
+% The gemm, `/` and `\` rules now join the broadcast alternatives.
+% entry: f0
+% arg: scalar 1.0
+function r = f0(p0)
+if (p0 > 0.0)
+  m = 2.0;
+else
+  m = zeros(4.0, 1.0);
+end
+r = (eye(4.0) * m);

@@ -1,0 +1,8 @@
+% Fixed: the inference calculator typed `-logical` as Bool, but the
+% runtime negation of a logical produces a double (`-true` is -1.0),
+% which Bool does not admit — a type-soundness violation in every
+% compiled mode.
+% entry: f0
+% arg: scalar 3.0
+function r = f0(p0)
+r = -(p0 > 1.0);

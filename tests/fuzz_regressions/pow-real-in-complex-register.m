@@ -1,0 +1,10 @@
+% Fixed: complex-typed compiled code computed `x .^ y` for purely real
+% operands as exp(y*ln(x)), one ulp off the interpreter's real-dispatch
+% f64 pow: `3 .^ 1` came out 3.0000000000000004 in spec mode, whose
+% coarser speculated ranges cannot prove the base non-negative and so
+% type the power complex. Complex pow now takes the real path exactly
+% when the interpreter's value dispatch would.
+% entry: f0
+% arg: scalar 3.0
+function r = f0(p1)
+r = (p1 .^ (2.0 ~= p1));

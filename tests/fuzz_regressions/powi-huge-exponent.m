@@ -1,0 +1,7 @@
+% Fixed: Range::powi saturated exponents beyond i32 range
+% (`x .^ 1e10` was analyzed as `x .^ 2147483647`, a different
+% function); it now widens to ⊤ instead.
+% entry: f0
+% arg: scalar 2.0
+function r = f0(x)
+r = x .^ 10000000000.0;

@@ -1,0 +1,12 @@
+% Fixed: `colon` with a NaN endpoint or step computed a garbage extent
+% instead of the empty 1x0 row vector MATLAB produces, so modes
+% diverged between an allocation failure and a value.
+% entry: f0
+% arg: scalar NaN
+function r = f0(x)
+v = (1.0 : x);
+s = 0.0;
+for k = (1.0 : x)
+  s = s + k;
+end
+r = numel(v) + s;

@@ -1,0 +1,7 @@
+% Fixed: a denormal step (0 : 1e-300 : 1) overflowed the range extent
+% computation (u64 wrap in inference, unbounded allocation at runtime);
+% every mode now raises the same AllocLimit error class.
+% entry: f0
+% arg: scalar 1e-300
+function r = f0(x)
+r = (0.0 : x : 1.0);

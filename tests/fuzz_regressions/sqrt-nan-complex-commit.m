@@ -1,0 +1,11 @@
+% Fixed: the scalar-math fast path compiled sqrt of a maybe-negative
+% real scalar into a complex register, committing the result to the
+% complex class statically; sqrt(NaN) and sqrt(4) are real values at
+% runtime, so every compiled mode disagreed with the interpreter's
+% value-based dispatch. The fast path now only fires for operands the
+% inference already types complex.
+% entry: f0
+% arg: scalar NaN
+function r = f0(p0)
+v0 = p0;
+r = sqrt(v0);

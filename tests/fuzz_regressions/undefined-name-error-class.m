@@ -1,0 +1,8 @@
+% Fixed: reading an undefined name raised `Undefined` from the
+% interpreter but `Raised` from every compiled mode — the engine
+% re-wrapped the compiler's RuntimeError into Raised, collapsing the
+% error class.
+% entry: f0
+% arg: scalar 1.0
+function r = f0(x)
+r = qq0;

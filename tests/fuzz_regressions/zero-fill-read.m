@@ -1,0 +1,9 @@
+% Fixed: a store that grows (or vivifies) an array fills the elements
+% it does not write with 0.0, but the inferred range only joined the
+% stored value — reading back a fill element then violated the type
+% soundness contract (runtime 0 outside inferred <5,5>).
+% entry: f0
+% arg: scalar 1.0
+function r = f0(x)
+m(5.0) = 5.0;
+r = m(2.0);
