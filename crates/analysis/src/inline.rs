@@ -11,6 +11,13 @@
 //! renamed, wrapped in a single-trip `for` loop so that top-level
 //! `return`s become `break`s. Functions whose `return` sits inside one of
 //! their own loops, or that touch globals, are not inlined.
+//!
+//! The "copies of the actual parameters" taken for written formals are
+//! plain assignments (`__inlN_p = actual;`). With the runtime's
+//! copy-on-write buffers those bindings are O(1) — the physical copy is
+//! deferred to the formal's first store, and elided entirely when the
+//! actual's buffer turns out to be uniquely owned by then. Read-only
+//! formals skip even the binding.
 
 use majic_ast::{BinOp, Expr, ExprKind, Function, LValue, NodeId, Span, Stmt, StmtKind};
 use std::collections::{HashMap, HashSet};

@@ -146,6 +146,15 @@ struct Gen<'a> {
     func: Function,
     cur: BlockId,
     var_locs: Vec<VarLoc>,
+    /// Slots below this index belong to variables; everything allocated
+    /// afterwards is a single-use expression temporary (see
+    /// [`Gen::is_temp_slot`]).
+    var_slot_end: u32,
+    /// Temporaries pre-allocated once in the entry block and refilled on
+    /// every execution (small matrix literals, unrolled elementwise
+    /// results). These outlive a single consumption and must never be
+    /// moved out of.
+    persistent_slots: Vec<Slot>,
     /// (continue target, break target) of enclosing loops.
     loop_stack: Vec<(BlockId, BlockId)>,
 }
@@ -164,6 +173,8 @@ impl<'a> Gen<'a> {
             func,
             cur: BlockId(0),
             var_locs: Vec::new(),
+            var_slot_end: 0,
+            persistent_slots: Vec::new(),
             loop_stack: Vec::new(),
         }
     }
@@ -268,6 +279,18 @@ impl<'a> Gen<'a> {
                 VarLoc::Slot(_) => VarLoc::Slot(self.fresh_slot()),
             };
         }
+        // Every slot allocated from here on is an expression temporary.
+        self.var_slot_end = self.func.slots;
+    }
+
+    /// Whether `s` is a single-use expression temporary (as opposed to a
+    /// variable's home slot). Temporaries are produced immediately
+    /// before their one consumer, so a consumer that stores one into a
+    /// variable may *move* it — leaving a clone behind would keep a
+    /// second owner of the buffer alive and force the variable's next
+    /// element store to deep-copy under copy-on-write.
+    fn is_temp_slot(&self, s: Slot) -> bool {
+        s.0 >= self.var_slot_end && !self.persistent_slots.contains(&s)
     }
 
     fn var_loc(&self, v: VarId) -> VarLoc {
@@ -646,7 +669,14 @@ impl<'a> Gen<'a> {
                         RVal::C(s) => self.emit(Inst::CToSlot { slot, s }),
                         RVal::Slot(s) => {
                             if s != slot {
-                                self.emit(Inst::SlotMov { d: slot, s });
+                                // `x = y` between variables shares the
+                                // buffer (CoW clone); a temporary is
+                                // dead after this and is moved instead.
+                                if self.is_temp_slot(s) {
+                                    self.emit(Inst::SlotTake { d: slot, s });
+                                } else {
+                                    self.emit(Inst::SlotMov { d: slot, s });
+                                }
                             }
                         }
                     },
@@ -2081,6 +2111,7 @@ impl<'a> Gen<'a> {
             }
             None => {
                 let slot = self.fresh_slot();
+                self.persistent_slots.push(slot);
                 self.func.blocks[0].insts.push(Inst::Gen {
                     op: GenOp::AllocReal {
                         rows: rows as u32,
@@ -2135,6 +2166,7 @@ impl<'a> Gen<'a> {
                 });
             if all_scalars && nrows * ncols <= 16 {
                 let dst = self.fresh_slot();
+                self.persistent_slots.push(dst);
                 // Pre-allocated in the entry block; every element is
                 // stored below on each execution of the literal.
                 self.func.blocks[0].insts.push(Inst::Gen {

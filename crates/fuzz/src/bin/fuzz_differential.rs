@@ -5,11 +5,14 @@
 //! and reports any divergence, shrunk to a minimal reproducer.
 //!
 //! ```text
-//! fuzz_differential [--seed N] [--iters N] [--json] [--artifacts DIR]
+//! fuzz_differential [--seed N] [--iters N] [--grammar MODE] [--json] [--artifacts DIR]
 //! ```
 //!
 //! * `--seed N`      — first seed (default 0); iteration `i` uses seed `N+i`.
 //! * `--iters N`     — number of programs to run (default 1000).
+//! * `--grammar M`   — `default` or `aliasing` (the CoW-stress grammar:
+//!   alias binds, mutation of either alias, self-referential updates,
+//!   growth after aliasing, duplicated actuals).
 //! * `--json`        — machine-readable summary on stdout.
 //! * `--artifacts D` — write each shrunk reproducer to `D/repro-<seed>.m`
 //!   (created on first failure; CI uploads this).
@@ -17,13 +20,14 @@
 //! Exit status: 0 when every case agrees, 1 on any divergence, 2 on
 //! usage errors.
 
-use majic_fuzz::{fuzz, json_escape, Failure};
+use majic_fuzz::{fuzz_with, json_escape, Failure, Grammar};
 use std::io::Write;
 use std::path::PathBuf;
 
 struct Options {
     seed: u64,
     iters: u64,
+    grammar: Grammar,
     json: bool,
     artifacts: Option<PathBuf>,
 }
@@ -32,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
     let mut o = Options {
         seed: 0,
         iters: 1000,
+        grammar: Grammar::Default,
         json: false,
         artifacts: None,
     };
@@ -46,6 +51,14 @@ fn parse_args() -> Result<Options, String> {
                 let v = it.next().ok_or("--iters needs a value")?;
                 o.iters = v.parse().map_err(|e| format!("bad --iters {v:?}: {e}"))?;
             }
+            "--grammar" => {
+                let v = it.next().ok_or("--grammar needs a value")?;
+                o.grammar = match v.as_str() {
+                    "default" => Grammar::Default,
+                    "aliasing" => Grammar::Aliasing,
+                    other => return Err(format!("unknown grammar {other:?}")),
+                };
+            }
             "--json" => o.json = true,
             "--artifacts" => {
                 let v = it.next().ok_or("--artifacts needs a directory")?;
@@ -53,7 +66,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: fuzz_differential [--seed N] [--iters N] [--json] [--artifacts DIR]"
+                    "usage: fuzz_differential [--seed N] [--iters N] [--grammar default|aliasing] [--json] [--artifacts DIR]"
                 );
                 std::process::exit(0);
             }
@@ -87,7 +100,7 @@ fn main() {
 
     let mut failures: Vec<(u64, Vec<String>, String)> = Vec::new();
     let progress_every = (opts.iters / 20).max(1);
-    let stats = fuzz(opts.seed, opts.iters, |f| {
+    let stats = fuzz_with(opts.seed, opts.iters, opts.grammar, |f| {
         if !opts.json {
             eprintln!("--- divergence at seed {} ---", f.seed);
             for d in &f.report.divergences {
@@ -120,8 +133,15 @@ fn main() {
         let mut out = String::new();
         out.push('{');
         out.push_str(&format!(
-            "\"seed\":{},\"iters\":{},\"ok_cases\":{},\"err_cases\":{},\"failures\":[",
-            opts.seed, stats.iters, stats.ok_cases, stats.err_cases
+            "\"seed\":{},\"iters\":{},\"grammar\":\"{}\",\"ok_cases\":{},\"err_cases\":{},\"failures\":[",
+            opts.seed,
+            stats.iters,
+            match opts.grammar {
+                Grammar::Default => "default",
+                Grammar::Aliasing => "aliasing",
+            },
+            stats.ok_cases,
+            stats.err_cases
         ));
         for (i, (seed, divs, repro)) in failures.iter().enumerate() {
             if i > 0 {

@@ -16,6 +16,8 @@ use majic_runtime::{Matrix, Value};
 use majic_testkit::fuzzgen::{self, ArgVal, Program};
 use std::path::Path;
 
+pub use majic_testkit::fuzzgen::Grammar;
+
 /// Convert a generator argument into an engine value.
 pub fn value_of(a: &ArgVal) -> Value {
     match a {
@@ -60,9 +62,17 @@ impl Failure {
 /// time at roughly a second.
 const SHRINK_EVALS: usize = 400;
 
-/// Run one seed through generate → oracle → (on failure) shrink.
+/// Run one seed through generate → oracle → (on failure) shrink, using
+/// the default grammar.
 pub fn run_seed(seed: u64) -> (DiffReport, Option<Failure>) {
-    let program = fuzzgen::generate(seed);
+    run_seed_with(seed, Grammar::Default)
+}
+
+/// Run one seed through generate → oracle → (on failure) shrink, with
+/// the chosen grammar (the aliasing mode stresses copy-on-write
+/// snapshot isolation).
+pub fn run_seed_with(seed: u64, grammar: Grammar) -> (DiffReport, Option<Failure>) {
+    let program = fuzzgen::generate_with(seed, grammar);
     let report = run_case(&case_of(&program));
     if report.is_clean() {
         return (report, None);
@@ -101,12 +111,23 @@ pub struct FuzzStats {
     pub failures: u64,
 }
 
-/// Run `iters` seeds starting at `seed`, calling `on_failure` for each
-/// divergent (already shrunk) case. Returns the aggregate statistics.
-pub fn fuzz(seed: u64, iters: u64, mut on_failure: impl FnMut(&Failure)) -> FuzzStats {
+/// Run `iters` seeds starting at `seed` with the default grammar,
+/// calling `on_failure` for each divergent (already shrunk) case.
+/// Returns the aggregate statistics.
+pub fn fuzz(seed: u64, iters: u64, on_failure: impl FnMut(&Failure)) -> FuzzStats {
+    fuzz_with(seed, iters, Grammar::Default, on_failure)
+}
+
+/// [`fuzz`] with an explicit grammar.
+pub fn fuzz_with(
+    seed: u64,
+    iters: u64,
+    grammar: Grammar,
+    mut on_failure: impl FnMut(&Failure),
+) -> FuzzStats {
     let mut stats = FuzzStats::default();
     for i in 0..iters {
-        let (report, failure) = run_seed(seed.wrapping_add(i));
+        let (report, failure) = run_seed_with(seed.wrapping_add(i), grammar);
         stats.iters += 1;
         match failure {
             Some(f) => {
@@ -175,6 +196,26 @@ mod tests {
             assert!(
                 failure.is_none(),
                 "seed {seed} diverged:\n{}\nreproducer:\n{}",
+                report
+                    .divergences
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                failure.map(|f| f.reproducer()).unwrap_or_default(),
+            );
+        }
+    }
+
+    #[test]
+    fn clean_aliasing_seeds_stay_clean() {
+        // The aliasing-heavy grammar hammers copy-on-write snapshot
+        // isolation; every case must still agree across all six modes.
+        for seed in 0..25 {
+            let (report, failure) = run_seed_with(seed, Grammar::Aliasing);
+            assert!(
+                failure.is_none(),
+                "aliasing seed {seed} diverged:\n{}\nreproducer:\n{}",
                 report
                     .divergences
                     .iter()

@@ -84,6 +84,12 @@ fn int_scalar(t: &Type) -> bool {
     is_scalar(t) && at_most(t, Intrinsic::Int)
 }
 
+/// May the value have zero elements? (The guaranteed lower shape bound
+/// admits an empty extent.)
+fn may_be_empty(t: &Type) -> bool {
+    t.min_shape.rows == Dim::Finite(0) || t.min_shape.cols == Dim::Finite(0)
+}
+
 fn real_scalar(t: &Type) -> bool {
     is_scalar(t) && at_most(t, Intrinsic::Real)
 }
@@ -135,7 +141,13 @@ fn scalar_of(intrinsic: Intrinsic, range: Range) -> Type {
 /// `int` results degrade to `real` when the range arithmetic could have
 /// produced non-integers (it cannot for + − ×).
 fn int_preserving(a: &Type, b: &Type) -> Intrinsic {
-    a.intrinsic.numeric_join(b.intrinsic)
+    match a.intrinsic.numeric_join(b.intrinsic) {
+        // Arithmetic on logicals yields numeric values at runtime
+        // (`true - true` is the integral double 0, not a logical);
+        // bool survives only logical operators and comparisons.
+        Intrinsic::Bool => Intrinsic::Int,
+        other => other,
+    }
 }
 
 /// `int` means "integral-valued double", which excludes ±∞ (a non-finite
@@ -802,6 +814,28 @@ pub fn index_write(base: &Type, subs: &[SubTy], rhs: &Type, o: &InferOptions) ->
             )
         }
         _ => (Shape::bottom(), Shape::top()),
+    };
+    // A linear store into a base that may be *empty* — including one
+    // that may be unbound on some incoming path (the env join drops
+    // `min_shape` to ⊥ at such merges) — vivifies a 1×N row vector at
+    // runtime, whatever orientation the defined alternative has. Join
+    // that alternative in, or the inferred shape claims an orientation
+    // the fresh-creation path does not honor.
+    let (min, max) = match subs {
+        [SubTy::Ty(_)] if base.intrinsic != Intrinsic::Bottom && may_be_empty(base) => {
+            let (lo, hi) = req(&subs[0]);
+            (
+                min.meet(&Shape {
+                    rows: Dim::Finite(1),
+                    cols: lo,
+                }),
+                max.join(&Shape {
+                    rows: Dim::Finite(1),
+                    cols: hi,
+                }),
+            )
+        }
+        _ => (min, max),
     };
     // A store that grows the array (or vivifies a fresh variable) fills
     // every element it did not write with 0.0; the result range must

@@ -516,6 +516,16 @@ pub enum Inst {
         /// Source slot.
         s: Slot,
     },
+    /// Move between slots, leaving the source undefined. Emitted when
+    /// the source is a dead temporary: under copy-on-write values a
+    /// `SlotMov` would leave a second live owner of the buffer, forcing
+    /// the next element store to take a full snapshot.
+    SlotTake {
+        /// Destination slot.
+        d: Slot,
+        /// Source slot (undefined afterwards).
+        s: Slot,
+    },
 
     /// MATLAB truthiness of a slot value (nonempty, all nonzero) → `F`
     /// 0/1.

@@ -24,7 +24,7 @@ use majic_types::wire::{Reader, WireError, WireResult, Writer};
 /// Version of the IR encoding (instruction set + layout). Bump on any
 /// change to the tags or field layouts below; the compiler build
 /// fingerprint embeds it, invalidating existing cache files.
-pub const IR_FORMAT_VERSION: u32 = 2;
+pub const IR_FORMAT_VERSION: u32 = 3;
 
 /// The complete set of generic binary-operator spellings the executor
 /// understands (see `majic_vm`'s `exec_gen`). Decoding any other string
@@ -516,6 +516,11 @@ pub fn encode_inst(w: &mut Writer, v: &Inst) {
             slot(w, *s);
             reg(w, *src);
         }
+        Inst::SlotTake { d, s } => {
+            w.u8(32);
+            slot(w, *d);
+            slot(w, *s);
+        }
     }
 }
 
@@ -684,6 +689,10 @@ pub fn decode_inst(r: &mut Reader<'_>) -> WireResult<Inst> {
         31 => Inst::FToSlotBool {
             slot: rd_slot(r)?,
             s: rd_reg(r)?,
+        },
+        32 => Inst::SlotTake {
+            d: rd_slot(r)?,
+            s: rd_slot(r)?,
         },
         _ => return Err(WireError::new("inst tag")),
     })
@@ -1007,6 +1016,10 @@ mod tests {
                 slot: Slot(1),
             },
             Inst::SlotMov {
+                d: Slot(0),
+                s: Slot(1),
+            },
+            Inst::SlotTake {
                 d: Slot(0),
                 s: Slot(1),
             },

@@ -1,8 +1,8 @@
 //! Column-major dense matrices with MATLAB resize semantics.
 
 use crate::{RuntimeError, RuntimeResult};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Arrays above this element count are never oversized (paper §2.6.1:
 /// "Large arrays are never oversized").
@@ -55,6 +55,23 @@ pub fn checked_numel(rows: usize, cols: usize) -> RuntimeResult<usize> {
     }
 }
 
+/// Counter of buffer snapshots forced by sharing: a mutation hit a
+/// buffer with more than one owner and had to copy it first. Always
+/// counted (the copy itself dwarfs the increment), so tests and benches
+/// can assert copy elision without enabling profiling.
+fn deep_copy_counter() -> &'static majic_trace::Counter {
+    static C: OnceLock<&'static majic_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| majic_trace::counter("runtime.matrix.deep_copy"))
+}
+
+/// Counter of mutations that proved the buffer uniquely owned and wrote
+/// in place. Per-element hot, so callers only pay the increment under
+/// [`majic_trace::vm_profile_enabled`].
+fn inplace_store_counter() -> &'static majic_trace::Counter {
+    static C: OnceLock<&'static majic_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| majic_trace::counter("runtime.matrix.inplace_store"))
+}
+
 /// A column-major matrix with an explicit leading dimension.
 ///
 /// The logical extent is `rows × cols`; the allocation holds
@@ -64,14 +81,19 @@ pub fn checked_numel(rows: usize, cols: usize) -> RuntimeResult<usize> {
 /// logical extent, avoiding the re-layout that makes repeated MATLAB
 /// resizes "tremendously expensive".
 ///
-/// Cloning is cheap (shared buffer); mutation copies when shared
-/// (copy-on-write, as in MATLAB itself).
+/// The buffer is `Arc`-shared: cloning a matrix (and therefore binding
+/// `x = y`, passing arguments, returning results) is O(1). Every
+/// mutation funnels through the private `data_mut`, which writes in place
+/// when the buffer is uniquely owned and snapshots it first when shared
+/// — observable MATLAB value semantics at copy-on-write cost. The two
+/// outcomes are counted as `runtime.matrix.deep_copy` and
+/// `runtime.matrix.inplace_store`.
 #[derive(Clone, Debug)]
 pub struct Matrix<T> {
     rows: usize,
     cols: usize,
     lda: usize,
-    data: Rc<Vec<T>>,
+    data: Arc<Vec<T>>,
 }
 
 impl<T: Clone + Default + PartialEq> Matrix<T> {
@@ -102,7 +124,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
             rows,
             cols,
             lda: rows,
-            data: Rc::new(vec![T::default(); numel]),
+            data: Arc::new(vec![T::default(); numel]),
         })
     }
 
@@ -122,7 +144,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
             rows,
             cols,
             lda: rows,
-            data: Rc::new(data),
+            data: Arc::new(data),
         }
     }
 
@@ -204,6 +226,52 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
         self.get(k % self.rows, k / self.rows)
     }
 
+    /// The uniqueness-aware mutation choke point: every write goes
+    /// through here. A uniquely-owned buffer is handed out in place
+    /// (`runtime.matrix.inplace_store` under profiling); a shared one is
+    /// snapshotted first (`runtime.matrix.deep_copy`, always counted),
+    /// so no other owner can observe the mutation.
+    fn data_mut(&mut self) -> &mut Vec<T> {
+        if Arc::get_mut(&mut self.data).is_none() {
+            deep_copy_counter().inc();
+            self.data = Arc::new((*self.data).clone());
+        } else if majic_trace::vm_profile_enabled() {
+            inplace_store_counter().inc();
+        }
+        Arc::get_mut(&mut self.data).expect("buffer uniquely owned after unsharing")
+    }
+
+    /// Is the buffer uniquely owned (a mutation would write in place)?
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Do `self` and `other` share one buffer? (Test observability for
+    /// the CoW invariants; two logically-equal matrices may or may not
+    /// share.)
+    pub fn shares_buffer_with(&self, other: &Matrix<T>) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Address of the backing allocation (test observability: unchanged
+    /// across a store loop ⇔ no copy and no re-layout happened).
+    pub fn data_ptr(&self) -> *const T {
+        self.data.as_ptr()
+    }
+
+    /// A physically independent copy, whatever the sharing state — what
+    /// every assignment paid before copy-on-write buffers (the
+    /// `figure_copyelision` baseline).
+    pub fn deep_clone(&self) -> Matrix<T> {
+        deep_copy_counter().inc();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            lda: self.lda,
+            data: Arc::new((*self.data).clone()),
+        }
+    }
+
     /// Overwrite element at 0-based `(r, c)` (copy-on-write).
     ///
     /// # Panics
@@ -212,7 +280,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
     pub fn set(&mut self, r: usize, c: usize, v: T) {
         assert!(r < self.rows && c < self.cols, "matrix index out of range");
         let lda = self.lda;
-        Rc::make_mut(&mut self.data)[c * lda + r] = v;
+        self.data_mut()[c * lda + r] = v;
     }
 
     /// Overwrite element at 0-based linear index (copy-on-write).
@@ -260,7 +328,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
     /// Copy-on-write: unshares first.
     pub fn raw_mut(&mut self) -> (&mut [T], usize) {
         let lda = self.lda;
-        (Rc::make_mut(&mut self.data).as_mut_slice(), lda)
+        (self.data_mut().as_mut_slice(), lda)
     }
 
     /// Element read without the logical-extent check.
@@ -288,7 +356,7 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
     pub unsafe fn set_unchecked(&mut self, r: usize, c: usize, v: T) {
         debug_assert!(r < self.rows && c < self.cols);
         let lda = self.lda;
-        let data = Rc::make_mut(&mut self.data);
+        let data = self.data_mut();
         // SAFETY: caller guarantees the logical bounds.
         unsafe {
             *data.get_unchecked_mut(c * lda + r) = v;
@@ -408,11 +476,29 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
                 data[c * new_lda + r] = self.data[c * self.lda + r].clone();
             }
         }
-        self.data = Rc::new(data);
+        self.data = Arc::new(data);
         self.lda = new_lda;
         self.rows = new_rows;
         self.cols = new_cols;
         Ok(())
+    }
+
+    /// A `new_rows × new_cols` view sharing this buffer, when the
+    /// element count matches and the buffer is contiguous (`lda ==
+    /// rows`, no column slack). `None` otherwise — the caller falls
+    /// back to a copying reshape. Makes `A(:)` O(1) under CoW.
+    pub fn reshaped(&self, new_rows: usize, new_cols: usize) -> Option<Matrix<T>> {
+        let contiguous = self.lda == self.rows && self.data.len() == self.numel();
+        if contiguous && new_rows.checked_mul(new_cols) == Some(self.numel()) {
+            Some(Matrix {
+                rows: new_rows,
+                cols: new_cols,
+                lda: new_rows,
+                data: Arc::clone(&self.data),
+            })
+        } else {
+            None
+        }
     }
 
     /// Does the allocation have slack beyond the logical extent?
@@ -489,9 +575,91 @@ mod tests {
     fn copy_on_write() {
         let a = Matrix::from_rows(vec![vec![1.0, 2.0]]);
         let mut b = a.clone();
+        assert!(b.shares_buffer_with(&a));
+        assert!(!a.is_unique());
         b.set(0, 0, 9.0);
         assert_eq!(a.get(0, 0), 1.0);
         assert_eq!(b.get(0, 0), 9.0);
+        // The store unshared b; both sides are unique again.
+        assert!(!b.shares_buffer_with(&a));
+        assert!(a.is_unique() && b.is_unique());
+    }
+
+    #[test]
+    fn unique_buffer_is_never_copied_on_store() {
+        let mut m: Matrix<f64> = Matrix::zeros(8, 8);
+        let p = m.data_ptr();
+        for k in 0..m.numel() {
+            m.set_linear(k, k as f64);
+        }
+        // Same allocation throughout: every store went in place.
+        assert_eq!(m.data_ptr(), p);
+        assert!(m.is_unique());
+    }
+
+    #[test]
+    fn deep_clone_is_physically_independent() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0]]);
+        let b = a.deep_clone();
+        assert_eq!(a, b);
+        assert!(!b.shares_buffer_with(&a));
+        assert!(a.is_unique() && b.is_unique());
+    }
+
+    #[test]
+    fn shared_in_allocation_growth_never_mutates_the_buffer() {
+        // x and y share one oversized buffer; growing x within the
+        // allocation must neither re-layout nor touch shared cells.
+        let mut x: Matrix<f64> = Matrix::zeros(10, 1);
+        x.grow(11, 1, true);
+        assert!(x.has_slack());
+        let y = x.clone();
+        let p = x.data_ptr();
+        x.grow(12, 1, true);
+        // Still the shared allocation: growth only bumped x's extent.
+        assert!(x.shares_buffer_with(&y));
+        assert_eq!(x.data_ptr(), p);
+        assert_eq!(y.rows(), 11);
+        // The first store into the grown region snapshots for x only.
+        x.set(11, 0, 7.0);
+        assert!(!x.shares_buffer_with(&y));
+        assert_eq!(y.data_ptr(), p);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reshaped_shares_contiguous_buffers() {
+        let m = Matrix::from_rows(vec![vec![1.0, 3.0], vec![2.0, 4.0]]);
+        let v = m.reshaped(4, 1).expect("contiguous");
+        assert!(v.shares_buffer_with(&m));
+        assert_eq!(v.to_contiguous(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(m.reshaped(3, 1).is_none(), "element count must match");
+        // Slack from oversizing breaks contiguity: no shared view.
+        let mut s: Matrix<f64> = Matrix::zeros(2, 2);
+        s.grow(3, 2, true);
+        assert!(s.reshaped(6, 1).is_none());
+    }
+
+    #[test]
+    fn oversize_headroom_applies_at_exactly_the_limit() {
+        // numel == OVERSIZE_LIMIT is not "large": headroom still applies
+        // ("large arrays are never oversized" is strictly above).
+        let mut m: Matrix<f64> = Matrix::zeros(1, 1);
+        m.grow(1, OVERSIZE_LIMIT, true);
+        assert_eq!((m.rows(), m.cols()), (1, OVERSIZE_LIMIT));
+        assert!(m.has_slack());
+        // Growth within the headroom stays in the allocation.
+        let p = m.data_ptr();
+        m.grow(1, OVERSIZE_LIMIT + 1, true);
+        assert_eq!(m.data_ptr(), p);
+    }
+
+    #[test]
+    fn oversize_headroom_is_skipped_one_above_the_limit() {
+        let mut m: Matrix<f64> = Matrix::zeros(1, 1);
+        m.grow(1, OVERSIZE_LIMIT + 1, true);
+        assert_eq!((m.rows(), m.cols()), (1, OVERSIZE_LIMIT + 1));
+        assert!(!m.has_slack(), "large arrays are never oversized");
     }
 
     #[test]

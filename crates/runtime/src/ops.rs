@@ -509,8 +509,12 @@ fn index_get_mat<T: Clone + Default + PartialEq>(
         [] => Ok(m.clone()),
         [one] => {
             if matches!(one, Subscript::Colon) {
-                // A(:) reshapes to a column vector.
-                return Ok(Matrix::from_vec(m.numel(), 1, m.to_contiguous()));
+                // A(:) reshapes to a column vector — O(1) when the
+                // buffer is contiguous (shares it copy-on-write),
+                // copying only when oversizing slack forces a repack.
+                return Ok(m
+                    .reshaped(m.numel(), 1)
+                    .unwrap_or_else(|| Matrix::from_vec(m.numel(), 1, m.to_contiguous())));
             }
             let idx = resolve(one, m.numel())?;
             for &k in &idx {

@@ -265,6 +265,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn values_are_send_and_sync() {
+        // The Arc-backed buffers make whole values shareable across
+        // threads (an Rc-backed buffer would pin every value to the
+        // thread that allocated it).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Value>();
+        assert_send_sync::<Matrix<f64>>();
+    }
+
+    #[test]
     fn truthiness() {
         assert!(Value::scalar(1.0).is_true());
         assert!(!Value::scalar(0.0).is_true());

@@ -31,6 +31,22 @@
 use crate::Rng;
 use std::fmt;
 
+/// Which production set [`generate_with`] draws from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Grammar {
+    /// The original general-purpose grammar.
+    #[default]
+    Default,
+    /// Aliasing-heavy mode: biases generation toward the patterns that
+    /// stress copy-on-write snapshot isolation — `x = y` binds followed
+    /// by mutation of either alias, self-referential updates
+    /// `a(i) = a(j)`, growth-through-store on an aliased array, calls
+    /// passing the same variable to several formals, and callees that
+    /// write to their formals. Programs stay terminating by the same
+    /// construction rules as the default grammar.
+    Aliasing,
+}
+
 /// An entry-point argument, engine-agnostic.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ArgVal {
@@ -405,6 +421,10 @@ struct Gen {
     budget: u32,
     /// Fresh-name counters (loop vars / guards).
     loops: u32,
+    /// Active production set. The default path draws exactly the RNG
+    /// sequence it always did; aliasing-only draws happen behind the
+    /// mode check, so default-mode programs are unchanged per seed.
+    grammar: Grammar,
 }
 
 /// Per-function generation scope.
@@ -421,6 +441,10 @@ struct Scope {
     /// guarantee, and a `for`-var store is reset by the interpreter on
     /// the next iteration but not by a compiled counted loop.
     protected: Vec<String>,
+    /// Variables that have participated in an `x = y` alias bind
+    /// (either side) — the aliasing grammar's preferred mutation
+    /// targets.
+    aliases: Vec<String>,
 }
 
 impl Scope {
@@ -579,8 +603,99 @@ impl Gen {
         Expr::Bin(op, Box::new(self.tame(sc, 1)), Box::new(self.tame(sc, 1)))
     }
 
+    /// One statement from the aliasing production set. Every target is
+    /// filtered against `protected`, so the termination guarantees are
+    /// untouched; subscripts stay small, so growth stays modest.
+    fn aliasing_stmt(&mut self, sc: &mut Scope) -> Stmt {
+        let storable: Vec<String> = sc
+            .vars
+            .iter()
+            .filter(|v| !sc.protected.contains(v))
+            .cloned()
+            .collect();
+        let aliased: Vec<String> = storable
+            .iter()
+            .filter(|v| sc.aliases.contains(v))
+            .cloned()
+            .collect();
+        let w = [
+            3,
+            if aliased.is_empty() { 0 } else { 4 },
+            if storable.is_empty() { 0 } else { 2 },
+            if storable.is_empty() { 0 } else { 2 },
+            if sc.callees.is_empty() || sc.vars.is_empty() {
+                0
+            } else {
+                2
+            },
+        ];
+        match self.rng.weighted(&w) {
+            0 => {
+                // Alias bind `aN = y`: the canonical CoW share. Both
+                // sides become preferred mutation targets.
+                let src = self.rng.choose(&sc.vars).clone();
+                let name = format!("a{}", self.rng.below(3));
+                for n in [&src, &name] {
+                    if !sc.aliases.contains(n) {
+                        sc.aliases.push(n.clone());
+                    }
+                }
+                sc.mark(&name, false);
+                Stmt::Assign(name, Expr::Var(src))
+            }
+            1 => {
+                // Mutate one side of a live alias pair: the other side
+                // must observe the pre-store snapshot.
+                let name = self.rng.choose(&aliased).clone();
+                sc.mark(&name, false);
+                let subs = vec![self.subscript(sc)];
+                Stmt::IndexAssign(name, subs, self.tame(sc, 2))
+            }
+            2 => {
+                // Self-referential update `a(i) = a(j)`: the rhs reads
+                // the array being stored to.
+                let name = self.rng.choose(&storable).clone();
+                sc.mark(&name, false);
+                let i = self.subscript(sc);
+                let j = if self.rng.coin() {
+                    Expr::Num(1.0)
+                } else {
+                    self.subscript(sc)
+                };
+                Stmt::IndexAssign(name.clone(), vec![i], Expr::Index(name, vec![j]))
+            }
+            3 => {
+                // Growth-through-store, preferably on an aliased array:
+                // a subscript past the small extents every other
+                // production produces, so the store relocates (or bumps
+                // into oversizing slack) while an alias watches.
+                let pool = if aliased.is_empty() {
+                    &storable
+                } else {
+                    &aliased
+                };
+                let name = self.rng.choose(pool).clone();
+                sc.mark(&name, false);
+                let sub = Expr::Num(*self.rng.choose(&[7.0, 8.0, 9.0, 12.0]));
+                Stmt::IndexAssign(name, vec![sub], self.tame(sc, 2))
+            }
+            _ => {
+                // The same actual bound to every formal: callee-side
+                // stores to one formal must not leak into the other.
+                let (f, arity) = self.rng.choose(&sc.callees).clone();
+                let x = self.rng.choose(&sc.vars).clone();
+                let name = format!("v{}", self.rng.below(4));
+                sc.mark(&name, false);
+                Stmt::Assign(name, Expr::Call(f, vec![Expr::Var(x); arity]))
+            }
+        }
+    }
+
     fn stmt(&mut self, sc: &mut Scope, nesting: u32) -> Stmt {
         self.budget = self.budget.saturating_sub(1);
+        if self.grammar == Grammar::Aliasing && !sc.vars.is_empty() && self.rng.below(3) == 0 {
+            return self.aliasing_stmt(sc);
+        }
         let structural = u32::from(nesting < 2 && self.budget > 3);
         match self
             .rng
@@ -679,12 +794,21 @@ impl Gen {
     }
 }
 
-/// Generate one random program from `seed`. Same seed, same program.
+/// Generate one random program from `seed` with the default grammar.
+/// Same seed, same program.
 pub fn generate(seed: u64) -> Program {
+    generate_with(seed, Grammar::Default)
+}
+
+/// Generate one random program from `seed` under `grammar`. Same seed
+/// and grammar, same program; the default grammar produces exactly what
+/// [`generate`] always has.
+pub fn generate_with(seed: u64, grammar: Grammar) -> Program {
     let mut g = Gen {
         rng: Rng::new(seed),
         budget: 14,
         loops: 0,
+        grammar,
     };
     // Decide the call-graph shape first: every function knows the
     // signatures of the strictly-later functions it may call.
@@ -703,6 +827,7 @@ pub fn generate(seed: u64) -> Program {
             vars: params.clone(),
             callees,
             protected: Vec::new(),
+            aliases: Vec::new(),
         };
         let len = if i == 0 {
             2 + g.rng.below(4)
@@ -710,6 +835,17 @@ pub fn generate(seed: u64) -> Program {
             1 + g.rng.below(3)
         };
         let mut body = g.block(&mut sc, 0, len);
+        if grammar == Grammar::Aliasing && i > 0 && g.rng.coin() {
+            // A callee that writes its formal before anything else: the
+            // caller's actual must keep its pre-call value (call-by-value
+            // under shared buffers). Always legal: a linear store into a
+            // scalar or row grows it, a store into a matrix with
+            // subscript ≤ its extent writes in place, and a linear-growth
+            // error is itself a cross-mode test point.
+            let sub = g.small_lit();
+            let rhs = g.small_lit();
+            body.insert(0, Stmt::IndexAssign(params[0].clone(), vec![sub], rhs));
+        }
         // The return value is always defined, whatever the body did.
         body.push(Stmt::Assign("r".into(), g.expr(&sc, 3)));
         funcs.push(Func {
@@ -720,9 +856,15 @@ pub fn generate(seed: u64) -> Program {
         });
     }
 
+    // Aliasing mode leans on matrix arguments: sharing a scalar buffer
+    // is legal but uninteresting.
+    let arg_weights: [u32; 2] = match grammar {
+        Grammar::Default => [3, 1],
+        Grammar::Aliasing => [1, 3],
+    };
     let args = (0..arities[0])
         .map(|_| {
-            if g.rng.weighted(&[3, 1]) == 0 {
+            if g.rng.weighted(&arg_weights) == 0 {
                 ArgVal::Scalar(*g.rng.choose(&ARG_POOL))
             } else {
                 let rows = 1 + g.rng.below(3);
@@ -1077,6 +1219,71 @@ mod tests {
             }
             assert!(!p.args.is_empty());
         }
+    }
+
+    #[test]
+    fn aliasing_grammar_is_deterministic_and_leaves_default_alone() {
+        assert_eq!(
+            generate_with(42, Grammar::Aliasing),
+            generate_with(42, Grammar::Aliasing)
+        );
+        // `generate` is the default grammar, unchanged by the new mode.
+        assert_eq!(generate(42), generate_with(42, Grammar::Default));
+    }
+
+    #[test]
+    fn aliasing_grammar_emits_the_cow_stress_patterns() {
+        fn walk(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::If(_, a, b) => {
+                        walk(a, f);
+                        walk(b, f);
+                    }
+                    Stmt::For { body, .. } | Stmt::While { body, .. } => walk(body, f),
+                    _ => {}
+                }
+            }
+        }
+        let (mut binds, mut self_refs, mut growths, mut dup_calls) = (0u32, 0u32, 0u32, 0u32);
+        for seed in 0..300 {
+            let p = generate_with(seed, Grammar::Aliasing);
+            for func in &p.funcs {
+                // The termination invariant must survive the new mode.
+                assert!(
+                    matches!(func.body.last(), Some(Stmt::Assign(v, _)) if v == "r"),
+                    "seed {seed}: {} does not end with r = …",
+                    func.name
+                );
+                walk(&func.body, &mut |s| match s {
+                    Stmt::Assign(name, Expr::Var(_)) if name.starts_with('a') => binds += 1,
+                    Stmt::Assign(_, Expr::Call(_, args))
+                        if args.len() > 1 && args.windows(2).all(|w| w[0] == w[1]) =>
+                    {
+                        dup_calls += 1;
+                    }
+                    Stmt::IndexAssign(name, _, Expr::Index(rhs, _)) if name == rhs => {
+                        self_refs += 1;
+                    }
+                    Stmt::IndexAssign(_, subs, _) if matches!(subs.as_slice(), [Expr::Num(v)] if *v >= 7.0) =>
+                    {
+                        growths += 1;
+                    }
+                    _ => {}
+                });
+            }
+        }
+        assert!(binds > 50, "alias binds are rare: {binds}");
+        assert!(
+            self_refs > 20,
+            "self-referential updates are rare: {self_refs}"
+        );
+        assert!(growths > 20, "growth-through-store is rare: {growths}");
+        assert!(
+            dup_calls > 5,
+            "duplicated-actual calls are rare: {dup_calls}"
+        );
     }
 
     #[test]

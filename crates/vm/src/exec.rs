@@ -374,7 +374,7 @@ impl Validator {
             }
             Inst::CToSlot { slot, s } => self.slot(*slot).and(self.c_reg(*s)),
             Inst::SlotToC { d, slot } => self.c_reg(*d).and(self.slot(*slot)),
-            Inst::SlotMov { d, s } => self.slot(*d).and(self.slot(*s)),
+            Inst::SlotMov { d, s } | Inst::SlotTake { d, s } => self.slot(*d).and(self.slot(*s)),
             Inst::ExtentF { d, arr, .. } => self.f_reg(*d).and(self.slot(*arr)),
             Inst::ErrUndefined(_) => Ok(()),
             Inst::Gen { op, dsts, args } => {
@@ -638,6 +638,7 @@ fn opcode_name(inst: &Inst) -> &'static str {
         Inst::CToSlot { .. } => "c_to_slot",
         Inst::SlotToC { .. } => "slot_to_c",
         Inst::SlotMov { .. } => "slot_mov",
+        Inst::SlotTake { .. } => "slot_take",
         Inst::TruthF { .. } => "truth_f",
         Inst::ExtentF { .. } => "extent_f",
         Inst::ErrUndefined(_) => "err_undefined",
@@ -1097,6 +1098,12 @@ fn exec_inst(
         }
         Inst::SlotMov { d, s } => {
             m.slots[d.index()] = m.slots[s.index()].clone();
+        }
+        Inst::SlotTake { d, s } => {
+            // The source is a dead temporary: moving (rather than
+            // cloning) keeps the destination the unique owner of its
+            // buffer, so subsequent element stores stay in place.
+            m.slots[d.index()] = m.slots[s.index()].take();
         }
         Inst::TruthF { d, slot } => {
             let v = m.slots[slot.index()]

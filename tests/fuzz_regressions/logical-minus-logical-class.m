@@ -1,0 +1,11 @@
+% Fixed: subtracting one logical from another was inferred `bool` with
+% limits <-1,1>, but arithmetic on logicals yields numeric values at
+% runtime (`false - true` is the integral double -1, which no bool
+% admits). Arithmetic intrinsic joins now promote bool to int.
+% Found by the aliasing fuzzing grammar (seed 5609).
+% entry: f0
+% arg: scalar 0.001
+function r = f0(p0)
+v2 = 0.0;
+a0 = p0;
+r = ((10.0 <= eye(3.0)) - (v2 < rand(1.0)));

@@ -1,0 +1,17 @@
+% Fixed: a variable assigned only inside a dead `if` branch is unbound
+% when the linear store runs, so the store vivifies a 1×7 *row* vector
+% — but inference joined the branch's 3×1 column type and predicted a
+% 7×1 column, a shape the runtime value is not subsumed by. A linear
+% store into a base that may be empty (or unbound on some path) now
+% joins the fresh-row alternative into its shape bounds.
+% Found by the aliasing fuzzing grammar (seed 1974).
+% entry: f0
+% arg: matrix 3x1 -2.5 7.0 3.0
+% arg: matrix 3x2 3.0 -1.0 -2.5 1.0 3.0 3.0
+function r = f0(p0, p1)
+if 0.0
+  a0 = p0;
+end
+a0(7.0) = 0.0;
+p0(12.0) = floor(0.0);
+r = a0;
