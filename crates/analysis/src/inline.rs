@@ -224,21 +224,69 @@ impl<'a> Inliner<'a> {
         format!("__inl{}_{stem}", self.tmp_counter)
     }
 
-    fn eligible(&self, name: &str) -> Option<&'a Function> {
-        let f = self.registry.get(name)?;
-        if count_statements(&f.body) >= self.opts.max_statements {
-            return None;
+    /// The raw eligibility check: `Err(None)` means `name` is not a
+    /// user function at all (builtin or unknown — not an inlining
+    /// decision), `Err(Some(reason))` a user function rejected for a
+    /// reportable reason.
+    fn eligibility(&self, name: &str) -> Result<&'a Function, Option<String>> {
+        let Some(f) = self.registry.get(name) else {
+            return Err(None);
+        };
+        let statements = count_statements(&f.body);
+        if statements >= self.opts.max_statements {
+            return Err(Some(format!(
+                "{statements} statements ≥ the {}-statement limit",
+                self.opts.max_statements
+            )));
         }
         if f.outputs.is_empty() && !f.params.is_empty() {
             // Pure side-effect functions are rare; allow them anyway.
         }
-        if has_return_in_loop(&f.body, false) || has_globals_or_clear(&f.body) {
-            return None;
+        if has_return_in_loop(&f.body, false) {
+            return Err(Some(
+                "return inside a callee loop (breaks the single-trip-loop lowering)".to_owned(),
+            ));
         }
-        if *self.depth.get(name).unwrap_or(&0) >= self.opts.max_recursion {
-            return None;
+        if has_globals_or_clear(&f.body) {
+            return Err(Some("callee touches global/clear state".to_owned()));
         }
-        Some(f)
+        let depth = *self.depth.get(name).unwrap_or(&0);
+        if depth >= self.opts.max_recursion {
+            return Err(Some(format!(
+                "recursive expansion depth {depth} ≥ the {}-level limit",
+                self.opts.max_recursion
+            )));
+        }
+        Ok(f)
+    }
+
+    /// [`Inliner::eligibility`] plus an audit verdict for every decision
+    /// about a *user* function (builtins never reach the inliner's
+    /// decision and would only be noise).
+    fn eligible(&self, name: &str) -> Option<&'a Function> {
+        match self.eligibility(name) {
+            Ok(f) => {
+                majic_trace::audit::inline_verdict(|| majic_trace::audit::InlineVerdict {
+                    callee: name.to_owned(),
+                    inlined: true,
+                    reason: format!(
+                        "inlined ({} statements, expansion depth {})",
+                        count_statements(&f.body),
+                        *self.depth.get(name).unwrap_or(&0)
+                    ),
+                });
+                Some(f)
+            }
+            Err(Some(reason)) => {
+                majic_trace::audit::inline_verdict(|| majic_trace::audit::InlineVerdict {
+                    callee: name.to_owned(),
+                    inlined: false,
+                    reason: format!("not inlined: {reason}"),
+                });
+                None
+            }
+            Err(None) => None,
+        }
     }
 
     /// Could evaluating this expression fail or have an observable
@@ -284,6 +332,16 @@ impl<'a> Inliner<'a> {
                 // Revert: keep the original call expression. The temps
                 // allocated for the discarded splice are never emitted
                 // or referenced again.
+                majic_trace::audit::inline_verdict(|| majic_trace::audit::InlineVerdict {
+                    callee: match &e.kind {
+                        ExprKind::Apply { callee, .. } => callee.clone(),
+                        _ => "<expr>".to_owned(),
+                    },
+                    inlined: false,
+                    reason: "splice reverted: a contextual end/: pins an earlier operand \
+                             in place, so evaluation order cannot be preserved"
+                        .to_owned(),
+                });
                 done.push(e.clone());
                 continue;
             }

@@ -1,0 +1,92 @@
+//! CI gate for `MAJIC_EXPLAIN=json:…` output: parse an audit log with
+//! the workspace's own JSON parser and verify the schema documented in
+//! `docs/EXPLAIN_FORMAT.md` before the file is archived as an artifact.
+//!
+//! ```text
+//! MAJIC_EXPLAIN=json:audit.json cargo run --release -p majic-bench --bin figure_responsiveness
+//! cargo run --release -p majic-bench --bin audit_check -- audit.json
+//! ```
+//!
+//! Exits nonzero (with a reason on stderr) when the file is missing,
+//! malformed, or structurally out of contract — so a schema regression
+//! fails the build instead of silently shipping an unreadable artifact.
+
+use majic_testkit::json::Json;
+use std::process::ExitCode;
+
+fn check(doc: &Json) -> Result<(usize, usize), String> {
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("top-level `records` array missing")?;
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("top-level `events` array missing")?;
+    for key in ["evicted_records", "evicted_events"] {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("top-level `{key}` count missing"))?;
+    }
+    if records.is_empty() {
+        return Err("no compilation records: auditing was not enabled \
+                    while the workload compiled"
+            .to_owned());
+    }
+    for (i, r) in records.iter().enumerate() {
+        for key in ["function", "signature", "trigger", "outcome"] {
+            r.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("records[{i}] lacks string `{key}`"))?;
+        }
+        for key in ["widenings", "inlining", "notes"] {
+            r.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("records[{i}] lacks array `{key}`"))?;
+        }
+        r.get("compile_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("records[{i}] lacks `compile_ns`"))?;
+    }
+    for (i, e) in events.iter().enumerate() {
+        for key in ["kind", "function", "detail"] {
+            e.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("events[{i}] lacks string `{key}`"))?;
+        }
+    }
+    Ok((records.len(), events.len()))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: audit_check <audit.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("audit_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("audit_check: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc) {
+        Ok((records, events)) => {
+            println!(
+                "audit_check: {path} ok — {records} compilation records, {events} session events"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(why) => {
+            eprintln!("audit_check: {path} violates docs/EXPLAIN_FORMAT.md: {why}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -77,6 +77,28 @@ pub fn compile_executable(
         passes::optimize(&mut func, opts.passes);
     }
     let (f_spill, c_spill) = allocate(&mut func, opts.regalloc);
+    majic_trace::audit::codegen_summary(|| {
+        let (mut slot_movs, mut slot_takes) = (0u64, 0u64);
+        for b in &func.blocks {
+            for i in &b.insts {
+                match i {
+                    majic_ir::Inst::SlotMov { .. } => slot_movs += 1,
+                    majic_ir::Inst::SlotTake { .. } => slot_takes += 1,
+                    _ => {}
+                }
+            }
+        }
+        majic_trace::audit::CodegenSummary {
+            instructions: func.inst_count() as u64,
+            slot_movs,
+            slot_takes,
+            f_regs: func.f_regs,
+            c_regs: func.c_regs,
+            slots: func.slots,
+            f_spills: f_spill,
+            c_spills: c_spill,
+        }
+    });
     Ok(Executable::new(&func, f_spill, c_spill))
 }
 

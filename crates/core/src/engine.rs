@@ -343,6 +343,19 @@ impl Majic {
             majic_trace::counter("engine.call").inc();
         }
         if self.options.mode == ExecMode::Interpret || self.reaches_uncompilable(name) {
+            if self.options.mode != ExecMode::Interpret {
+                // A compiled mode quietly routing a call through the
+                // interpreter is exactly the decision the audit log
+                // exists to expose.
+                majic_trace::audit::session_event("fallback.interpreter", || {
+                    (
+                        name.to_owned(),
+                        "static call graph reaches global/clear, which compiled code \
+                         cannot express"
+                            .to_owned(),
+                    )
+                });
+            }
             let sp = majic_trace::Span::enter("execution");
             let r = self.interp.call_function(name, args, nargout);
             self.times.execution += sp.exit();
@@ -387,7 +400,9 @@ impl Majic {
         for name in names {
             // Failures (globals etc.) simply leave no speculative
             // version; those calls interpret or JIT later.
-            if let Ok(version) = compile_function(
+            majic_trace::audit::begin(&name);
+            let t1 = Instant::now();
+            let result = compile_function(
                 &self.registry,
                 &self.known,
                 &self.repo,
@@ -397,7 +412,21 @@ impl Majic {
                 Pipeline::Opt,
                 &mut self.next_node_id,
                 &mut self.times,
-            ) {
+            );
+            majic_trace::audit::commit(
+                || match &result {
+                    Ok(v) => v.signature.to_string(),
+                    Err(_) => "(speculative)".to_owned(),
+                },
+                "spec_sync",
+                || match &result {
+                    Ok(v) => format!("published ({})", quality_name(v.quality)),
+                    Err(e) => format!("failed: {e}"),
+                },
+                None,
+                t1.elapsed().as_nanos() as u64,
+            );
+            if let Ok(version) = result {
                 self.repo.insert(&name, version);
             }
         }
@@ -625,6 +654,63 @@ impl Majic {
     pub fn export_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         majic_trace::export::write_chrome_trace(path.as_ref())
     }
+
+    /// Turn the compilation audit log on or off for this process.
+    ///
+    /// Auditing is process-global, like tracing: the flight recorder in
+    /// `majic-trace` accumulates one [`majic_trace::audit::CompilationRecord`]
+    /// per compilation (trigger, inference widenings, inliner verdicts,
+    /// codegen shape, cache interactions) plus session-level events
+    /// (cache rejects, interpreter fallbacks, VM errors). It is also
+    /// enabled automatically when `MAJIC_EXPLAIN` is set and
+    /// [`majic_trace::init_from_env`] runs.
+    pub fn set_audit(on: bool) {
+        majic_trace::audit::set_enabled(on);
+    }
+
+    /// Why does `name` run the way it does? Returns every retained
+    /// compilation record and session event for the function, plus a
+    /// rendered report ([`Explanation::report`]) answering: what
+    /// triggered each compile, which variables inference widened and
+    /// why, what the inliner did at each call site, how the generated
+    /// code is shaped, and how the persistent cache treated it.
+    ///
+    /// Requires auditing to be on ([`Majic::set_audit`] or
+    /// `MAJIC_EXPLAIN`) *before* the compilations of interest run;
+    /// otherwise the explanation is empty.
+    pub fn explain(&self, name: &str) -> Explanation {
+        let records = majic_trace::audit::records_for(name);
+        let events = majic_trace::audit::events_for(name);
+        let report = majic_trace::audit::render_function_report(name, &records, &events);
+        Explanation {
+            function: name.to_owned(),
+            records,
+            events,
+            report,
+        }
+    }
+
+    /// Session-wide audit report: every retained compilation record and
+    /// session event, grouped per function, plus eviction counts when
+    /// the bounded rings overflowed.
+    pub fn explain_stats(&self) -> String {
+        majic_trace::audit::render_report(&majic_trace::audit::snapshot())
+    }
+}
+
+/// Everything the audit log knows about one function, as returned by
+/// [`Majic::explain`].
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The function asked about.
+    pub function: String,
+    /// Retained compilation records for the function, oldest first.
+    pub records: Vec<majic_trace::audit::CompilationRecord>,
+    /// Session events naming the function, plus session-wide events
+    /// (e.g. whole-cache rejections) that have no single owner.
+    pub events: Vec<majic_trace::audit::SessionEvent>,
+    /// Human-readable rendering of the above.
+    pub report: String,
 }
 
 impl Drop for Majic {
@@ -663,13 +749,48 @@ fn install_cached(
     };
     for e in entries {
         if e.source_hash == live_hash {
+            // A warm hit is a compilation the session never had to run;
+            // it gets a (zero-compile-time) record so `explain` shows
+            // where each installed version came from.
+            majic_trace::audit::begin(name);
+            majic_trace::audit::commit(
+                || e.version.signature.to_string(),
+                "warm_cache",
+                || {
+                    format!(
+                        "installed from persistent cache ({})",
+                        quality_name(e.version.quality)
+                    )
+                },
+                None,
+                0,
+            );
             repo.insert(name, e.version);
             report.installed += 1;
             majic_trace::counter("repo.cache.warm_hit").inc();
         } else {
             report.rejected_source_hash += 1;
             majic_trace::counter("repo.cache.reject.source_hash").inc();
+            majic_trace::audit::session_event("cache.reject.source_hash", || {
+                (
+                    name.to_owned(),
+                    format!(
+                        "source changed since the cache was written \
+                         (cached hash {:016x} ≠ live {:016x}); entry dropped",
+                        e.source_hash, live_hash
+                    ),
+                )
+            });
         }
+    }
+}
+
+/// Stable lowercase name of a [`CodeQuality`] tier for audit outcomes.
+pub(crate) fn quality_name(q: CodeQuality) -> &'static str {
+    match q {
+        CodeQuality::Generic => "generic",
+        CodeQuality::Jit => "jit",
+        CodeQuality::Optimized => "optimized",
     }
 }
 
@@ -783,7 +904,8 @@ impl EngineDispatcher<'_> {
         // constant signature per depth (fib(20), fib(19), …). After two
         // exact-signature versions exist, compile a range-widened version
         // that admits every future scalar invocation of the same shapes.
-        let sig = if self.repo.version_count(name) >= 2 {
+        let widened = self.repo.version_count(name) >= 2;
+        let sig = if widened {
             Signature::new(
                 sig.params()
                     .iter()
@@ -804,7 +926,9 @@ impl EngineDispatcher<'_> {
         // again would collapse e.g. `Undefined` into `Raised` and make
         // compiled modes disagree with the interpreter about the error
         // class of `r = v` with `v` never assigned.
-        let version = compile_function(
+        majic_trace::audit::begin(name);
+        let t0 = Instant::now();
+        let result = compile_function(
             self.registry,
             self.known,
             self.repo,
@@ -814,7 +938,25 @@ impl EngineDispatcher<'_> {
             pipeline,
             self.next_node_id,
             self.times,
-        )?;
+        );
+        let trigger = if widened {
+            // The widened version replaces per-signature compiles that
+            // were threatening to explode — worth calling out.
+            "recompile_widened"
+        } else {
+            "first_call"
+        };
+        majic_trace::audit::commit(
+            || sig.to_string(),
+            trigger,
+            || match &result {
+                Ok(v) => format!("published ({})", quality_name(v.quality)),
+                Err(e) => format!("failed: {e}"),
+            },
+            None,
+            t0.elapsed().as_nanos() as u64,
+        );
+        let version = result?;
         self.repo.insert(name, version);
         let v = self
             .repo

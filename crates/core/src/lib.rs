@@ -47,7 +47,7 @@ mod engine;
 mod spec;
 
 pub use diff::{DiffCase, DiffReport, Divergence, DivergenceKind, ModeOutcome};
-pub use engine::{CacheReport, EngineOptions, ExecMode, Majic, PhaseTimes, Platform};
+pub use engine::{CacheReport, EngineOptions, ExecMode, Explanation, Majic, PhaseTimes, Platform};
 pub use majic_repo::cache::{LoadReport, RepoCache};
 pub use majic_repo::RepoStats;
 pub use spec::{SpecConfig, SpecRecord, SpecStats, SpecWorkerPool, DEFAULT_RECORD_CAPACITY};

@@ -361,6 +361,7 @@ fn worker_loop(shared: &PoolShared) {
         // job — so a worker-local counter is safe.
         let mut scratch_ids: u32 = 1 << 24;
         let mut times = PhaseTimes::default();
+        majic_trace::audit::begin(&job.name);
         let sp = majic_trace::Span::enter_with("spec.compile", || vec![("fn", job.name.clone())]);
         let compiled = compile_function(
             &job.registry,
@@ -374,6 +375,19 @@ fn worker_loop(shared: &PoolShared) {
             &mut times,
         );
         let compile = sp.exit();
+        majic_trace::audit::commit(
+            || match &compiled {
+                Ok(v) => v.signature.to_string(),
+                Err(_) => "(speculative)".to_owned(),
+            },
+            "spec_worker",
+            || match &compiled {
+                Ok(v) => format!("published ({})", crate::engine::quality_name(v.quality)),
+                Err(e) => format!("failed: {e}"),
+            },
+            Some(queue_wait.as_nanos() as u64),
+            compile.as_nanos() as u64,
+        );
 
         let published_at = match compiled {
             Ok(version) => {

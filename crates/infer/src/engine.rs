@@ -318,7 +318,24 @@ impl<O: CalleeOracle> ForwardEngine<'_, O> {
                 next = next
                     .iter()
                     .zip(&carried)
-                    .map(|(n, c)| if n == c { *n } else { n.widen_from(c) })
+                    .enumerate()
+                    .map(|(i, (n, c))| {
+                        if n == c {
+                            *n
+                        } else {
+                            let w = n.widen_from(c);
+                            majic_trace::audit::widening(|| majic_trace::audit::Widening {
+                                variable: self.d.table.vars.get(i).cloned().unwrap_or_default(),
+                                from: c.to_string(),
+                                to: w.to_string(),
+                                reason: format!(
+                                    "join at loop header: still moving after {} iterations",
+                                    iter + 1
+                                ),
+                            });
+                            w
+                        }
+                    })
                     .collect();
             }
             carried = next;
@@ -332,8 +349,15 @@ impl<O: CalleeOracle> ForwardEngine<'_, O> {
             self.continue_envs.clear();
             let out = body(self, &carried);
             let probe = join_env(&env_in, &out);
-            for (slot, p) in carried.iter_mut().zip(&probe) {
+            for (i, (slot, p)) in carried.iter_mut().zip(&probe).enumerate() {
                 if slot != p {
+                    majic_trace::audit::widening(|| majic_trace::audit::Widening {
+                        variable: self.d.table.vars.get(i).cloned().unwrap_or_default(),
+                        from: slot.to_string(),
+                        to: Type::top().to_string(),
+                        reason: "unstable at loop iteration cap → ⊤ (soundness backstop)"
+                            .to_owned(),
+                    });
                     *slot = Type::top();
                 }
             }

@@ -139,6 +139,48 @@ impl RepoCache {
         majic_trace::counter("repo.cache.reject.fingerprint")
             .add(report.rejected_fingerprint as u64);
         majic_trace::counter("repo.cache.reject.checksum").add(report.rejected_checksum as u64);
+        if report.rejected_version > 0 {
+            majic_trace::audit::session_event("cache.reject.version", || {
+                (
+                    String::new(),
+                    format!(
+                        "{}: bad magic or container version — not a cache this \
+                         build can read",
+                        self.path.display()
+                    ),
+                )
+            });
+        }
+        if report.rejected_fingerprint > 0 {
+            majic_trace::audit::session_event("cache.reject.fingerprint", || {
+                (
+                    String::new(),
+                    format!(
+                        "{}: written by a different compiler build (this build is {:?}); \
+                         whole file rejected, cold start",
+                        self.path.display(),
+                        self.fingerprint
+                    ),
+                )
+            });
+        }
+        if report.rejected_checksum > 0 {
+            majic_trace::audit::session_event("cache.reject.checksum", || {
+                (
+                    String::new(),
+                    format!(
+                        "{}: {} entr{} dropped for checksum/framing/decode damage",
+                        self.path.display(),
+                        report.rejected_checksum,
+                        if report.rejected_checksum == 1 {
+                            "y"
+                        } else {
+                            "ies"
+                        }
+                    ),
+                )
+            });
+        }
         (entries, report)
     }
 

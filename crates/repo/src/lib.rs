@@ -279,6 +279,12 @@ impl Repository {
     /// "triggers recompilations when the source code changes").
     pub fn invalidate(&self, name: &str) {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
+        majic_trace::audit::session_event("repo.invalidate", || {
+            (
+                name.to_owned(),
+                "source changed: every compiled version dropped".to_owned(),
+            )
+        });
         let mut shard = self.shard(name).write().expect("repository shard poisoned");
         shard.functions.remove(name);
     }

@@ -101,7 +101,7 @@ pub fn render_report(snap: &TraceSnapshot) -> String {
     out
 }
 
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -184,6 +184,22 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
         s.push('}');
         emit(&s, &mut out);
     }
+    if snap.dropped > 0 {
+        // A truncated trace must say so inside the trace itself, where
+        // the person reading it in Perfetto will actually look.
+        let last_ts = snap.events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"name\":\"dropped events\",\"cat\":\"majic\",\"ph\":\"i\",\"s\":\"g\",\
+             \"pid\":1,\"tid\":0,\"ts\":{:.3},\"args\":{{\"dropped\":\"{}\",\
+             \"note\":\"trace truncated at the {}-event collector cap\"}}}}",
+            last_ts as f64 / 1e3,
+            snap.dropped,
+            crate::MAX_EVENTS
+        );
+        emit(&s, &mut out);
+    }
     out.push_str("]}");
     out
 }
@@ -223,6 +239,13 @@ pub fn folded_stacks(snap: &TraceSnapshot) -> String {
         let self_us = a.total_ns.saturating_sub(kids) / 1_000;
         let _ = writeln!(out, "{path} {self_us}");
     }
+    if snap.dropped > 0 {
+        // Comment lines would break flamegraph tools, so the truncation
+        // warning is a synthetic single-frame stack: it shows up in the
+        // flamegraph as its own (zero-width) frame and survives
+        // flamegraph.pl / inferno unmodified.
+        let _ = writeln!(out, "[dropped-{}-events-at-cap] 0", snap.dropped);
+    }
     out
 }
 
@@ -260,6 +283,44 @@ mod tests {
         let mut s = String::new();
         json_escape("a\"b\\c\nd", &mut s);
         assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn chrome_trace_surfaces_dropped_events() {
+        let snap = TraceSnapshot {
+            events: vec![ev("a", 0, 1_000)],
+            dropped: 7,
+            ..TraceSnapshot::default()
+        };
+        let json = chrome_trace_json(&snap);
+        assert!(json.contains("\"name\":\"dropped events\""), "{json}");
+        assert!(json.contains("\"dropped\":\"7\""), "{json}");
+        let clean = chrome_trace_json(&TraceSnapshot {
+            events: vec![ev("a", 0, 1_000)],
+            ..TraceSnapshot::default()
+        });
+        assert!(!clean.contains("dropped events"), "{clean}");
+    }
+
+    #[test]
+    fn folded_stacks_surface_dropped_events() {
+        let snap = TraceSnapshot {
+            events: vec![ev("a", 0, 1_000)],
+            dropped: 3,
+            ..TraceSnapshot::default()
+        };
+        let folded = folded_stacks(&snap);
+        assert!(folded.contains("[dropped-3-events-at-cap] 0\n"), "{folded}");
+        // Every line must stay parseable as `stack count`.
+        for line in folded.lines() {
+            let (_, count) = line.rsplit_once(' ').expect("stack line");
+            count.parse::<u64>().expect("numeric count");
+        }
+        let clean = folded_stacks(&TraceSnapshot {
+            events: vec![ev("a", 0, 1_000)],
+            ..TraceSnapshot::default()
+        });
+        assert!(!clean.contains("dropped"), "{clean}");
     }
 
     #[test]

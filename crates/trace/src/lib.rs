@@ -34,9 +34,13 @@
 //! `MAJIC_TRACE=report | chrome:<path> | folded:<path> | off` selects
 //! the exporter (see [`TraceMode::parse`]); appending `,vm` (e.g.
 //! `report,vm`) or setting `MAJIC_TRACE_VM=1` additionally enables VM
-//! execution profiling. The bench binaries call [`init_from_env`] at
-//! startup and [`finish`] before exiting.
+//! execution profiling. `MAJIC_EXPLAIN=report | json:<path>` enables
+//! the compilation [`audit`] flight recorder (see [`ExplainMode`]) and
+//! emits it at [`finish`] alongside whatever `MAJIC_TRACE` selected.
+//! The bench binaries call [`init_from_env`] at startup and [`finish`]
+//! before exiting.
 
+pub mod audit;
 pub mod export;
 mod metrics;
 
@@ -392,7 +396,9 @@ pub struct TraceRequest {
 
 impl TraceMode {
     /// Parse a `MAJIC_TRACE` value. Unknown values fall back to `Off`
-    /// (observability must never break the program being observed).
+    /// with a warning on stderr (observability must never break the
+    /// program being observed, but a typo'd mode silently recording
+    /// nothing is its own observability failure).
     ///
     /// ```
     /// use majic_trace::TraceMode;
@@ -417,18 +423,82 @@ impl TraceMode {
         } else if value == "report" {
             TraceMode::Report
         } else {
+            if !value.is_empty() && value != "off" {
+                eprintln!(
+                    "majic-trace: unrecognized MAJIC_TRACE mode {value:?} \
+                     (expected report | chrome:<path> | folded:<path> | off, \
+                     optionally with a ,vm suffix); tracing stays off"
+                );
+            }
             TraceMode::Off
         };
         TraceRequest { mode, vm_profile }
     }
 }
 
-static ENV_MODE: OnceLock<TraceMode> = OnceLock::new();
+/// Where the compilation audit log goes at process exit — parsed from
+/// `MAJIC_EXPLAIN`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Audit emission disabled (the default).
+    #[default]
+    Off,
+    /// Print the per-function audit report to stdout.
+    Report,
+    /// Write the audit log as JSON (`docs/EXPLAIN_FORMAT.md`) to the
+    /// given path.
+    Json(PathBuf),
+}
 
-/// Read `MAJIC_TRACE` / `MAJIC_TRACE_VM`, enable recording accordingly,
-/// and remember the exporter for [`finish`]. Idempotent: the first call
-/// wins (matching the process-lifetime semantics of an env var).
+impl ExplainMode {
+    /// Parse a `MAJIC_EXPLAIN` value. Unknown values fall back to `Off`
+    /// with a warning on stderr, mirroring [`TraceMode::parse`].
+    ///
+    /// ```
+    /// use majic_trace::ExplainMode;
+    /// assert_eq!(ExplainMode::parse("report"), ExplainMode::Report);
+    /// assert_eq!(
+    ///     ExplainMode::parse("json:audit.json"),
+    ///     ExplainMode::Json("audit.json".into())
+    /// );
+    /// assert_eq!(ExplainMode::parse("off"), ExplainMode::Off);
+    /// ```
+    pub fn parse(value: &str) -> ExplainMode {
+        let value = value.trim();
+        if let Some(path) = value.strip_prefix("json:") {
+            ExplainMode::Json(path.into())
+        } else if value == "report" {
+            ExplainMode::Report
+        } else {
+            if !value.is_empty() && value != "off" {
+                eprintln!(
+                    "majic-trace: unrecognized MAJIC_EXPLAIN mode {value:?} \
+                     (expected report | json:<path> | off); audit stays off"
+                );
+            }
+            ExplainMode::Off
+        }
+    }
+}
+
+static ENV_MODE: OnceLock<TraceMode> = OnceLock::new();
+static ENV_EXPLAIN: OnceLock<ExplainMode> = OnceLock::new();
+
+/// Read `MAJIC_TRACE` / `MAJIC_TRACE_VM` / `MAJIC_EXPLAIN`, enable
+/// recording accordingly, and remember the exporters for [`finish`].
+/// Idempotent: the first call wins (matching the process-lifetime
+/// semantics of an env var).
 pub fn init_from_env() -> &'static TraceMode {
+    ENV_EXPLAIN.get_or_init(|| {
+        let mode = std::env::var("MAJIC_EXPLAIN")
+            .map(|v| ExplainMode::parse(&v))
+            .unwrap_or_default();
+        if mode != ExplainMode::Off {
+            epoch();
+            audit::set_enabled(true);
+        }
+        mode
+    });
     ENV_MODE.get_or_init(|| {
         let req = std::env::var("MAJIC_TRACE")
             .map(|v| TraceMode::parse(&v))
@@ -446,8 +516,9 @@ pub fn init_from_env() -> &'static TraceMode {
     })
 }
 
-/// Export according to the mode captured by [`init_from_env`]: print
-/// the report, or write the Chrome/folded file (errors go to stderr —
+/// Export according to the modes captured by [`init_from_env`]: print
+/// the trace report or write the Chrome/folded file, then emit the
+/// compilation audit log the same way (errors go to stderr —
 /// observability must not turn a successful run into a failure).
 pub fn finish() {
     match ENV_MODE.get().unwrap_or(&TraceMode::Off) {
@@ -465,6 +536,17 @@ pub fn finish() {
                 eprintln!("majic-trace: failed to write {}: {e}", path.display());
             } else {
                 eprintln!("majic-trace: folded stacks written to {}", path.display());
+            }
+        }
+    }
+    match ENV_EXPLAIN.get().unwrap_or(&ExplainMode::Off) {
+        ExplainMode::Off => {}
+        ExplainMode::Report => print!("{}", audit::render_report(&audit::snapshot())),
+        ExplainMode::Json(path) => {
+            if let Err(e) = std::fs::write(path, audit::audit_json(&audit::snapshot())) {
+                eprintln!("majic-trace: failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("majic-trace: audit log written to {}", path.display());
             }
         }
     }
@@ -492,6 +574,59 @@ mod tests {
         assert_eq!(req.mode, TraceMode::Report);
         assert!(req.vm_profile);
         assert!(TraceMode::parse("off,vm").vm_profile);
+    }
+
+    /// The full parse matrix: every mode × the `,vm` suffix ×
+    /// whitespace, plus the unknown-mode fallback (which additionally
+    /// warns on stderr — not assertable here, but the fallback must
+    /// still be `Off` and must still honor the suffix).
+    #[test]
+    fn parse_matrix() {
+        for (input, mode, vm) in [
+            ("off", TraceMode::Off, false),
+            ("off,vm", TraceMode::Off, true),
+            ("report", TraceMode::Report, false),
+            ("report,vm", TraceMode::Report, true),
+            ("chrome:t.json", TraceMode::Chrome("t.json".into()), false),
+            ("chrome:t.json,vm", TraceMode::Chrome("t.json".into()), true),
+            (
+                "folded:t.folded",
+                TraceMode::Folded("t.folded".into()),
+                false,
+            ),
+            (
+                "folded:t.folded,vm",
+                TraceMode::Folded("t.folded".into()),
+                true,
+            ),
+            ("  report  ", TraceMode::Report, false),
+            ("", TraceMode::Off, false),
+            ("   ", TraceMode::Off, false),
+            ("bogus", TraceMode::Off, false),
+            ("bogus,vm", TraceMode::Off, true),
+            ("Report", TraceMode::Off, false), // modes are case-sensitive
+        ] {
+            let req = TraceMode::parse(input);
+            assert_eq!(req.mode, mode, "mode for {input:?}");
+            assert_eq!(req.vm_profile, vm, "vm_profile for {input:?}");
+        }
+        // `,vm` is a suffix of the whole value, not a separate token:
+        // the remainder still parses as its own mode.
+        assert_eq!(TraceMode::parse(",vm").mode, TraceMode::Off);
+        assert!(TraceMode::parse(",vm").vm_profile);
+    }
+
+    #[test]
+    fn parse_explain_modes() {
+        assert_eq!(ExplainMode::parse(""), ExplainMode::Off);
+        assert_eq!(ExplainMode::parse("off"), ExplainMode::Off);
+        assert_eq!(ExplainMode::parse("nonsense"), ExplainMode::Off);
+        assert_eq!(ExplainMode::parse("report"), ExplainMode::Report);
+        assert_eq!(ExplainMode::parse(" report "), ExplainMode::Report);
+        assert_eq!(
+            ExplainMode::parse("json:audit.json"),
+            ExplainMode::Json("audit.json".into())
+        );
     }
 
     #[test]

@@ -282,4 +282,67 @@ mod tests {
         assert_eq!(s.quantile_bound(0.5), 3);
         assert!(s.quantile_bound(1.0) >= 100);
     }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = HistogramSnapshot {
+            name: "empty".into(),
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(s.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile_bound(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_quantiles_are_constant() {
+        // Every sample in one bucket: all quantiles return that
+        // bucket's top, including the q=0 floor (rank clamps to 1).
+        let mut buckets = vec![0; HISTOGRAM_BUCKETS];
+        buckets[3] = 4; // four samples in [4, 8)
+        let s = HistogramSnapshot {
+            name: "single".into(),
+            count: 4,
+            sum: 20,
+            buckets,
+        };
+        assert_eq!(s.mean(), 5.0);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(s.quantile_bound(q), 7, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_and_clamping() {
+        let mut buckets = vec![0; HISTOGRAM_BUCKETS];
+        buckets[0] = 1; // the value 0
+        buckets[64] = 1; // a top-bucket value (≥ 2^63)
+        let s = HistogramSnapshot {
+            name: "extremes".into(),
+            count: 2,
+            sum: u64::MAX,
+            buckets,
+        };
+        // q=0 clamps to the first sample; q=1 reaches the last bucket,
+        // whose top saturates at u64::MAX.
+        assert_eq!(s.quantile_bound(0.0), 0);
+        assert_eq!(s.quantile_bound(1.0), u64::MAX);
+        // Out-of-range q is clamped into [0, 1], not an error.
+        assert_eq!(s.quantile_bound(-3.0), s.quantile_bound(0.0));
+        assert_eq!(s.quantile_bound(7.5), s.quantile_bound(1.0));
+    }
+
+    #[test]
+    fn mean_is_exact_despite_bucketing() {
+        let h = histogram("test.metrics.mean_exact");
+        for v in [10, 11, 12] {
+            h.record(v); // all land in bucket [8, 16)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.mean(), 11.0);
+        assert_eq!(s.quantile_bound(0.5), 15);
+    }
 }

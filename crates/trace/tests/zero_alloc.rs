@@ -28,6 +28,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn disabled_spans_and_counters_do_not_allocate() {
     majic_trace::set_enabled(false);
     majic_trace::set_vm_profile(false);
+    majic_trace::audit::set_enabled(false);
     // Registration allocates once; do it before the measured region and
     // keep the &'static handle, as hot paths are told to.
     let c = majic_trace::counter("zero_alloc.test");
@@ -46,6 +47,30 @@ fn disabled_spans_and_counters_do_not_allocate() {
         drop(sp);
         majic_trace::instant("hot3", || vec![("never", "evaluated".to_owned())]);
         c.inc();
+        // The audit layer holds to the same budget: disabled, every
+        // entry point is one relaxed load, and no closure is evaluated.
+        majic_trace::audit::begin("never_recorded");
+        majic_trace::audit::widening(|| majic_trace::audit::Widening {
+            variable: "x".to_owned(),
+            from: "int".to_owned(),
+            to: "real".to_owned(),
+            reason: "never evaluated".to_owned(),
+        });
+        majic_trace::audit::inline_verdict(|| majic_trace::audit::InlineVerdict {
+            callee: "f".to_owned(),
+            inlined: false,
+            reason: "never evaluated".to_owned(),
+        });
+        majic_trace::audit::codegen_summary(majic_trace::audit::CodegenSummary::default);
+        majic_trace::audit::lifecycle("never", || "evaluated".to_owned());
+        majic_trace::audit::commit(
+            || "never".to_owned(),
+            "first_call",
+            || "evaluated".to_owned(),
+            None,
+            0,
+        );
+        majic_trace::audit::session_event("never", || ("never".to_owned(), "evaluated".to_owned()));
     }
     let after = ALLOCS.load(Ordering::Relaxed);
 

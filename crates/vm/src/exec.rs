@@ -502,6 +502,14 @@ pub fn execute(
         // is exactly what the profiler is for.
         p.flush(&exe.name);
     }
+    if let Err(e) = &run {
+        // Audit which compiled function raised: by the time the error
+        // surfaces to the session it has crossed dispatcher frames and
+        // lost that attribution.
+        majic_trace::audit::session_event("vm.error", || {
+            (exe.name.clone(), format!("compiled code raised: {e}"))
+        });
+    }
     run?;
 
     // Collect the requested outputs.

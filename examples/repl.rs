@@ -8,6 +8,7 @@
 //! >> x = 2 + 3 * 4
 //! >> v = 1:10; s = sum(v)
 //! >> .mode jit
+//! >> \explain poly
 //! >> .quit
 //! ```
 
@@ -15,6 +16,10 @@ use majic::{ExecMode, Majic};
 use std::io::{BufRead, Write};
 
 fn main() {
+    // The repl always runs with the compilation audit log on: it is the
+    // interactive consumer `\explain` and `\stats` read from, and the
+    // flight recorder is bounded + cheap enough to leave recording.
+    Majic::set_audit(true);
     let mut session = Majic::with_mode(ExecMode::Jit);
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -32,7 +37,12 @@ fn main() {
             ".help" => {
                 println!(".mode interp|mcc|jit|spec|falcon   switch execution mode");
                 println!(".repo                               repository statistics");
+                println!("\\explain <fn>                       why does <fn> run the way it does?");
+                println!("\\stats                              session-wide compilation audit");
                 println!(".quit                               leave");
+            }
+            "\\stats" => {
+                print!("{}", session.explain_stats());
             }
             ".repo" => {
                 let stats = session.repository().stats();
@@ -45,6 +55,10 @@ fn main() {
                     stats.invalidations
                 );
             }
+            _ if trimmed.starts_with("\\explain") => match trimmed.split_whitespace().nth(1) {
+                Some(name) => print!("{}", session.explain(name).report),
+                None => println!("usage: \\explain <function>"),
+            },
             _ if trimmed.starts_with(".mode") => {
                 let mode = match trimmed.split_whitespace().nth(1) {
                     Some("interp") => Some(ExecMode::Interpret),
