@@ -1,0 +1,75 @@
+//! Golden tiered suite: every benchmark must produce **bitwise
+//! identical** results whether it runs on tier-0 JIT code forever or is
+//! promoted to tier-1 by the hotness profile. This is the paper's
+//! safety invariant (§2.2.1: a wrong guess "never affects program
+//! correctness") applied to the recompilation tier: promotion may only
+//! change how fast an answer arrives, never the answer.
+
+use majic::{ExecMode, Majic, Value};
+use majic_bench::all;
+
+const SCALE: f64 = 0.02;
+
+/// Exact bit-level digest of a value: every element, no rounding.
+fn digest(v: &Value) -> Vec<u64> {
+    match v {
+        Value::Real(m) => m.iter().map(|x| x.to_bits()).collect(),
+        Value::Bool(m) => m.iter().map(|&b| u64::from(b)).collect(),
+        Value::Complex(m) => m
+            .iter()
+            .flat_map(|c| [c.re.to_bits(), c.im.to_bits()])
+            .collect(),
+        Value::Str(s) => s.bytes().map(u64::from).collect(),
+    }
+}
+
+#[test]
+fn all_benchmarks_bitwise_identical_across_tiers() {
+    // Deep recursion (ackermann) needs a roomy stack in debug builds.
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(|| {
+            for b in all() {
+                let args = (b.args)(SCALE);
+
+                // Arm A: perpetual tier-0 (promotion off), called twice.
+                // Some benchmarks carry state across calls (mei and fern
+                // advance the global `rand` stream), so each arm B call
+                // is compared against the arm A call at the same point
+                // in the sequence — never across call counts.
+                let mut t0 = Majic::with_mode(ExecMode::Jit);
+                t0.options.tier.enabled = false;
+                t0.load_source(b.source).unwrap();
+                let first = digest(
+                    &t0.call(b.entry, &args, 1)
+                        .unwrap_or_else(|e| panic!("{}: {e}", b.name))[0],
+                );
+                let second = digest(&t0.call(b.entry, &args, 1).unwrap()[0]);
+
+                // Arm B: promote everything the profile touches, then
+                // call again so tier-1 code actually dispatches.
+                let mut tiered = Majic::with_mode(ExecMode::Jit);
+                tiered.options.tier.threshold = 1;
+                tiered.load_source(b.source).unwrap();
+                let cold = digest(&tiered.call(b.entry, &args, 1).unwrap()[0]);
+                assert_eq!(first, cold, "{}: tier-0 run diverged", b.name);
+                tiered.tier_wait();
+                let [_, t1_versions] = tiered.repository().tier_versions();
+                assert!(
+                    t1_versions > 0,
+                    "{}: nothing promoted at threshold 1",
+                    b.name
+                );
+                let hot = digest(&tiered.call(b.entry, &args, 1).unwrap()[0]);
+                assert_eq!(second, hot, "{}: tier-1 result differs from tier-0", b.name);
+                assert!(
+                    tiered.repository().stats().tier1_hits > 0,
+                    "{}: promoted version never dispatched",
+                    b.name
+                );
+            }
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}

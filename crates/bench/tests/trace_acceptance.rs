@@ -46,6 +46,11 @@ fn figure6_phases_reconstruct_from_trace() {
     assert_eq!(benchmarks.len(), 16, "the paper's 16-benchmark suite");
     for b in &benchmarks {
         let mut m = Majic::with_mode(ExecMode::Jit);
+        // Hot promotion would run background tier-1 compiles whose
+        // spans land in the global trace but whose PhaseTimes are
+        // worker-local; this test reconstructs the *foreground*
+        // pipeline, so keep it single-tier.
+        m.options.tier.enabled = false;
         m.load_source(b.source).unwrap();
         let args = (b.args)(SCALE);
         m.call(b.entry, &args, 1)

@@ -29,6 +29,8 @@
 //! * (function inlining runs earlier, as an AST pass in
 //!   `majic-analysis`).
 
+#![deny(missing_docs)]
+
 mod select;
 
 pub use select::{compile, CodegenError, CodegenOptions};

@@ -8,11 +8,11 @@ use majic_infer::{infer_jit, infer_speculative, Annotations, CalleeOracle, Infer
 use majic_interp::Interp;
 use majic_ir::passes::PassOptions;
 use majic_repo::cache::{CacheEntry, RepoCache};
-use majic_repo::{CodeQuality, CompiledVersion, Repository};
+use majic_repo::{CodeQuality, CompiledVersion, Repository, Tier};
 use majic_runtime::builtins::CallCtx;
 use majic_runtime::{RuntimeError, RuntimeResult, Value};
 use majic_types::{Lattice, Range, Signature, Type};
-use majic_vm::{execute, Dispatcher, Executable, RegAllocMode};
+use majic_vm::{execute, Dispatcher, RegAllocMode};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,6 +64,8 @@ pub struct EngineOptions {
     pub inline: bool,
     /// Simulated platform (Figures 4 vs 5).
     pub platform: Platform,
+    /// Profile-guided tiered recompilation (hot tier-0 → tier-1).
+    pub tier: TierOptions,
 }
 
 impl Default for EngineOptions {
@@ -75,7 +77,72 @@ impl Default for EngineOptions {
             oversize: true,
             inline: true,
             platform: Platform::Sparc,
+            tier: TierOptions::default(),
         }
+    }
+}
+
+/// Tiered-recompilation knobs.
+///
+/// Every JIT-compiled version starts at tier 0 and carries execution
+/// counters (invocations, loop back-edges). When a version's hotness —
+/// `calls × `[`majic_vm::CALL_HOTNESS_WEIGHT`]` + backedges` — crosses
+/// [`threshold`](TierOptions::threshold), the engine enqueues a
+/// background recompile that re-runs inference with the *observed*
+/// signature through the full optimizing pipeline and publishes the
+/// result as a tier-1 version. Dispatch prefers the highest valid tier
+/// and falls back to tier 0 (or a fresh JIT compile) on a signature
+/// mismatch, so promotion can only improve performance, never change
+/// results.
+///
+/// Overridable per process through the `MAJIC_TIER` environment
+/// variable, read by [`Majic::new`]: `off`/`0`/`false` disables
+/// promotion, `on`/`true` restores the defaults, and a positive integer
+/// sets the hotness threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierOptions {
+    /// Master switch for hot promotion.
+    pub enabled: bool,
+    /// Hotness score at which a tier-0 version is promoted.
+    pub threshold: u64,
+    /// Background recompile worker threads (clamped to ≥ 1 when a
+    /// promotion actually starts the pool).
+    pub workers: usize,
+}
+
+impl Default for TierOptions {
+    fn default() -> Self {
+        TierOptions {
+            enabled: true,
+            threshold: 10_000,
+            workers: 1,
+        }
+    }
+}
+
+/// Apply a `MAJIC_TIER` environment value on top of `base`. Unparseable
+/// values leave `base` unchanged (misconfiguration must never break a
+/// session).
+pub(crate) fn tier_options_from_env(value: Option<&str>, base: TierOptions) -> TierOptions {
+    let Some(v) = value else { return base };
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" => base,
+        "off" | "0" | "false" | "no" => TierOptions {
+            enabled: false,
+            ..base
+        },
+        "on" | "true" | "yes" => TierOptions {
+            enabled: true,
+            ..base
+        },
+        s => match s.parse::<u64>() {
+            Ok(n) => TierOptions {
+                enabled: true,
+                threshold: n,
+                ..base
+            },
+            Err(_) => base,
+        },
     }
 }
 
@@ -118,6 +185,13 @@ pub struct Majic {
     next_node_id: u32,
     /// Background speculative-compilation pool, when started.
     spec: Option<SpecWorkerPool>,
+    /// Background tier-1 recompilation pool, started lazily at the
+    /// first hot promotion.
+    tier_pool: Option<SpecWorkerPool>,
+    /// Hot promotions already enqueued this session, keyed by
+    /// `(function, rendered signature)` — each tier-0 version is
+    /// promoted at most once.
+    promoted: HashSet<(String, String)>,
     /// Attached persistent cache, if any ([`Majic::attach_cache`]).
     cache: Option<RepoCache>,
     /// Cache entries loaded from disk but not yet tied to live source:
@@ -165,7 +239,24 @@ impl Default for Majic {
 
 impl Majic {
     /// A fresh session with default (JIT) options.
+    ///
+    /// Tiered recompilation starts enabled with the default threshold;
+    /// the `MAJIC_TIER` environment variable (see [`TierOptions`]) is
+    /// consulted here, so a process can disable or retune promotion
+    /// without code changes.
+    ///
+    /// ```
+    /// use majic::Majic;
+    ///
+    /// let mut session = Majic::new();
+    /// session.load_source("function y = twice(x)\ny = 2 * x;\n").unwrap();
+    /// let out = session.call("twice", &[21.0f64.into()], 1).unwrap();
+    /// assert_eq!(out[0].to_scalar().unwrap(), 42.0);
+    /// ```
     pub fn new() -> Majic {
+        let mut options = EngineOptions::default();
+        options.tier =
+            tier_options_from_env(std::env::var("MAJIC_TIER").ok().as_deref(), options.tier);
         Majic {
             interp: Interp::new(),
             repo: Arc::new(Repository::new()),
@@ -173,10 +264,12 @@ impl Majic {
             known: Arc::new(HashSet::new()),
             next_node_id: 0,
             spec: None,
+            tier_pool: None,
+            promoted: HashSet::new(),
             cache: None,
             pending_cache: HashMap::new(),
             cache_report: CacheReport::default(),
-            options: EngineOptions::default(),
+            options,
             times: PhaseTimes::default(),
         }
     }
@@ -208,6 +301,9 @@ impl Majic {
                 // Source changed → recompile later (repository dependency
                 // tracking).
                 self.repo.invalidate(&f.name);
+                // The invalidated versions took their promotion dedup
+                // keys with them: fresh code earns promotion again.
+                self.promoted.retain(|(n, _)| n != &f.name);
                 known.insert(f.name.clone());
                 registry.insert(f.name.clone(), f.clone());
                 self.interp.define_function(f.clone());
@@ -324,6 +420,18 @@ impl Majic {
     /// Invoke a user function through the configured execution mode.
     /// This is the operation the evaluation measures.
     ///
+    /// ```
+    /// use majic::{ExecMode, Majic};
+    ///
+    /// let mut session = Majic::with_mode(ExecMode::Jit);
+    /// session
+    ///     .load_source("function s = total(v)\ns = sum(v) + 1;\n")
+    ///     .unwrap();
+    /// let v = majic::Value::Real(majic::Matrix::from_rows(vec![vec![1.0, 2.0, 3.0]]));
+    /// let out = session.call("total", &[v], 1).unwrap();
+    /// assert_eq!(out[0].to_scalar().unwrap(), 7.0);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates runtime errors from the function.
@@ -369,12 +477,30 @@ impl Majic {
             times: &mut self.times,
             next_node_id: &mut self.next_node_id,
             depth: 0,
+            promoted: &mut self.promoted,
+            hot: Vec::new(),
         };
         let sig = signature_of(args);
-        let code = disp.ensure_code(name, &sig)?;
+        let version = disp.ensure_code(name, &sig)?;
         let sp = majic_trace::Span::enter("execution");
-        let r = execute(&code, args, nargout, &mut disp, &mut self.interp.ctx);
-        self.times.execution += sp.exit();
+        let r = execute(
+            &version.code,
+            args,
+            nargout,
+            &mut disp,
+            &mut self.interp.ctx,
+        );
+        disp.times.execution += sp.exit();
+        // The run just finished bumped the version's execution counters;
+        // collect any version that crossed the hotness threshold (the
+        // one we dispatched plus any noted during nested dispatch) and
+        // hand them to the background tier-1 pool.
+        disp.note_hot(name, &version);
+        let hot = std::mem::take(&mut disp.hot);
+        drop(disp);
+        for (hot_name, hot_sig) in hot {
+            self.promote(hot_name, hot_sig);
+        }
         let mut outs = r?;
         outs.truncate(nargout.max(1));
         if outs.len() < nargout {
@@ -384,6 +510,56 @@ impl Majic {
             });
         }
         Ok(outs)
+    }
+
+    /// Enqueue a background tier-1 recompile of `name` for `sig`,
+    /// starting the recompilation pool on first use. Best-effort: a
+    /// rejected enqueue releases the dedup key so a later hot call can
+    /// retry.
+    fn promote(&mut self, name: String, sig: Signature) {
+        let pool = self.tier_pool.get_or_insert_with(|| {
+            SpecWorkerPool::start(
+                SpecConfig {
+                    workers: self.options.tier.workers.max(1),
+                    ..SpecConfig::default()
+                },
+                Arc::clone(&self.repo),
+                self.options,
+            )
+        });
+        let accepted = pool.enqueue_hot(
+            &name,
+            sig.clone(),
+            Arc::clone(&self.registry),
+            Arc::clone(&self.known),
+        );
+        if !accepted {
+            self.promoted.remove(&(name, sig.to_string()));
+        }
+    }
+
+    /// Block until the tier-1 recompilation pool (if any) has drained
+    /// its queue. Tests and batch experiments use this; interactive
+    /// sessions never need to.
+    pub fn tier_wait(&self) {
+        if let Some(pool) = &self.tier_pool {
+            pool.wait_idle();
+        }
+    }
+
+    /// Statistics of the tier-1 recompilation pool, when promotion has
+    /// started one.
+    pub fn tier_stats(&self) -> Option<SpecStats> {
+        self.tier_pool.as_ref().map(SpecWorkerPool::stats)
+    }
+
+    /// Shut the tier-1 recompilation pool down (drain, join) and return
+    /// its final statistics. No-op returning `None` when no promotion
+    /// ever happened.
+    pub fn finish_tiering(&mut self) -> Option<SpecStats> {
+        let mut pool = self.tier_pool.take()?;
+        pool.shutdown();
+        Some(pool.stats())
     }
 
     /// Speculatively compile every registered function ahead of time
@@ -499,6 +675,21 @@ impl Majic {
     ///
     /// An attached cache is flushed by [`Majic::save_cache`] and,
     /// best-effort, when the session drops.
+    ///
+    /// ```
+    /// use majic::Majic;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("majic-doc-{}", std::process::id()));
+    /// let path = dir.join("repo.majiccache");
+    /// let mut session = Majic::new();
+    /// let report = session.attach_cache(&path);
+    /// assert_eq!(report.loaded, 0); // nothing cached yet: a cold start
+    /// session.load_source("function y = sq(x)\ny = x * x;\n").unwrap();
+    /// session.call("sq", &[3.0f64.into()], 1).unwrap();
+    /// assert!(session.save_cache().unwrap() > 0);
+    /// # drop(session);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// ```
     pub fn attach_cache(&mut self, path: impl Into<std::path::PathBuf>) -> CacheReport {
         let cache = RepoCache::new(path, majic_codegen::build_fingerprint());
         let (entries, load) = cache.load();
@@ -678,6 +869,18 @@ impl Majic {
     /// Requires auditing to be on ([`Majic::set_audit`] or
     /// `MAJIC_EXPLAIN`) *before* the compilations of interest run;
     /// otherwise the explanation is empty.
+    ///
+    /// ```
+    /// use majic::Majic;
+    ///
+    /// Majic::set_audit(true);
+    /// let mut session = Majic::new();
+    /// session.load_source("function y = cube(x)\ny = x * x * x;\n").unwrap();
+    /// session.call("cube", &[2.0f64.into()], 1).unwrap();
+    /// let why = session.explain("cube");
+    /// assert!(!why.records.is_empty());
+    /// assert!(why.report.contains("first_call"));
+    /// ```
     pub fn explain(&self, name: &str) -> Explanation {
         let records = majic_trace::audit::records_for(name);
         let events = majic_trace::audit::events_for(name);
@@ -721,6 +924,7 @@ impl Drop for Majic {
     fn drop(&mut self) {
         if self.cache.is_some() {
             self.finish_speculation();
+            self.finish_tiering();
             let _ = self.save_cache();
         }
     }
@@ -753,6 +957,7 @@ fn install_cached(
             // it gets a (zero-compile-time) record so `explain` shows
             // where each installed version came from.
             majic_trace::audit::begin(name);
+            majic_trace::audit::tier(e.version.tier.level());
             majic_trace::audit::commit(
                 || e.version.signature.to_string(),
                 "warm_cache",
@@ -884,6 +1089,12 @@ struct EngineDispatcher<'a> {
     times: &'a mut PhaseTimes,
     next_node_id: &'a mut u32,
     depth: usize,
+    /// Session-wide promotion dedup set (see [`Majic::promoted`]).
+    promoted: &'a mut HashSet<(String, String)>,
+    /// Versions that crossed the hotness threshold during this
+    /// dispatch; the session drains them into the tier pool after the
+    /// top-level call returns.
+    hot: Vec<(String, Signature)>,
 }
 
 struct RepoOracle<'a>(&'a Repository);
@@ -895,10 +1106,31 @@ impl CalleeOracle for RepoOracle<'_> {
 }
 
 impl EngineDispatcher<'_> {
+    /// Queue `name`'s version for tier-1 promotion if it is hot tier-0
+    /// JIT code whose hotness crossed the threshold. Called right after
+    /// an execution, when the counters are fresh. The dedup key is
+    /// claimed eagerly (recursive dispatch would otherwise note the
+    /// same version thousands of times); the session releases it if the
+    /// enqueue is later rejected.
+    fn note_hot(&mut self, name: &str, v: &CompiledVersion) {
+        let tier = &self.options.tier;
+        if !tier.enabled
+            || v.tier != Tier::T0
+            || v.quality != CodeQuality::Jit
+            || v.code.hotness() < tier.threshold
+        {
+            return;
+        }
+        let key = (name.to_owned(), v.signature.to_string());
+        if self.promoted.insert(key) {
+            self.hot.push((name.to_owned(), v.signature.clone()));
+        }
+    }
+
     /// Find or build code for an invocation.
-    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<Arc<Executable>> {
+    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<CompiledVersion> {
         if let Some(v) = self.repo.lookup(name, sig) {
-            return Ok(v.code);
+            return Ok(v);
         }
         // Anti-explosion widening: recursive calls produce a fresh
         // constant signature per depth (fib(20), fib(19), …). After two
@@ -962,7 +1194,7 @@ impl EngineDispatcher<'_> {
             .repo
             .lookup(name, &sig)
             .expect("freshly inserted version admits its own signature");
-        Ok(v.code)
+        Ok(v)
     }
 }
 
@@ -1053,6 +1285,14 @@ pub(crate) fn compile_function(
         Pipeline::Jit => CodeQuality::Jit,
         Pipeline::Opt => CodeQuality::Optimized,
     };
+    // The optimizing backend is the tier-1 product; everything else
+    // (generic and fast-JIT code) sits at tier 0 and is promotion bait.
+    let tier = if pipeline == Pipeline::Opt {
+        Tier::T1
+    } else {
+        Tier::T0
+    };
+    majic_trace::audit::tier(tier.level());
     let mut outputs = ann.outputs.clone();
     if outputs.is_empty() {
         outputs = vec![Type::top(); d.function.outputs.len()];
@@ -1061,6 +1301,7 @@ pub(crate) fn compile_function(
         signature,
         code: Arc::new(exe),
         quality,
+        tier,
         output_types: outputs,
         compile_time: sp_compile.exit(),
     })
@@ -1081,10 +1322,11 @@ impl Dispatcher for EngineDispatcher<'_> {
             majic_trace::counter("engine.call_user").inc();
         }
         let sig = signature_of(args);
-        let code = self.ensure_code(name, &sig)?;
+        let version = self.ensure_code(name, &sig)?;
         self.depth += 1;
-        let r = execute(&code, args, nargout, self, ctx);
+        let r = execute(&version.code, args, nargout, self, ctx);
         self.depth -= 1;
+        self.note_hot(name, &version);
         let mut outs = r?;
         outs.truncate(nargout.max(1));
         if outs.len() < nargout {
@@ -1094,5 +1336,33 @@ impl Dispatcher for EngineDispatcher<'_> {
             });
         }
         Ok(outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majic_tier_env_parsing() {
+        let base = TierOptions::default();
+        assert_eq!(tier_options_from_env(None, base), base);
+        assert_eq!(tier_options_from_env(Some(""), base), base);
+        assert_eq!(tier_options_from_env(Some("  "), base), base);
+        assert!(!tier_options_from_env(Some("off"), base).enabled);
+        assert!(!tier_options_from_env(Some("0"), base).enabled);
+        assert!(!tier_options_from_env(Some("FALSE"), base).enabled);
+        let off = TierOptions {
+            enabled: false,
+            ..base
+        };
+        assert!(tier_options_from_env(Some("on"), off).enabled);
+        let tuned = tier_options_from_env(Some("500"), base);
+        assert!(tuned.enabled);
+        assert_eq!(tuned.threshold, 500);
+        assert_eq!(tuned.workers, base.workers);
+        // Misconfiguration must never break a session.
+        assert_eq!(tier_options_from_env(Some("garbage"), base), base);
+        assert_eq!(tier_options_from_env(Some("-3"), base), base);
     }
 }

@@ -47,9 +47,11 @@ mod engine;
 mod spec;
 
 pub use diff::{DiffCase, DiffReport, Divergence, DivergenceKind, ModeOutcome};
-pub use engine::{CacheReport, EngineOptions, ExecMode, Explanation, Majic, PhaseTimes, Platform};
+pub use engine::{
+    CacheReport, EngineOptions, ExecMode, Explanation, Majic, PhaseTimes, Platform, TierOptions,
+};
 pub use majic_repo::cache::{LoadReport, RepoCache};
-pub use majic_repo::RepoStats;
+pub use majic_repo::{RepoStats, Tier};
 pub use spec::{SpecConfig, SpecRecord, SpecStats, SpecWorkerPool, DEFAULT_RECORD_CAPACITY};
 
 pub use majic_infer::InferOptions;

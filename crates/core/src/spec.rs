@@ -25,6 +25,7 @@
 use crate::engine::{compile_function, EngineOptions, PhaseTimes, Pipeline};
 use majic_ast::Function;
 use majic_repo::Repository;
+use majic_types::Signature;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -61,11 +62,15 @@ impl Default for SpecConfig {
     }
 }
 
-/// One unit of background work: speculatively compile `name` against a
-/// snapshot of the function registry taken at enqueue time.
+/// One unit of background work: compile `name` against a snapshot of
+/// the function registry taken at enqueue time. `sig = None` is a
+/// speculative job (the signature is guessed); `sig = Some(_)` is a
+/// hot-promotion job that re-runs inference with the observed signature
+/// through the optimizing pipeline (tier-1 recompilation).
 #[derive(Debug)]
 struct Job {
     name: String,
+    sig: Option<Signature>,
     registry: Arc<HashMap<String, Function>>,
     known: Arc<HashSet<String>>,
     enqueued: Instant,
@@ -268,6 +273,29 @@ impl SpecWorkerPool {
         registry: Arc<HashMap<String, Function>>,
         known: Arc<HashSet<String>>,
     ) -> bool {
+        self.enqueue_job(name, None, registry, known)
+    }
+
+    /// Queue a hot-promotion (tier-1) recompile of `name` for the
+    /// observed signature. Same best-effort semantics as
+    /// [`SpecWorkerPool::enqueue`].
+    pub fn enqueue_hot(
+        &self,
+        name: &str,
+        sig: Signature,
+        registry: Arc<HashMap<String, Function>>,
+        known: Arc<HashSet<String>>,
+    ) -> bool {
+        self.enqueue_job(name, Some(sig), registry, known)
+    }
+
+    fn enqueue_job(
+        &self,
+        name: &str,
+        sig: Option<Signature>,
+        registry: Arc<HashMap<String, Function>>,
+        known: Arc<HashSet<String>>,
+    ) -> bool {
         let accepted = {
             let mut q = self.shared.queue.lock().expect("spec queue poisoned");
             if q.closed || self.handles.is_empty() || q.jobs.len() >= self.shared.capacity {
@@ -275,6 +303,7 @@ impl SpecWorkerPool {
             } else {
                 q.jobs.push_back(Job {
                     name: name.to_owned(),
+                    sig,
                     registry,
                     known,
                     enqueued: Instant::now(),
@@ -369,18 +398,24 @@ fn worker_loop(shared: &PoolShared) {
             &shared.repo,
             &shared.options,
             &job.name,
-            None,
+            job.sig.as_ref(),
             Pipeline::Opt,
             &mut scratch_ids,
             &mut times,
         );
         let compile = sp.exit();
+        let trigger = if job.sig.is_some() {
+            "recompile_hot"
+        } else {
+            "spec_worker"
+        };
         majic_trace::audit::commit(
-            || match &compiled {
-                Ok(v) => v.signature.to_string(),
-                Err(_) => "(speculative)".to_owned(),
+            || match (&compiled, &job.sig) {
+                (Ok(v), _) => v.signature.to_string(),
+                (Err(_), Some(s)) => s.to_string(),
+                (Err(_), None) => "(speculative)".to_owned(),
             },
-            "spec_worker",
+            trigger,
             || match &compiled {
                 Ok(v) => format!("published ({})", crate::engine::quality_name(v.quality)),
                 Err(e) => format!("failed: {e}"),

@@ -25,6 +25,8 @@
 //! so compiled functions can persist in the on-disk repository cache
 //! (`docs/CACHE_FORMAT.md`).
 
+#![deny(missing_docs)]
+
 mod inst;
 pub mod passes;
 pub mod serial;

@@ -25,7 +25,7 @@
 //! Any failure at any gate degrades to a cold start; loading never
 //! panics and never errors.
 
-use crate::{CodeQuality, CompiledVersion};
+use crate::{CodeQuality, CompiledVersion, Tier};
 use majic_types::wire::{
     decode_signature, decode_type, encode_signature, encode_type, fnv1a, Reader, WireError,
     WireResult, Writer,
@@ -43,7 +43,10 @@ pub const MAGIC: [u8; 8] = *b"MAJICRC\0";
 /// Version of the container layout (header + entry framing). Bump when
 /// the framing itself changes; changes to the *payload* encodings are
 /// covered by the build fingerprint instead.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 had no tier byte in the entry payload; v2 added it when
+/// tiered recompilation landed.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// One compiled function version as stored in (or destined for) the
 /// cache file, together with the invalidation key that ties it to the
@@ -328,11 +331,24 @@ fn quality_from(tag: u8) -> WireResult<CodeQuality> {
     })
 }
 
+fn tier_tag(t: Tier) -> u8 {
+    t.level()
+}
+
+fn tier_from(tag: u8) -> WireResult<Tier> {
+    Ok(match tag {
+        0 => Tier::T0,
+        1 => Tier::T1,
+        _ => return Err(WireError::new("tier tag")),
+    })
+}
+
 fn encode_entry(e: &CacheEntry) -> Vec<u8> {
     let mut w = Writer::new();
     w.str(&e.name);
     w.u64(e.source_hash);
     w.u8(quality_tag(e.version.quality));
+    w.u8(tier_tag(e.version.tier));
     w.u64(e.version.compile_time.as_nanos() as u64);
     encode_signature(&mut w, &e.version.signature);
     w.u32(e.version.output_types.len() as u32);
@@ -348,6 +364,7 @@ fn decode_entry(payload: &[u8]) -> WireResult<CacheEntry> {
     let name = r.str()?;
     let source_hash = r.u64()?;
     let quality = quality_from(r.u8()?)?;
+    let tier = tier_from(r.u8()?)?;
     let compile_time = Duration::from_nanos(r.u64()?);
     let signature = decode_signature(&mut r)?;
     let n = r.seq_len(6)?;
@@ -366,6 +383,7 @@ fn decode_entry(payload: &[u8]) -> WireResult<CacheEntry> {
             signature,
             code: Arc::new(code),
             quality,
+            tier,
             output_types,
             compile_time,
         },
@@ -423,6 +441,7 @@ mod tests {
                 signature: Signature::new(vec![Type::scalar(Intrinsic::Real)]),
                 code: Arc::new(exe),
                 quality: CodeQuality::Optimized,
+                tier: Tier::T1,
                 output_types: vec![Type::top(), Type::constant(2.0)],
                 compile_time: Duration::from_micros(123),
             },
@@ -454,6 +473,7 @@ mod tests {
             assert_eq!(a.source_hash, b.source_hash);
             assert_eq!(a.version.signature, b.version.signature);
             assert_eq!(a.version.quality, b.version.quality);
+            assert_eq!(a.version.tier, b.version.tier);
             assert_eq!(a.version.compile_time, b.version.compile_time);
             assert_eq!(a.version.output_types, b.version.output_types);
             assert_eq!(a.version.code.encode(), b.version.code.encode());

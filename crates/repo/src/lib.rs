@@ -46,7 +46,9 @@ use std::time::Duration;
 
 /// Locator and lifecycle statistics of a [`Repository`].
 ///
-/// All counts are since creation or the last [`Repository::clear`].
+/// All counts are since creation or the last [`Repository::clear`],
+/// except the `*_versions` fields, which are the repository's *current*
+/// per-tier population at the moment [`Repository::stats`] ran.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RepoStats {
     /// Lookups answered by an existing version.
@@ -57,6 +59,14 @@ pub struct RepoStats {
     pub inserts: u64,
     /// Invalidations (source-change recompilation triggers).
     pub invalidations: u64,
+    /// Hits answered by a tier-0 (fast-pipeline) version.
+    pub tier0_hits: u64,
+    /// Hits answered by a tier-1 (optimizing-pipeline) version.
+    pub tier1_hits: u64,
+    /// Tier-0 versions currently live.
+    pub tier0_versions: usize,
+    /// Tier-1 versions currently live.
+    pub tier1_versions: usize,
 }
 
 impl RepoStats {
@@ -68,6 +78,40 @@ impl RepoStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// The dispatch-preference level of a compiled version.
+///
+/// Tiers order the *pipelines* that produce code: tier 0 is anything
+/// compiled on (or for) the critical path by a fast pipeline (the JIT
+/// and the `mcc` emulation), tier 1 is the optimizing backend
+/// (speculative, batch, or a hotness-driven background recompile). The
+/// locator prefers the highest tier among the safe candidates, so a
+/// tier-1 version atomically takes over dispatch the moment it is
+/// inserted — and a call its signature does not admit falls back to
+/// tier 0 just as atomically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Tier 0: fast-pipeline output (JIT / generic).
+    T0,
+    /// Tier 1: optimizing-backend output.
+    T1,
+}
+
+impl Tier {
+    /// Numeric level (0 or 1) for serialization and diagnostics.
+    pub fn level(self) -> u8 {
+        match self {
+            Tier::T0 => 0,
+            Tier::T1 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tier-{}", self.level())
     }
 }
 
@@ -98,6 +142,9 @@ pub struct CompiledVersion {
     pub code: Arc<Executable>,
     /// Pipeline that produced it.
     pub quality: CodeQuality,
+    /// Dispatch-preference level (see [`Tier`]). Persisted across
+    /// sessions by the on-disk cache.
+    pub tier: Tier,
     /// Inferred output types (fed back into inference as the callee
     /// oracle).
     pub output_types: Vec<Type>,
@@ -120,6 +167,10 @@ pub struct Repository {
     misses: AtomicU64,
     inserts: AtomicU64,
     invalidations: AtomicU64,
+    /// Hits answered by a tier-0 version.
+    tier0_hits: AtomicU64,
+    /// Hits answered by a tier-1 version.
+    tier1_hits: AtomicU64,
     /// Total compile time across all inserted versions, in nanoseconds.
     compile_nanos: AtomicU64,
 }
@@ -151,6 +202,8 @@ impl Repository {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            tier0_hits: AtomicU64::new(0),
+            tier1_hits: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
         }
     }
@@ -175,6 +228,15 @@ impl Repository {
     /// The function locator: find the best safe version for an
     /// invocation, or `None` (triggering a JIT compilation).
     ///
+    /// Among safe candidates the locator prefers the highest [`Tier`]
+    /// (optimized code wins over naive code whenever both admit the
+    /// call), then the Manhattan-closest signature within that tier,
+    /// then [`CodeQuality`] as the final tie-breaker. Because the
+    /// preference is evaluated per lookup against whatever versions are
+    /// currently published, a tier-1 version inserted by a background
+    /// recompile takes over dispatch atomically, with no stall — and a
+    /// signature it does not admit falls back to tier 0 the same way.
+    ///
     /// Returns an owned clone (the `Executable` itself is behind an
     /// `Arc`) so the shard lock is released before the code runs.
     pub fn lookup(&self, name: &str, actuals: &Signature) -> Option<CompiledVersion> {
@@ -186,6 +248,7 @@ impl Repository {
                     .filter(|v| v.signature.admits(actuals))
                     .min_by_key(|v| {
                         (
+                            std::cmp::Reverse(v.tier),
                             v.signature.distance(actuals).unwrap_or(u64::MAX),
                             std::cmp::Reverse(v.quality),
                         )
@@ -193,8 +256,12 @@ impl Repository {
                     .cloned()
             })
         };
-        if found.is_some() {
+        if let Some(v) = &found {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            match v.tier {
+                Tier::T0 => self.tier0_hits.fetch_add(1, Ordering::Relaxed),
+                Tier::T1 => self.tier1_hits.fetch_add(1, Ordering::Relaxed),
+            };
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -260,14 +327,36 @@ impl Repository {
             .sum()
     }
 
-    /// Locator and lifecycle statistics.
+    /// Locator and lifecycle statistics, including the per-tier hit
+    /// split and the current per-tier population ([`Repository::tier_versions`]).
     pub fn stats(&self) -> RepoStats {
+        let [tier0_versions, tier1_versions] = self.tier_versions();
         RepoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            tier0_hits: self.tier0_hits.load(Ordering::Relaxed),
+            tier1_hits: self.tier1_hits.load(Ordering::Relaxed),
+            tier0_versions,
+            tier1_versions,
         }
+    }
+
+    /// Current number of live versions per tier: `[tier-0, tier-1]`.
+    /// Shards are read-locked one at a time; concurrent inserts may or
+    /// may not be counted.
+    pub fn tier_versions(&self) -> [usize; 2] {
+        let mut counts = [0usize; 2];
+        for s in &self.shards {
+            let shard = s.read().expect("repository shard poisoned");
+            for versions in shard.functions.values() {
+                for v in versions {
+                    counts[v.tier.level() as usize] += 1;
+                }
+            }
+        }
+        counts
     }
 
     /// Number of `insert` calls since creation (or the last `clear`).
@@ -301,6 +390,8 @@ impl Repository {
         self.misses.store(0, Ordering::Relaxed);
         self.inserts.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
+        self.tier0_hits.store(0, Ordering::Relaxed);
+        self.tier1_hits.store(0, Ordering::Relaxed);
         self.compile_nanos.store(0, Ordering::Relaxed);
     }
 
@@ -358,6 +449,11 @@ mod tests {
             signature: Signature::new(sig),
             code: dummy_code(),
             quality,
+            tier: if quality == CodeQuality::Optimized {
+                Tier::T1
+            } else {
+                Tier::T0
+            },
             output_types: vec![Type::top()],
             compile_time: Duration::from_micros(10),
         }

@@ -10,7 +10,7 @@
 
 use majic_ir::{Block, FBinOp, FUnOp, Function, Inst, Reg, Slot, Terminator, VarBinding};
 use majic_repo::cache::{CacheEntry, RepoCache, MAGIC};
-use majic_repo::{CodeQuality, CompiledVersion};
+use majic_repo::{CodeQuality, CompiledVersion, Tier};
 use majic_testkit::{forall, Rng};
 use majic_types::{Dim, Intrinsic, Lattice, Range, Shape, Signature, Type};
 use majic_vm::Executable;
@@ -136,6 +136,7 @@ fn random_entry(rng: &mut Rng, k: usize) -> CacheEntry {
                 CodeQuality::Jit,
                 CodeQuality::Optimized,
             ]),
+            tier: *rng.choose(&[Tier::T0, Tier::T1]),
             output_types: (0..n_outs).map(|_| random_type(rng)).collect(),
             compile_time: Duration::from_nanos(rng.range_u64(0, 1_000_000_000)),
         },
@@ -173,6 +174,7 @@ fn random_states_round_trip_bitwise() {
             assert_eq!(a.source_hash, b.source_hash);
             assert_eq!(a.version.signature, b.version.signature);
             assert_eq!(a.version.quality, b.version.quality);
+            assert_eq!(a.version.tier, b.version.tier);
             assert_eq!(a.version.output_types, b.version.output_types);
             assert_eq!(a.version.compile_time, b.version.compile_time);
             assert_eq!(a.version.code.encode(), b.version.code.encode());

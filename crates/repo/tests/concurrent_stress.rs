@@ -53,6 +53,7 @@ fn readers_never_block_out_lost_inserts() {
                             signature: sig(k),
                             code: dummy_code(),
                             quality: CodeQuality::Optimized,
+                            tier: majic_repo::Tier::T1,
                             output_types: vec![],
                             compile_time: Duration::from_nanos(1),
                         },

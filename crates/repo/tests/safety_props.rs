@@ -67,6 +67,7 @@ fn version(sig: Signature, quality: CodeQuality) -> CompiledVersion {
         signature: sig,
         code: dummy_code(),
         quality,
+        tier: majic_repo::Tier::T0,
         output_types: vec![],
         compile_time: Duration::ZERO,
     }

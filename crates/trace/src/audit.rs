@@ -151,8 +151,12 @@ pub struct CompilationRecord {
     /// Rendered type signature the version was produced for.
     pub signature: String,
     /// What started this compilation: `first_call`, `recompile_widened`,
-    /// `spec_worker`, `spec_sync`, or `warm_cache`.
+    /// `recompile_hot`, `spec_worker`, `spec_sync`, or `warm_cache`.
     pub trigger: String,
+    /// Repository tier the produced version was installed at (0 = fast
+    /// JIT, 1 = optimizing backend). Absent when the compilation never
+    /// produced an installable version.
+    pub tier: Option<u8>,
     /// How it ended: `published (…)`, `failed: …`, or
     /// `installed from persistent cache`.
     pub outcome: String,
@@ -259,6 +263,16 @@ pub fn inline_verdict(f: impl FnOnce() -> InlineVerdict) {
             rec.truncated += 1;
         }
     });
+}
+
+/// Record the repository tier of the version this compilation produced
+/// (0 or 1; last write wins).
+#[inline]
+pub fn tier(t: u8) {
+    if !enabled() {
+        return;
+    }
+    with_current(|rec| rec.tier = Some(t));
 }
 
 /// Record the code-generation summary into the open scope (last write
@@ -434,12 +448,16 @@ fn fmt_ns(ns: u64) -> String {
 fn render_record(out: &mut String, r: &CompilationRecord) {
     let _ = writeln!(
         out,
-        "  [{}] {}({}) — {} → {} in {}{}",
+        "  [{}] {}({}) — {} → {}{} in {}{}",
         r.seq,
         r.function,
         r.signature,
         r.trigger,
         r.outcome,
+        match r.tier {
+            Some(t) => format!(" [tier-{t}]"),
+            None => String::new(),
+        },
         fmt_ns(r.compile_ns),
         match r.queue_wait_ns {
             Some(w) => format!(" (queued {})", fmt_ns(w)),
@@ -596,6 +614,9 @@ fn json_record(r: &CompilationRecord, out: &mut String) {
     json_str(&r.outcome, out);
     let _ = write!(out, ",\"seq\":{},\"ts_ns\":{}", r.seq, r.ts_ns);
     let _ = write!(out, ",\"compile_ns\":{}", r.compile_ns);
+    if let Some(t) = r.tier {
+        let _ = write!(out, ",\"tier\":{t}");
+    }
     if let Some(w) = r.queue_wait_ns {
         let _ = write!(out, ",\"queue_wait_ns\":{w}");
     }
@@ -720,6 +741,7 @@ mod tests {
             ..CodegenSummary::default()
         });
         lifecycle("pipeline", || "jit".into());
+        tier(0);
         commit(
             || "(real)".into(),
             "first_call",
@@ -738,6 +760,7 @@ mod tests {
         assert_eq!(r.inlining[0].callee, "helper");
         assert_eq!(r.codegen.unwrap().slot_takes, 2);
         assert_eq!(r.compile_ns, 1234);
+        assert_eq!(r.tier, Some(0));
 
         let report = render_function_report("audit_test_fn", &recs, &[]);
         assert!(report.contains("join at loop header"), "{report}");

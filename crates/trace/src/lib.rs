@@ -40,6 +40,8 @@
 //! The bench binaries call [`init_from_env`] at startup and [`finish`]
 //! before exiting.
 
+#![deny(missing_docs)]
+
 pub mod audit;
 pub mod export;
 mod metrics;

@@ -9,6 +9,7 @@ use majic_runtime::builtins::{Builtin, CallCtx};
 use majic_runtime::ops::{self, Cmp, Subscript};
 use majic_runtime::{linalg, Complex, Matrix, RuntimeError, RuntimeResult, Value};
 use majic_types::wire::{Reader, WireError, WireResult, Writer};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::regalloc::{NUM_C_REGS, NUM_F_REGS};
 
@@ -61,6 +62,42 @@ enum Step {
     Ret,
 }
 
+/// Weight of one invocation relative to one loop back-edge in
+/// [`Executable::hotness`]. A call does a fixed amount of work
+/// (argument binding, machine setup) while a back-edge stands for one
+/// loop iteration; weighting calls keeps call-dominated recursive
+/// functions and iteration-dominated loop kernels on one scale, the
+/// classic invocations + back-edges counter of adaptive JITs.
+pub const CALL_HOTNESS_WEIGHT: u64 = 16;
+
+/// Always-on execution counters shared by every thread running one
+/// compiled version (the `Executable` itself is shared via `Arc`).
+///
+/// These feed the engine's tiered-recompilation policy: the dispatch
+/// layer reads [`Executable::hotness`] after a call returns and promotes
+/// versions that cross its threshold. The counting discipline keeps the
+/// hot loop cheap: one relaxed increment per invocation, plus one local
+/// (non-atomic) accumulation per loop back-edge that is flushed once
+/// when the invocation leaves `run_loop`.
+#[derive(Debug, Default)]
+struct ExecCounters {
+    /// Completed and in-progress invocations.
+    calls: AtomicU64,
+    /// Backward jumps taken (one per loop iteration).
+    backedges: AtomicU64,
+}
+
+impl Clone for ExecCounters {
+    /// Cloning snapshots the current counts: a cloned executable is
+    /// still "the same code" for hotness purposes.
+    fn clone(&self) -> ExecCounters {
+        ExecCounters {
+            calls: AtomicU64::new(self.calls.load(Ordering::Relaxed)),
+            backedges: AtomicU64::new(self.backedges.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// Executable (flattened, register-allocated) code for one compiled
 /// function version.
 #[derive(Clone, Debug)]
@@ -73,6 +110,8 @@ pub struct Executable {
     slots: u32,
     params: Vec<VarBinding>,
     outputs: Vec<VarBinding>,
+    /// Execution profile (not serialized: decoded code starts cold).
+    counters: ExecCounters,
 }
 
 impl Executable {
@@ -116,12 +155,33 @@ impl Executable {
             slots: f.slots,
             params: f.params.clone(),
             outputs: f.outputs.clone(),
+            counters: ExecCounters::default(),
         }
     }
 
     /// Number of flattened steps (diagnostics / benches).
     pub fn step_count(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Execution counts so far: `(invocations, loop back-edges)`.
+    ///
+    /// Both are monotone (only [`Executable::new`]/`decode` start at
+    /// zero) and shared across every thread running this version.
+    pub fn exec_counts(&self) -> (u64, u64) {
+        (
+            self.counters.calls.load(Ordering::Relaxed),
+            self.counters.backedges.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The hotness score driving tiered recompilation:
+    /// `invocations × CALL_HOTNESS_WEIGHT + loop back-edges`.
+    pub fn hotness(&self) -> u64 {
+        let (calls, backedges) = self.exec_counts();
+        calls
+            .saturating_mul(CALL_HOTNESS_WEIGHT)
+            .saturating_add(backedges)
     }
 
     /// Serialize into the canonical binary form used by the on-disk
@@ -218,6 +278,7 @@ impl Executable {
             slots,
             params,
             outputs,
+            counters: ExecCounters::default(),
         };
         exe.validate()?;
         Ok(exe)
@@ -493,6 +554,10 @@ pub fn execute(
         }
     }
 
+    // Always-on hotness accounting (one relaxed increment per call; the
+    // back-edge half is flushed by `run_loop` when the invocation ends).
+    exe.counters.calls.fetch_add(1, Ordering::Relaxed);
+
     // Opt-in execution profiling: the disabled cost is one relaxed load
     // here plus a branch on a local per step inside `run_loop`.
     let mut prof = majic_trace::vm_profile_enabled().then(VmProfile::default);
@@ -539,13 +604,29 @@ fn run_loop(
     mut prof: Option<&mut VmProfile>,
 ) -> RuntimeResult<()> {
     let mut pc = 0usize;
+    // Loop back-edges accumulate in a local and hit the shared counter
+    // once per invocation (on every exit path, including errors), so the
+    // per-iteration cost is a compare and a local add.
+    let mut backedges = 0u64;
+    let flush = |n: u64| {
+        if n > 0 {
+            exe.counters.backedges.fetch_add(n, Ordering::Relaxed);
+        }
+    };
     loop {
         debug_assert!(pc < exe.steps.len());
         // SAFETY: jump targets are produced by the flattener and always
         // point inside `steps`; straight-line fallthrough ends at `Ret`.
         match unsafe { exe.steps.get_unchecked(pc) } {
-            Step::Ret => return Ok(()),
+            Step::Ret => {
+                flush(backedges);
+                return Ok(());
+            }
             Step::Jump(t) => {
+                // A backward jump is a loop back-edge: the flattener
+                // only emits non-forward targets to re-enter a loop
+                // header.
+                backedges += u64::from(*t as usize <= pc);
                 pc = *t as usize;
                 continue;
             }
@@ -554,6 +635,7 @@ fn run_loop(
                     p.branches += 1;
                 }
                 if m.rf(*cond) == 0.0 {
+                    backedges += u64::from(*target as usize <= pc);
                     pc = *target as usize;
                     continue;
                 }
@@ -562,7 +644,10 @@ fn run_loop(
                 if let Some(p) = prof.as_deref_mut() {
                     p.count(inst);
                 }
-                exec_inst(inst, m, disp, ctx)?;
+                if let Err(e) = exec_inst(inst, m, disp, ctx) {
+                    flush(backedges);
+                    return Err(e);
+                }
             }
         }
         pc += 1;

@@ -20,5 +20,5 @@
 mod exec;
 mod regalloc;
 
-pub use exec::{execute, Dispatcher, Executable, NoDispatch};
+pub use exec::{execute, Dispatcher, Executable, NoDispatch, CALL_HOTNESS_WEIGHT};
 pub use regalloc::{allocate, RegAllocMode};

@@ -43,6 +43,11 @@ fn main() {
             }
             "\\stats" => {
                 print!("{}", session.explain_stats());
+                let stats = session.repository().stats();
+                println!(
+                    "tiers: {} tier-0 versions ({} hits), {} tier-1 versions ({} hits)",
+                    stats.tier0_versions, stats.tier0_hits, stats.tier1_versions, stats.tier1_hits
+                );
             }
             ".repo" => {
                 let stats = session.repository().stats();
@@ -53,6 +58,10 @@ fn main() {
                     100.0 * stats.hit_rate(),
                     stats.inserts,
                     stats.invalidations
+                );
+                println!(
+                    "tiers: {} tier-0 versions ({} hits), {} tier-1 versions ({} hits)",
+                    stats.tier0_versions, stats.tier0_hits, stats.tier1_versions, stats.tier1_hits
                 );
             }
             _ if trimmed.starts_with("\\explain") => match trimmed.split_whitespace().nth(1) {

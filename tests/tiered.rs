@@ -1,0 +1,143 @@
+//! Tier-transition coverage for profile-guided recompilation.
+//!
+//! A JIT-compiled (tier-0) version carries execution counters; crossing
+//! the hotness threshold enqueues a background recompile that re-runs
+//! inference with the observed signature through the optimizing
+//! pipeline and publishes the result as tier-1. These tests pin the
+//! promotion policy: it fires at the threshold and not below, the
+//! promoted code is preferred on dispatch but never changes results,
+//! tier-1 entries survive a persistent-cache round trip, and a call the
+//! tier-1 version does not admit falls back to tier-0 compilation.
+
+use majic::{ExecMode, Majic, Value};
+
+/// A loop-heavy function: one call of `hot(n)` contributes ~`n` loop
+/// back-edges to the hotness score on top of the per-call weight.
+fn loop_source(name: &str) -> String {
+    format!("function s = {name}(n)\ns = 0;\nfor i = 1:n\ns = s + i * i;\nend\n")
+}
+
+fn scalar(out: &[Value]) -> f64 {
+    out[0].to_scalar().expect("scalar result")
+}
+
+#[test]
+fn promotion_fires_at_threshold() {
+    Majic::set_audit(true);
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    m.options.tier.threshold = 1;
+    m.load_source(&loop_source("tier_hot")).unwrap();
+
+    let first = scalar(&m.call("tier_hot", &[200.0f64.into()], 1).unwrap());
+    m.tier_wait();
+    let stats = m.tier_stats().expect("promotion started the tier pool");
+    assert_eq!(stats.published, 1, "one hot version, one tier-1 publish");
+    assert_eq!(m.repository().tier_versions(), [1, 1]);
+
+    // The next call dispatches the tier-1 version — bitwise the same.
+    let again = scalar(&m.call("tier_hot", &[200.0f64.into()], 1).unwrap());
+    assert_eq!(first.to_bits(), again.to_bits());
+    let repo_stats = m.repository().stats();
+    assert!(repo_stats.tier1_hits >= 1, "tier-1 never dispatched");
+
+    // The audit log attributes the background compile to hot promotion.
+    let why = m.explain("tier_hot");
+    assert!(
+        why.records.iter().any(|r| r.trigger == "recompile_hot"),
+        "no recompile_hot record:\n{}",
+        why.report
+    );
+    assert!(
+        why.records
+            .iter()
+            .any(|r| r.trigger == "recompile_hot" && r.tier == Some(1)),
+        "recompile_hot record missing tier 1:\n{}",
+        why.report
+    );
+}
+
+#[test]
+fn no_promotion_below_threshold() {
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    // One call of hot(50) scores ~16 + 50 ≪ the default 10_000.
+    m.load_source(&loop_source("tier_cold")).unwrap();
+    m.call("tier_cold", &[50.0f64.into()], 1).unwrap();
+    m.tier_wait();
+    assert!(m.tier_stats().is_none(), "tier pool started while cold");
+    assert_eq!(m.repository().tier_versions(), [1, 0]);
+}
+
+#[test]
+fn promotion_disabled_by_options() {
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    m.options.tier.enabled = false;
+    m.options.tier.threshold = 1;
+    m.load_source(&loop_source("tier_off")).unwrap();
+    m.call("tier_off", &[200.0f64.into()], 1).unwrap();
+    m.tier_wait();
+    assert!(m.tier_stats().is_none());
+    assert_eq!(m.repository().tier_versions(), [1, 0]);
+}
+
+#[test]
+fn tier1_survives_cache_round_trip() {
+    let dir = std::env::temp_dir().join(format!("majic-tiered-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("repo.majiccache");
+    let src = loop_source("tier_warm");
+
+    // Session 1: get hot, promote, flush tier-0 + tier-1 to disk.
+    let first = {
+        let mut m = Majic::with_mode(ExecMode::Jit);
+        m.options.tier.threshold = 1;
+        m.attach_cache(&path);
+        m.load_source(&src).unwrap();
+        let out = scalar(&m.call("tier_warm", &[150.0f64.into()], 1).unwrap());
+        m.tier_wait();
+        assert_eq!(m.repository().tier_versions(), [1, 1]);
+        out
+    }; // drop saves the cache
+
+    // Session 2: the tier-1 entry installs warm — no recompilation, no
+    // re-promotion needed — and is preferred on dispatch.
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    let report = m.attach_cache(&path);
+    assert_eq!(report.loaded, 2, "both tiers were persisted");
+    m.load_source(&src).unwrap();
+    assert_eq!(
+        m.repository().tier_versions(),
+        [1, 1],
+        "tier metadata lost across the cache round trip"
+    );
+    let warm = scalar(&m.call("tier_warm", &[150.0f64.into()], 1).unwrap());
+    assert_eq!(first.to_bits(), warm.to_bits());
+    assert!(m.repository().stats().tier1_hits >= 1);
+    assert!(m.tier_stats().is_none(), "warm tier-1 re-promoted");
+
+    drop(m);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unseen_signature_falls_back_to_tier0() {
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    m.options.tier.threshold = 1;
+    // The loop result depends on the argument, so a wrong dispatch
+    // would be visible in the output.
+    m.load_source(&loop_source("tier_fallback")).unwrap();
+    m.call("tier_fallback", &[300.0f64.into()], 1).unwrap();
+    m.tier_wait();
+    assert_eq!(m.repository().tier_versions(), [1, 1]);
+
+    // Both existing versions were compiled for the constant signature
+    // of 300.0; an argument outside that range is not admitted by the
+    // tier-1 version, so dispatch must fall back to a fresh tier-0
+    // compile — and still agree with the interpreter bit for bit.
+    let compiled = scalar(&m.call("tier_fallback", &[77.0f64.into()], 1).unwrap());
+    let mut interp = Majic::with_mode(ExecMode::Interpret);
+    interp.load_source(&loop_source("tier_fallback")).unwrap();
+    let reference = scalar(&interp.call("tier_fallback", &[77.0f64.into()], 1).unwrap());
+    assert_eq!(compiled.to_bits(), reference.to_bits());
+    let [t0, _t1] = m.repository().tier_versions();
+    assert!(t0 >= 2, "no tier-0 fallback version was compiled");
+}
