@@ -187,7 +187,7 @@ fn run_mode(case: &DiffCase, mode: ExecMode, label: &'static str) -> ModeRun {
         session
             .repository()
             .lookup(&case.entry, &signature_of(&case.args))
-            .map(|v| v.output_types)
+            .map(|v| v.output_types.clone())
     };
     ModeRun(
         ModeOutcome {
@@ -251,7 +251,7 @@ fn run_warm(case: &DiffCase) -> ModeRun {
         let output_types = b
             .repository()
             .lookup(&case.entry, &signature_of(&case.args))
-            .map(|v| v.output_types);
+            .map(|v| v.output_types.clone());
         ModeRun(
             ModeOutcome {
                 label: "warm",

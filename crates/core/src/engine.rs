@@ -324,7 +324,12 @@ impl Majic {
             // "source directory snoop"): speculate on them right away.
             if let Some(pool) = &self.spec {
                 for f in &file.functions {
-                    pool.enqueue(&f.name, Arc::clone(&self.registry), Arc::clone(&self.known));
+                    pool.enqueue(
+                        &f.name,
+                        self.options,
+                        Arc::clone(&self.registry),
+                        Arc::clone(&self.known),
+                    );
                 }
             }
         }
@@ -524,12 +529,16 @@ impl Majic {
                     ..SpecConfig::default()
                 },
                 Arc::clone(&self.repo),
-                self.options,
             )
         });
+        // The session's *current* options ride along with the job, so
+        // mutating `self.options` (platform, inference, regalloc)
+        // mid-session applies to later recompiles instead of being
+        // frozen at pool start.
         let accepted = pool.enqueue_hot(
             &name,
             sig.clone(),
+            self.options,
             Arc::clone(&self.registry),
             Arc::clone(&self.known),
         );
@@ -631,11 +640,16 @@ impl Majic {
     /// [`Majic::speculate_background`] with full queue configuration.
     pub fn speculate_background_with(&mut self, cfg: SpecConfig) {
         self.spec = None; // drain + join any previous pool first
-        let pool = SpecWorkerPool::start(cfg, Arc::clone(&self.repo), self.options);
+        let pool = SpecWorkerPool::start(cfg, Arc::clone(&self.repo));
         let mut names: Vec<&String> = self.registry.keys().collect();
         names.sort(); // deterministic queue order
         for name in names {
-            pool.enqueue(name, Arc::clone(&self.registry), Arc::clone(&self.known));
+            pool.enqueue(
+                name,
+                self.options,
+                Arc::clone(&self.registry),
+                Arc::clone(&self.known),
+            );
         }
         self.spec = Some(pool);
     }
@@ -1127,8 +1141,10 @@ impl EngineDispatcher<'_> {
         }
     }
 
-    /// Find or build code for an invocation.
-    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<CompiledVersion> {
+    /// Find or build code for an invocation. Returns the repository's
+    /// shared handle — a repository hit on the hot path clones one
+    /// `Arc`, not the signature and output types.
+    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<Arc<CompiledVersion>> {
         if let Some(v) = self.repo.lookup(name, sig) {
             return Ok(v);
         }

@@ -15,6 +15,13 @@
 //! Safety never depends on the workers: the repository's signature
 //! check (`Qi ⊑ Ti`) gates every lookup, so a version published late,
 //! early, or not at all can only change *performance*, never results.
+//! Workers compile from a registry snapshot taken at enqueue time, so
+//! each job also captures the function's repository *invalidation
+//! generation* and publishes through
+//! [`majic_repo::Repository::insert_if_current`]: if the source was
+//! redefined while the job was in flight, the compiled version is
+//! dropped (counted in [`SpecStats::stale`]) instead of letting
+//! old-source code take over dispatch.
 //!
 //! # Shutdown semantics
 //!
@@ -73,6 +80,14 @@ struct Job {
     sig: Option<Signature>,
     registry: Arc<HashMap<String, Function>>,
     known: Arc<HashSet<String>>,
+    /// Engine options in effect when the job was enqueued: option
+    /// mutations between enqueues apply to later jobs instead of being
+    /// frozen at pool start.
+    options: EngineOptions,
+    /// The function's repository invalidation generation at enqueue
+    /// time; the publish is dropped if it no longer matches (the source
+    /// was redefined while this job was in flight).
+    generation: u64,
     enqueued: Instant,
 }
 
@@ -85,9 +100,12 @@ pub struct SpecRecord {
     pub queue_wait: Duration,
     /// Compilation time (inference + codegen) spent by the worker.
     pub compile: Duration,
-    /// Publish timestamp, relative to pool start; `None` when the
-    /// pipeline failed and nothing was published.
+    /// Publish timestamp, relative to pool start; `None` when nothing
+    /// was published (the pipeline failed, or the compile went stale).
     pub published_at: Option<Duration>,
+    /// The compile succeeded but was dropped because the function was
+    /// redefined while the job was in flight.
+    pub stale: bool,
 }
 
 /// Aggregate observability for a pool's lifetime.
@@ -108,6 +126,9 @@ pub struct SpecStats {
     pub published: u64,
     /// Jobs whose compilation failed (no version published).
     pub failed: u64,
+    /// Jobs that compiled fine but were dropped at publish time because
+    /// the function's source was redefined while they were in flight.
+    pub stale: u64,
     /// Enqueues rejected because the queue was full or closed.
     pub rejected: u64,
     /// Exact queue-wait total across all completed jobs (including any
@@ -125,6 +146,7 @@ impl Default for SpecStats {
             enqueued: 0,
             published: 0,
             failed: 0,
+            stale: 0,
             rejected: 0,
             queue_wait_total: Duration::ZERO,
             compile_total: Duration::ZERO,
@@ -145,9 +167,9 @@ impl SpecStats {
         self.compile_total
     }
 
-    /// Jobs that ran to completion (published or failed).
+    /// Jobs that ran to completion (published, failed, or stale).
     pub fn completed(&self) -> u64 {
-        self.published + self.failed
+        self.published + self.failed + self.stale
     }
 
     /// Completed jobs whose per-job records the ring has dropped.
@@ -172,8 +194,8 @@ impl SpecStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "spec workers: {} enqueued, {} published, {} failed, {} rejected",
-            self.enqueued, self.published, self.failed, self.rejected
+            "spec workers: {} enqueued, {} published, {} failed, {} stale, {} rejected",
+            self.enqueued, self.published, self.failed, self.stale, self.rejected
         );
         if self.dropped_records() > 0 {
             let _ = writeln!(
@@ -190,9 +212,10 @@ impl SpecStats {
                 r.name,
                 r.queue_wait,
                 r.compile,
-                match r.published_at {
-                    Some(at) => format!("published at +{at:.1?}"),
-                    None => "failed".to_owned(),
+                match (r.published_at, r.stale) {
+                    (Some(at), _) => format!("published at +{at:.1?}"),
+                    (None, true) => "stale (source redefined)".to_owned(),
+                    (None, false) => "failed".to_owned(),
                 }
             );
         }
@@ -218,7 +241,6 @@ struct PoolShared {
     idle: Condvar,
     capacity: usize,
     repo: Arc<Repository>,
-    options: EngineOptions,
     stats: Mutex<SpecStats>,
     started: Instant,
 }
@@ -231,15 +253,15 @@ pub struct SpecWorkerPool {
 }
 
 impl SpecWorkerPool {
-    /// Start `cfg.workers` threads publishing into `repo`.
-    pub fn start(cfg: SpecConfig, repo: Arc<Repository>, options: EngineOptions) -> SpecWorkerPool {
+    /// Start `cfg.workers` threads publishing into `repo`. Each job
+    /// carries the engine options in effect when it was enqueued.
+    pub fn start(cfg: SpecConfig, repo: Arc<Repository>) -> SpecWorkerPool {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(Queue::default()),
             job_ready: Condvar::new(),
             idle: Condvar::new(),
             capacity: cfg.queue_capacity.max(1),
             repo,
-            options,
             stats: Mutex::new(SpecStats {
                 record_capacity: cfg.record_capacity.max(1),
                 ..SpecStats::default()
@@ -270,10 +292,11 @@ impl SpecWorkerPool {
     pub fn enqueue(
         &self,
         name: &str,
+        options: EngineOptions,
         registry: Arc<HashMap<String, Function>>,
         known: Arc<HashSet<String>>,
     ) -> bool {
-        self.enqueue_job(name, None, registry, known)
+        self.enqueue_job(name, None, options, registry, known)
     }
 
     /// Queue a hot-promotion (tier-1) recompile of `name` for the
@@ -283,19 +306,26 @@ impl SpecWorkerPool {
         &self,
         name: &str,
         sig: Signature,
+        options: EngineOptions,
         registry: Arc<HashMap<String, Function>>,
         known: Arc<HashSet<String>>,
     ) -> bool {
-        self.enqueue_job(name, Some(sig), registry, known)
+        self.enqueue_job(name, Some(sig), options, registry, known)
     }
 
     fn enqueue_job(
         &self,
         name: &str,
         sig: Option<Signature>,
+        options: EngineOptions,
         registry: Arc<HashMap<String, Function>>,
         known: Arc<HashSet<String>>,
     ) -> bool {
+        // Captured before the job is queued: the caller's registry
+        // snapshot is current *now*, so a later invalidation (source
+        // redefinition) bumps the generation past this value and the
+        // worker's publish is rejected.
+        let generation = self.shared.repo.generation(name);
         let accepted = {
             let mut q = self.shared.queue.lock().expect("spec queue poisoned");
             if q.closed || self.handles.is_empty() || q.jobs.len() >= self.shared.capacity {
@@ -306,6 +336,8 @@ impl SpecWorkerPool {
                     sig,
                     registry,
                     known,
+                    options,
+                    generation,
                     enqueued: Instant::now(),
                 });
                 true
@@ -396,7 +428,7 @@ fn worker_loop(shared: &PoolShared) {
             &job.registry,
             &job.known,
             &shared.repo,
-            &shared.options,
+            &job.options,
             &job.name,
             job.sig.as_ref(),
             Pipeline::Opt,
@@ -409,35 +441,54 @@ fn worker_loop(shared: &PoolShared) {
         } else {
             "spec_worker"
         };
-        majic_trace::audit::commit(
-            || match (&compiled, &job.sig) {
-                (Ok(v), _) => v.signature.to_string(),
-                (Err(_), Some(s)) => s.to_string(),
-                (Err(_), None) => "(speculative)".to_owned(),
-            },
-            trigger,
-            || match &compiled {
-                Ok(v) => format!("published ({})", crate::engine::quality_name(v.quality)),
-                Err(e) => format!("failed: {e}"),
-            },
-            Some(queue_wait.as_nanos() as u64),
-            compile.as_nanos() as u64,
-        );
 
-        let published_at = match compiled {
+        // Publish before committing the audit record so the recorded
+        // outcome is the real one. The generation check rejects versions
+        // whose source was redefined while this job was in flight —
+        // publishing them would dispatch old-source code.
+        let signature = match (&compiled, &job.sig) {
+            (Ok(v), _) => v.signature.to_string(),
+            (Err(_), Some(s)) => s.to_string(),
+            (Err(_), None) => "(speculative)".to_owned(),
+        };
+        let (published_at, stale, outcome) = match compiled {
             Ok(version) => {
-                shared.repo.insert(&job.name, version);
-                Some(shared.started.elapsed())
+                let quality = crate::engine::quality_name(version.quality);
+                if shared
+                    .repo
+                    .insert_if_current(&job.name, job.generation, version)
+                {
+                    (
+                        Some(shared.started.elapsed()),
+                        false,
+                        format!("published ({quality})"),
+                    )
+                } else {
+                    (
+                        None,
+                        true,
+                        "dropped: source redefined while compiling".to_owned(),
+                    )
+                }
             }
             // Failures (globals etc.) leave no speculative version;
             // those calls interpret or JIT later.
-            Err(_) => None,
+            Err(e) => (None, false, format!("failed: {e}")),
         };
+        majic_trace::audit::commit(
+            || signature,
+            trigger,
+            || outcome,
+            Some(queue_wait.as_nanos() as u64),
+            compile.as_nanos() as u64,
+        );
 
         {
             let mut stats = shared.stats.lock().expect("spec stats poisoned");
             if published_at.is_some() {
                 stats.published += 1;
+            } else if stale {
+                stats.stale += 1;
             } else {
                 stats.failed += 1;
             }
@@ -446,6 +497,7 @@ fn worker_loop(shared: &PoolShared) {
                 queue_wait,
                 compile,
                 published_at,
+                stale,
             });
         }
 

@@ -27,6 +27,13 @@
 //! readers of the same shard proceed in parallel; a shard's write lock
 //! is held only for the duration of one `Vec::push`.
 //!
+//! Background publishes are additionally guarded against *staleness*:
+//! every function carries an invalidation generation, bumped by
+//! [`Repository::invalidate`] on source change, and a worker that
+//! compiled from a pre-change snapshot publishes through
+//! [`Repository::insert_if_current`], which drops the version instead
+//! of letting since-redefined code take over dispatch.
+//!
 //! # Persistence
 //!
 //! The [`cache`] module persists repository contents across sessions in
@@ -154,7 +161,15 @@ pub struct CompiledVersion {
 
 #[derive(Debug, Default)]
 struct Shard {
-    functions: HashMap<String, Vec<CompiledVersion>>,
+    functions: HashMap<String, Vec<Arc<CompiledVersion>>>,
+    /// Per-function invalidation generation, bumped by
+    /// [`Repository::invalidate`]. Background compiles capture the
+    /// generation when they start and publish through
+    /// [`Repository::insert_if_current`], which rejects the version if
+    /// the source changed while the compile was in flight. Generations
+    /// only ever grow — [`Repository::clear`] drops versions but keeps
+    /// them, so an in-flight publish can never resurrect stale code.
+    generations: HashMap<String, u64>,
 }
 
 /// The repository: compiled versions per function name, sharded for
@@ -222,7 +237,46 @@ impl Repository {
             .functions
             .entry(name.to_owned())
             .or_default()
-            .push(version);
+            .push(Arc::new(version));
+    }
+
+    /// The current invalidation generation of `name` (0 until the first
+    /// [`Repository::invalidate`]). A compile that starts now and
+    /// publishes through [`Repository::insert_if_current`] with this
+    /// value is guaranteed to be dropped if the source changes in
+    /// between.
+    pub fn generation(&self, name: &str) -> u64 {
+        let shard = self.shard(name).read().expect("repository shard poisoned");
+        shard.generations.get(name).copied().unwrap_or(0)
+    }
+
+    /// Register `version` only if `name`'s invalidation generation is
+    /// still `generation` (as captured by [`Repository::generation`]
+    /// when the compile started). Returns whether the version was
+    /// published.
+    ///
+    /// This is the publish path for *background* compiles: a worker's
+    /// input is a registry snapshot taken at enqueue time, so by the
+    /// time it finishes, [`Repository::invalidate`] may have dropped
+    /// every version of the old source. The check and the push happen
+    /// under one shard write lock, so a version compiled from
+    /// since-redefined source can never land — stale code would
+    /// otherwise outrank (or coexist with) fresh tier-0 compiles and
+    /// silently change results.
+    pub fn insert_if_current(&self, name: &str, generation: u64, version: CompiledVersion) -> bool {
+        let mut shard = self.shard(name).write().expect("repository shard poisoned");
+        if shard.generations.get(name).copied().unwrap_or(0) != generation {
+            return false;
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.compile_nanos
+            .fetch_add(version.compile_time.as_nanos() as u64, Ordering::Relaxed);
+        shard
+            .functions
+            .entry(name.to_owned())
+            .or_default()
+            .push(Arc::new(version));
+        true
     }
 
     /// The function locator: find the best safe version for an
@@ -237,9 +291,10 @@ impl Repository {
     /// recompile takes over dispatch atomically, with no stall — and a
     /// signature it does not admit falls back to tier 0 the same way.
     ///
-    /// Returns an owned clone (the `Executable` itself is behind an
-    /// `Arc`) so the shard lock is released before the code runs.
-    pub fn lookup(&self, name: &str, actuals: &Signature) -> Option<CompiledVersion> {
+    /// Returns a shared handle (versions live behind `Arc`s, so a hit
+    /// clones one pointer, never the signature or output types) and the
+    /// shard lock is released before the code runs.
+    pub fn lookup(&self, name: &str, actuals: &Signature) -> Option<Arc<CompiledVersion>> {
         let found = {
             let shard = self.shard(name).read().expect("repository shard poisoned");
             shard.functions.get(name).and_then(|versions| {
@@ -365,7 +420,10 @@ impl Repository {
     }
 
     /// Drop every version of `name` (source changed — the repository
-    /// "triggers recompilations when the source code changes").
+    /// "triggers recompilations when the source code changes") and bump
+    /// its invalidation generation, so in-flight background compiles of
+    /// the old source are rejected at publish time
+    /// ([`Repository::insert_if_current`]).
     pub fn invalidate(&self, name: &str) {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         majic_trace::audit::session_event("repo.invalidate", || {
@@ -376,9 +434,12 @@ impl Repository {
         });
         let mut shard = self.shard(name).write().expect("repository shard poisoned");
         shard.functions.remove(name);
+        *shard.generations.entry(name.to_owned()).or_insert(0) += 1;
     }
 
-    /// Drop everything.
+    /// Drop every version (generations are preserved — dropping code is
+    /// not a source change, and an in-flight publish for unchanged
+    /// source is still valid).
     pub fn clear(&self) {
         for s in &self.shards {
             s.write()
@@ -409,7 +470,12 @@ impl Repository {
         for s in &self.shards {
             let shard = s.read().expect("repository shard poisoned");
             for (name, versions) in &shard.functions {
-                all.push((name.clone(), versions.clone()));
+                // Deep clone: serialization walks the whole version
+                // anyway, and this keeps `Arc` an internal detail.
+                all.push((
+                    name.clone(),
+                    versions.iter().map(|v| (**v).clone()).collect(),
+                ));
             }
         }
         all.sort_by(|a, b| a.0.cmp(&b.0));
@@ -557,6 +623,47 @@ mod tests {
         assert_eq!(repo.version_count("f"), 1);
         repo.invalidate("f");
         assert_eq!(repo.version_count("f"), 0);
+    }
+
+    #[test]
+    fn stale_background_publish_is_rejected() {
+        // The tier-1 publish race: a background worker captures the
+        // generation when its compile starts; if the source is
+        // redefined (invalidate) before it publishes, the publish must
+        // be dropped — old-source code outranking fresh tier-0 compiles
+        // would silently change results.
+        let repo = Repository::new();
+        assert_eq!(repo.generation("f"), 0);
+        let gen = repo.generation("f");
+        repo.invalidate("f"); // source changed mid-compile
+        assert_eq!(repo.generation("f"), 1);
+        assert!(!repo.insert_if_current("f", gen, version(vec![], CodeQuality::Optimized)));
+        assert_eq!(repo.version_count("f"), 0);
+        assert_eq!(
+            repo.stats().inserts,
+            0,
+            "rejected publish counted as insert"
+        );
+
+        // A publish whose generation is still current lands normally.
+        let gen = repo.generation("f");
+        assert!(repo.insert_if_current("f", gen, version(vec![], CodeQuality::Optimized)));
+        assert_eq!(repo.version_count("f"), 1);
+        assert_eq!(repo.stats().inserts, 1);
+    }
+
+    #[test]
+    fn generations_survive_clear() {
+        // `clear` drops code but is not a source change: generations
+        // are monotonic so an in-flight publish for unchanged source
+        // stays valid, and one for redefined source stays invalid.
+        let repo = Repository::new();
+        repo.invalidate("f");
+        let stale = 0;
+        repo.clear();
+        assert_eq!(repo.generation("f"), 1);
+        assert!(!repo.insert_if_current("f", stale, version(vec![], CodeQuality::Jit)));
+        assert!(repo.insert_if_current("f", 1, version(vec![], CodeQuality::Jit)));
     }
 
     #[test]

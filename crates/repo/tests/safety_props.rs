@@ -139,7 +139,7 @@ fn lookup_prefers_minimal_manhattan_distance() {
             (None, None) => {}
             (hit, best) => panic!(
                 "locator and oracle disagree about admissibility: hit {:?}, best {best:?}",
-                hit.map(|h| h.signature)
+                hit.map(|h| h.signature.clone())
             ),
         }
     });

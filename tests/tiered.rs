@@ -119,6 +119,50 @@ fn tier1_survives_cache_round_trip() {
 }
 
 #[test]
+fn redefinition_during_promotion_never_publishes_stale() {
+    // A hot-promotion job compiles from the registry snapshot taken at
+    // enqueue time. If the function is redefined while the job is in
+    // flight, the worker's publish must be dropped (the repository's
+    // generation check): old-source tier-1 code outranking the fresh
+    // tier-0 version would silently return results from the previous
+    // definition. Redefinition and promotion are interleaved with no
+    // drain between them to maximize the in-flight overlap; every call
+    // must answer from the *current* source no matter which way each
+    // race resolves.
+    fn source(c: u32) -> String {
+        format!("function s = tier_race(n)\ns = {c};\nfor i = 1:n\ns = s + {c} * i;\nend\n")
+    }
+    let expected = |c: u32| f64::from(c) * (1.0 + 5050.0); // n = 100
+
+    let mut m = Majic::with_mode(ExecMode::Jit);
+    m.options.tier.threshold = 1; // every first call promotes
+    for round in 0..20u32 {
+        let c = round % 3 + 1;
+        m.load_source(&source(c)).unwrap();
+        // First call: fresh tier-0 JIT of the current source, hot at
+        // once, promotion enqueued while the previous round's job may
+        // still be compiling the old source.
+        let first = scalar(&m.call("tier_race", &[100.0f64.into()], 1).unwrap());
+        assert_eq!(first, expected(c), "round {round}: stale code dispatched");
+        // Second call may pick up this round's tier-1 publish.
+        let second = scalar(&m.call("tier_race", &[100.0f64.into()], 1).unwrap());
+        assert_eq!(
+            second,
+            expected(c),
+            "round {round}: stale tier-1 dispatched"
+        );
+    }
+    m.tier_wait();
+    // Every drained job either published current-source code, was
+    // dropped as stale, or failed — and dispatch still answers from the
+    // last definition.
+    let stats = m.tier_stats().expect("promotions ran");
+    assert_eq!(stats.completed(), stats.enqueued);
+    let last = scalar(&m.call("tier_race", &[100.0f64.into()], 1).unwrap());
+    assert_eq!(last, expected(19 % 3 + 1));
+}
+
+#[test]
 fn unseen_signature_falls_back_to_tier0() {
     let mut m = Majic::with_mode(ExecMode::Jit);
     m.options.tier.threshold = 1;
