@@ -66,6 +66,14 @@ pub struct EngineOptions {
     pub platform: Platform,
     /// Profile-guided tiered recompilation (hot tier-0 → tier-1).
     pub tier: TierOptions,
+    /// Data-parallel kernel threads for the runtime's matrix kernels
+    /// (`Some(n)` sets the process-global [`majic_runtime::par`] pool to
+    /// `n` participating threads before each call; `None` leaves the
+    /// `MAJIC_THREADS` environment setting in charge). `0` and `1` both
+    /// mean sequential. Results are bitwise-identical either way — the
+    /// kernels preserve the sequential expression and accumulation
+    /// order per output element.
+    pub threads: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -78,6 +86,7 @@ impl Default for EngineOptions {
             inline: true,
             platform: Platform::Sparc,
             tier: TierOptions::default(),
+            threads: None,
         }
     }
 }
@@ -454,6 +463,13 @@ impl Majic {
         });
         if majic_trace::enabled() {
             majic_trace::counter("engine.call").inc();
+        }
+        // Apply the kernel-thread option cheaply (compare first) so
+        // mid-session option mutations take effect on the next call.
+        if let Some(threads) = self.options.threads {
+            if threads != majic_runtime::par::thread_count() {
+                majic_runtime::par::set_threads(threads);
+            }
         }
         if self.options.mode == ExecMode::Interpret || self.reaches_uncompilable(name) {
             if self.options.mode != ExecMode::Interpret {

@@ -292,8 +292,8 @@ impl Builtin {
                     a - (a / b).trunc() * b
                 }
             }),
-            Sum => reduce(args, "sum", 0.0, |acc, v| acc + v),
-            Prod => reduce(args, "prod", 1.0, |acc, v| acc * v),
+            Sum => reduce(args, "sum", 0.0, |acc, v| acc + v, |acc, z| acc + z),
+            Prod => reduce(args, "prod", 1.0, |acc, v| acc * v, |acc, z| acc * z),
             Max => extremum(args, "max", true),
             Min => extremum(args, "min", false),
             Real => {
@@ -470,33 +470,29 @@ fn binary_real(
     Ok(vec![Value::Real(out)])
 }
 
-/// Column-wise reduction for matrices, whole-vector for vectors.
+/// Column-wise reduction for matrices, whole-vector for vectors. The
+/// real closure `f` and its complex lift `fz` must compute the same
+/// function (`sum` passes both additions, `prod` both multiplications):
+/// the complex arm once hardcoded `acc + z` whatever `f` was, which
+/// made `prod` of a complex vector return `1 + Σz` instead of `Πz`.
 fn reduce(
     args: &[Value],
     name: &str,
     init: f64,
     f: impl Fn(f64, f64) -> f64,
+    fz: impl Fn(Complex, Complex) -> Complex,
 ) -> RuntimeResult<Vec<Value>> {
     let a = arg(args, 0, name)?;
     match a {
         Value::Complex(m) => {
-            // Complex reduction (sum only in practice).
             let zinit = Complex::from(init);
-            if m.is_vector() {
-                let mut acc = zinit;
-                for &z in m.iter() {
-                    acc = acc + z;
-                }
+            if m.is_vector() || m.is_empty() {
+                let acc = m.iter().fold(zinit, |a, &z| fz(a, z));
                 Ok(vec![Value::Complex(Matrix::scalar(acc)).normalized()])
             } else {
-                let mut data = Vec::with_capacity(m.cols());
-                for c in 0..m.cols() {
-                    let mut acc = zinit;
-                    for &z in m.col(c) {
-                        acc = acc + z;
-                    }
-                    data.push(acc);
-                }
+                let data: Vec<Complex> = (0..m.cols())
+                    .map(|c| m.col(c).iter().fold(zinit, |a, &z| fz(a, z)))
+                    .collect();
                 let n = data.len();
                 Ok(vec![
                     Value::Complex(Matrix::from_vec(1, n, data)).normalized()
@@ -700,6 +696,129 @@ mod tests {
             call(Builtin::Rem, &[Value::scalar(-1.0), Value::scalar(3.0)]),
             Value::scalar(-1.0)
         );
+    }
+
+    #[test]
+    fn complex_prod_applies_the_reduction_closure() {
+        // Regression: the complex arm of `reduce` hardcoded `acc + z`,
+        // so prod of a complex vector returned 1 + Σz instead of Πz.
+        let z = Value::Complex(Matrix::from_rows(vec![vec![
+            Complex::new(1.0, 2.0),
+            Complex::new(0.0, 3.0),
+        ]]));
+        // (1 + 2i)·3i = -6 + 3i
+        assert_eq!(
+            call(Builtin::Prod, std::slice::from_ref(&z)),
+            Value::complex_scalar(Complex::new(-6.0, 3.0))
+        );
+        // And sum keeps its meaning through the shared helper.
+        assert_eq!(
+            call(Builtin::Sum, &[z]),
+            Value::complex_scalar(Complex::new(1.0, 5.0))
+        );
+    }
+
+    #[test]
+    fn complex_matrix_reductions_are_columnwise() {
+        let m = Value::Complex(Matrix::from_rows(vec![
+            vec![Complex::new(1.0, 1.0), Complex::new(0.0, 3.0)],
+            vec![Complex::new(2.0, 0.0), Complex::new(1.0, -1.0)],
+        ]));
+        // prod: [(1+i)·2, 3i·(1-i)] = [2+2i, 3+3i]
+        assert_eq!(
+            call(Builtin::Prod, std::slice::from_ref(&m)),
+            Value::Complex(Matrix::from_rows(vec![vec![
+                Complex::new(2.0, 2.0),
+                Complex::new(3.0, 3.0),
+            ]]))
+        );
+        // sum: [3+i, 1+2i]
+        assert_eq!(
+            call(Builtin::Sum, &[m]),
+            Value::Complex(Matrix::from_rows(vec![vec![
+                Complex::new(3.0, 1.0),
+                Complex::new(1.0, 2.0),
+            ]]))
+        );
+    }
+
+    #[test]
+    fn complex_empty_reductions_match_real_identities() {
+        // sum([]) = 0 and prod([]) = 1 whatever the element kind; the
+        // all-real results demote to real scalars on normalization.
+        let e = Value::Complex(Matrix::zeros(0, 0));
+        assert_eq!(
+            call(Builtin::Sum, std::slice::from_ref(&e)),
+            Value::scalar(0.0)
+        );
+        assert_eq!(call(Builtin::Prod, &[e]), Value::scalar(1.0));
+    }
+
+    #[test]
+    fn reductions_on_all_nan_vectors() {
+        let nan = f64::NAN;
+        let v = Value::Real(Matrix::from_rows(vec![vec![nan, nan, nan]]));
+        for b in [Builtin::Max, Builtin::Min, Builtin::Sum, Builtin::Prod] {
+            let r = call(b, std::slice::from_ref(&v));
+            assert_eq!(r.dims(), (1, 1), "{}", b.name());
+            assert!(r.to_scalar().unwrap().is_nan(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn reductions_on_empty_matrices() {
+        let e = Value::empty();
+        // max/min of an empty are empty; sum/prod yield their identity.
+        assert_eq!(call(Builtin::Max, std::slice::from_ref(&e)), Value::empty());
+        assert_eq!(call(Builtin::Min, std::slice::from_ref(&e)), Value::empty());
+        assert_eq!(
+            call(Builtin::Sum, std::slice::from_ref(&e)),
+            Value::scalar(0.0)
+        );
+        assert_eq!(call(Builtin::Prod, &[e]), Value::scalar(1.0));
+    }
+
+    #[test]
+    fn reductions_on_single_column_matrices() {
+        // An n×1 matrix is a vector: the whole-vector path applies and
+        // the result is a scalar, not a 1×1-per-column row.
+        let v = Value::Real(Matrix::from_rows(vec![vec![4.0], vec![1.0], vec![9.0]]));
+        assert_eq!(
+            call(Builtin::Max, std::slice::from_ref(&v)),
+            Value::scalar(9.0)
+        );
+        assert_eq!(
+            call(Builtin::Min, std::slice::from_ref(&v)),
+            Value::scalar(1.0)
+        );
+        assert_eq!(
+            call(Builtin::Sum, std::slice::from_ref(&v)),
+            Value::scalar(14.0)
+        );
+        assert_eq!(call(Builtin::Prod, &[v]), Value::scalar(36.0));
+    }
+
+    #[test]
+    fn extremum_columnwise_handles_nan_columns() {
+        // Column-wise max/min must ignore NaNs inside mixed columns and
+        // yield NaN only for all-NaN columns.
+        let nan = f64::NAN;
+        let m = Value::Real(Matrix::from_rows(vec![
+            vec![1.0, nan, nan],
+            vec![2.0, nan, 5.0],
+        ]));
+        let check = |b: Builtin, mixed: f64| {
+            let r = match call(b, std::slice::from_ref(&m)) {
+                Value::Real(r) => r,
+                other => panic!("expected real row, got {other:?}"),
+            };
+            assert_eq!((r.rows(), r.cols()), (1, 3), "{}", b.name());
+            assert_eq!(r.get(0, 0), mixed, "{}", b.name());
+            assert!(r.get(0, 1).is_nan(), "{}: all-NaN column", b.name());
+            assert_eq!(r.get(0, 2), 5.0, "{}: NaN ignored", b.name());
+        };
+        check(Builtin::Max, 2.0);
+        check(Builtin::Min, 1.0);
     }
 
     #[test]

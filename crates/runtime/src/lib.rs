@@ -29,6 +29,7 @@ mod error;
 pub mod linalg;
 mod matrix;
 pub mod ops;
+pub mod par;
 mod rng;
 mod value;
 

@@ -9,11 +9,15 @@
 use crate::{Complex, Matrix, RuntimeError, RuntimeResult};
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
-/// Field operations required by the generic routines.
+/// Field operations required by the generic routines. `Send + Sync`
+/// rides along so the blocked product may fan columns out across the
+/// kernel pool in [`crate::par`] (both implementors are plain data).
 pub trait Scalar:
     Copy
     + Default
     + PartialEq
+    + Send
+    + Sync
     + Add<Output = Self>
     + Sub<Output = Self>
     + Mul<Output = Self>
@@ -44,7 +48,28 @@ impl Scalar for Complex {
     }
 }
 
-/// General matrix–matrix product `A·B`.
+/// One output column of `A·B`: `ocol += A · bcol`, accumulating along
+/// the inner dimension in ascending order. Both the sequential and the
+/// blocked-parallel product run every column through this one function,
+/// so each output element sees the identical accumulation order — the
+/// bitwise-determinism invariant of [`crate::par`] reduces to "columns
+/// are independent", which they are.
+fn gemm_col<T: Scalar>(a: &Matrix<T>, bcol: &[T], ocol: &mut [T]) {
+    for (l, &blj) in bcol.iter().enumerate() {
+        if blj == T::default() {
+            continue;
+        }
+        let acol = a.col(l);
+        for (o, &ail) in ocol.iter_mut().zip(acol) {
+            *o = *o + ail * blj;
+        }
+    }
+}
+
+/// General matrix–matrix product `A·B`. Output columns are distributed
+/// across the kernel pool when the flop count crosses the parallel size
+/// gate; chunks align on column boundaries, so the accumulation order
+/// inside every column is exactly the sequential one.
 ///
 /// # Errors
 ///
@@ -60,18 +85,21 @@ pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> RuntimeResult<Matrix<T>>
         )));
     }
     let (m, n) = (a.rows(), b.cols());
+    let work = m.saturating_mul(a.cols()).saturating_mul(n);
     let mut out = vec![T::default(); m * n];
-    for j in 0..n {
-        let bcol = b.col(j);
-        let ocol = &mut out[j * m..(j + 1) * m];
-        for (l, &blj) in bcol.iter().enumerate() {
-            if blj == T::default() {
-                continue;
+    if crate::par::gate(work) && m > 0 && n >= 2 {
+        let cols_per_chunk = n.div_ceil(crate::par::thread_count().max(2) * 4);
+        let chunk = cols_per_chunk * m;
+        crate::par::note_dispatch(chunk);
+        crate::par::for_each_chunk_mut(&mut out, chunk, |start, run| {
+            let j0 = start / m;
+            for (dj, ocol) in run.chunks_mut(m).enumerate() {
+                gemm_col(a, b.col(j0 + dj), ocol);
             }
-            let acol = a.col(l);
-            for i in 0..m {
-                ocol[i] = ocol[i] + acol[i] * blj;
-            }
+        });
+    } else {
+        for j in 0..n {
+            gemm_col(a, b.col(j), &mut out[j * m..(j + 1) * m]);
         }
     }
     Ok(Matrix::from_vec(m, n, out))

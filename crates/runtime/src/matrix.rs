@@ -16,19 +16,40 @@ pub const DEFAULT_NUMEL_LIMIT: usize = 1 << 28;
 /// Active ceiling; `0` means "not yet initialized from the environment".
 static NUMEL_LIMIT: AtomicUsize = AtomicUsize::new(0);
 
+/// Parse a `MAJIC_MAX_NUMEL` value: a bare positive element count.
+/// `None` for anything else (`"0"`, floats like `"2e9"`, suffixes,
+/// non-numbers) — MATLAB-style scientific notation is deliberately not
+/// accepted, so a rejected value can be reported instead of silently
+/// truncated.
+fn parse_numel_limit(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 /// The active per-matrix element-count ceiling. Initialized on first use
 /// from `MAJIC_MAX_NUMEL` (falling back to [`DEFAULT_NUMEL_LIMIT`]);
-/// adjustable at runtime with [`set_numel_limit`].
+/// adjustable at runtime with [`set_numel_limit`]. A malformed value
+/// warns once on stderr — in the style of `MAJIC_TRACE`'s unknown-mode
+/// warning — rather than being silently swallowed.
 pub fn numel_limit() -> usize {
     let v = NUMEL_LIMIT.load(Ordering::Relaxed);
     if v != 0 {
         return v;
     }
-    let init = std::env::var("MAJIC_MAX_NUMEL")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n: &usize| n > 0)
-        .unwrap_or(DEFAULT_NUMEL_LIMIT);
+    let init = match std::env::var("MAJIC_MAX_NUMEL") {
+        Ok(s) => match parse_numel_limit(&s) {
+            Some(n) => n,
+            None => {
+                if !s.trim().is_empty() {
+                    eprintln!(
+                        "majic-runtime: unrecognized MAJIC_MAX_NUMEL {s:?} (expected a positive \
+                         element count); using the default {DEFAULT_NUMEL_LIMIT}"
+                    );
+                }
+                DEFAULT_NUMEL_LIMIT
+            }
+        },
+        Err(_) => DEFAULT_NUMEL_LIMIT,
+    };
     NUMEL_LIMIT.store(init, Ordering::Relaxed);
     init
 }
@@ -324,6 +345,21 @@ impl<T: Clone + Default + PartialEq> Matrix<T> {
         &self.data[c * self.lda..c * self.lda + self.rows]
     }
 
+    /// The logical contents as one contiguous column-major slice, when
+    /// the allocation has no row slack (`lda == rows`): columns then sit
+    /// back-to-back at the front of the buffer, so the first `numel`
+    /// elements are exactly the logical contents. `None` when oversizing
+    /// slack forces per-column iteration — the parallel kernels in
+    /// [`crate::par`] bypass to the sequential path in that case.
+    pub fn as_contiguous_slice(&self) -> Option<&[T]> {
+        let n = self.numel();
+        if self.lda == self.rows && self.data.len() >= n {
+            Some(&self.data[..n])
+        } else {
+            None
+        }
+    }
+
     /// Mutable access to the full allocation, with its leading dimension.
     /// Copy-on-write: unshares first.
     pub fn raw_mut(&mut self) -> (&mut [T], usize) {
@@ -549,6 +585,35 @@ mod tests {
         assert_eq!((m.rows(), m.cols()), (2, 2));
         assert!(m.try_grow(3, 3, false).is_ok());
         assert_eq!((m.rows(), m.cols()), (3, 3));
+    }
+
+    #[test]
+    fn numel_limit_parse_matrix() {
+        // Malformed settings are rejected (and warned about at init
+        // time) instead of being silently truncated to a prefix.
+        assert_eq!(parse_numel_limit("1024"), Some(1024));
+        assert_eq!(parse_numel_limit(" 65536 "), Some(65536));
+        assert_eq!(parse_numel_limit("2e9"), None, "no scientific notation");
+        assert_eq!(parse_numel_limit("abc"), None);
+        assert_eq!(parse_numel_limit("0"), None, "ceiling must be positive");
+        assert_eq!(parse_numel_limit("-5"), None);
+        assert_eq!(parse_numel_limit(""), None);
+        assert_eq!(parse_numel_limit("1_000"), None);
+    }
+
+    #[test]
+    fn contiguous_slice_requires_no_row_slack() {
+        let m = Matrix::from_rows(vec![vec![1.0, 3.0], vec![2.0, 4.0]]);
+        assert_eq!(m.as_contiguous_slice(), Some(&[1.0, 2.0, 3.0, 4.0][..]));
+        // Column slack beyond the logical extent is fine: the logical
+        // prefix is still contiguous.
+        let mut c: Matrix<f64> = Matrix::zeros(2, 1);
+        c.grow(2, 2, true);
+        assert!(c.as_contiguous_slice().is_some());
+        // Row slack (lda > rows) interleaves padding between columns.
+        let mut s: Matrix<f64> = Matrix::zeros(2, 2);
+        s.grow(3, 2, true);
+        assert!(s.as_contiguous_slice().is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! inlined scalar instructions wherever type inference permits.
 
 use crate::linalg;
+use crate::par;
 use crate::{Complex, Matrix, RuntimeError, RuntimeResult, Value};
 
 /// Relational comparison selector.
@@ -65,24 +66,27 @@ fn is_complex(v: &Value) -> bool {
 }
 
 /// Elementwise binary dispatch with scalar broadcasting and complex
-/// promotion.
+/// promotion. The matrix-shaped cases go through the size-gated
+/// parallel kernels in [`par`], which compute each output element with
+/// the very same closure the sequential path would use — results are
+/// bitwise identical for every thread count.
 fn elementwise(
     a: &Value,
     b: &Value,
-    real_op: impl Fn(f64, f64) -> f64,
-    cplx_op: impl Fn(Complex, Complex) -> Complex,
+    real_op: impl Fn(f64, f64) -> f64 + Sync,
+    cplx_op: impl Fn(Complex, Complex) -> Complex + Sync,
 ) -> RuntimeResult<Value> {
     if is_complex(a) || is_complex(b) {
         let ma = a.to_complex_matrix()?;
         let mb = b.to_complex_matrix()?;
         let out = if ma.is_scalar() && !mb.is_scalar() {
             let s = ma.first();
-            mb.map(|&z| cplx_op(s, z))
+            par::map(&mb, |&z| cplx_op(s, z))
         } else if mb.is_scalar() && !ma.is_scalar() {
             let s = mb.first();
-            ma.map(|&z| cplx_op(z, s))
+            par::map(&ma, |&z| cplx_op(z, s))
         } else if ma.rows() == mb.rows() && ma.cols() == mb.cols() {
-            ma.zip(&mb, |&x, &y| cplx_op(x, y))
+            par::zip(&ma, &mb, |&x, &y| cplx_op(x, y))
         } else {
             return Err(shape_err(a, b));
         };
@@ -92,12 +96,12 @@ fn elementwise(
         let mb = b.to_real_matrix()?;
         let out = if ma.is_scalar() && !mb.is_scalar() {
             let s = ma.first();
-            mb.map(|&v| real_op(s, v))
+            par::map(&mb, |&v| real_op(s, v))
         } else if mb.is_scalar() && !ma.is_scalar() {
             let s = mb.first();
-            ma.map(|&v| real_op(v, s))
+            par::map(&ma, |&v| real_op(v, s))
         } else if ma.rows() == mb.rows() && ma.cols() == mb.cols() {
-            ma.zip(&mb, |&x, &y| real_op(x, y))
+            par::zip(&ma, &mb, |&x, &y| real_op(x, y))
         } else {
             return Err(shape_err(a, b));
         };
@@ -295,8 +299,8 @@ fn identity(n: usize) -> Value {
 /// Fails on strings.
 pub fn neg(a: &Value) -> RuntimeResult<Value> {
     match a {
-        Value::Complex(m) => Ok(Value::Complex(m.map(|&z| -z))),
-        _ => Ok(Value::Real(a.to_real_matrix()?.map(|&v| -v))),
+        Value::Complex(m) => Ok(Value::Complex(par::map(m, |&z| -z))),
+        _ => Ok(Value::Real(par::map(&a.to_real_matrix()?, |&v| -v))),
     }
 }
 
@@ -307,9 +311,9 @@ pub fn neg(a: &Value) -> RuntimeResult<Value> {
 /// Fails on strings.
 pub fn not(a: &Value) -> RuntimeResult<Value> {
     match a {
-        Value::Bool(m) => Ok(Value::Bool(m.map(|&b| !b))),
-        Value::Complex(m) => Ok(Value::Bool(m.map(|z| z.re == 0.0 && z.im == 0.0))),
-        _ => Ok(Value::Bool(a.to_real_matrix()?.map(|&v| v == 0.0))),
+        Value::Bool(m) => Ok(Value::Bool(par::map(m, |&b| !b))),
+        Value::Complex(m) => Ok(Value::Bool(par::map(m, |z| z.re == 0.0 && z.im == 0.0))),
+        _ => Ok(Value::Bool(par::map(&a.to_real_matrix()?, |&v| v == 0.0))),
     }
 }
 
@@ -358,7 +362,7 @@ pub fn compare(op: Cmp, a: &Value, b: &Value) -> RuntimeResult<Value> {
     }
     let realify = |v: &Value| -> RuntimeResult<Matrix<f64>> {
         match v {
-            Value::Complex(m) => Ok(m.map(|z| z.re)),
+            Value::Complex(m) => Ok(par::map(m, |z| z.re)),
             other => other.to_real_matrix(),
         }
     };
@@ -366,12 +370,12 @@ pub fn compare(op: Cmp, a: &Value, b: &Value) -> RuntimeResult<Value> {
     let mb = realify(b)?;
     let out = if ma.is_scalar() && !mb.is_scalar() {
         let s = ma.first();
-        mb.map(|&v| op.apply(s, v))
+        par::map(&mb, |&v| op.apply(s, v))
     } else if mb.is_scalar() && !ma.is_scalar() {
         let s = mb.first();
-        ma.map(|&v| op.apply(v, s))
+        par::map(&ma, |&v| op.apply(v, s))
     } else if ma.rows() == mb.rows() && ma.cols() == mb.cols() {
-        ma.zip(&mb, |&x, &y| op.apply(x, y))
+        par::zip(&ma, &mb, |&x, &y| op.apply(x, y))
     } else {
         return Err(shape_err(a, b));
     };
@@ -387,8 +391,8 @@ pub fn logical(a: &Value, b: &Value, or: bool) -> RuntimeResult<Value> {
     let boolify = |v: &Value| -> RuntimeResult<Matrix<bool>> {
         match v {
             Value::Bool(m) => Ok(m.clone()),
-            Value::Complex(m) => Ok(m.map(|z| z.re != 0.0 || z.im != 0.0)),
-            other => Ok(other.to_real_matrix()?.map(|&v| v != 0.0)),
+            Value::Complex(m) => Ok(par::map(m, |z| z.re != 0.0 || z.im != 0.0)),
+            other => Ok(par::map(&other.to_real_matrix()?, |&v| v != 0.0)),
         }
     };
     let ma = boolify(a)?;
@@ -396,12 +400,12 @@ pub fn logical(a: &Value, b: &Value, or: bool) -> RuntimeResult<Value> {
     let f = |x: bool, y: bool| if or { x || y } else { x && y };
     let out = if ma.is_scalar() && !mb.is_scalar() {
         let s = ma.first();
-        mb.map(|&v| f(s, v))
+        par::map(&mb, |&v| f(s, v))
     } else if mb.is_scalar() && !ma.is_scalar() {
         let s = mb.first();
-        ma.map(|&v| f(v, s))
+        par::map(&ma, |&v| f(v, s))
     } else if ma.rows() == mb.rows() && ma.cols() == mb.cols() {
-        ma.zip(&mb, |&x, &y| f(x, y))
+        par::zip(&ma, &mb, |&x, &y| f(x, y))
     } else {
         return Err(shape_err(a, b));
     };

@@ -245,3 +245,62 @@ fn integer_overflowing_powers_agree() {
     agree("function r = pw(x, y)\nr = x ^ y;\n", "pw", &[2.0, 40.0]);
     agree("function r = pw2(x, y)\nr = x ^ y;\n", "pw2", &[-2.0, 3.0]);
 }
+
+#[test]
+fn complex_prod_agrees_and_is_the_true_product() {
+    // Regression: the runtime's complex reduction once hardcoded the
+    // `sum` accumulator, so `prod` of a complex vector returned 1 + Σz
+    // instead of Πz — in every execution mode, since they all share the
+    // builtin library. (1 + 2i)·3i = -6 + 3i.
+    let src = "function r = p()\nz = [1 + 2i, 3i];\nr = prod(z);\n";
+    for mode in [
+        ExecMode::Interpret,
+        ExecMode::Mcc,
+        ExecMode::Jit,
+        ExecMode::Spec,
+        ExecMode::Falcon,
+    ] {
+        let mut m = Majic::with_mode(mode);
+        m.load_source(src).unwrap();
+        if mode == ExecMode::Spec {
+            m.speculate_all();
+        }
+        let out = m.call("p", &[], 1).unwrap();
+        match &out[0] {
+            Value::Complex(z) => {
+                assert!(z.is_scalar(), "{mode:?}: expected scalar, got {z:?}");
+                let z = z.first();
+                assert_eq!((z.re, z.im), (-6.0, 3.0), "{mode:?}");
+            }
+            other => panic!("{mode:?}: expected complex scalar, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn complex_sum_agrees_across_modes() {
+    // The sibling of the prod regression: sum must keep its meaning
+    // through the shared reduction helper. (1 + 2i) + 3i = 1 + 5i.
+    let src = "function r = s()\nz = [1 + 2i, 3i];\nr = sum(z);\n";
+    for mode in [
+        ExecMode::Interpret,
+        ExecMode::Mcc,
+        ExecMode::Jit,
+        ExecMode::Spec,
+        ExecMode::Falcon,
+    ] {
+        let mut m = Majic::with_mode(mode);
+        m.load_source(src).unwrap();
+        if mode == ExecMode::Spec {
+            m.speculate_all();
+        }
+        let out = m.call("s", &[], 1).unwrap();
+        match &out[0] {
+            Value::Complex(z) => {
+                let z = z.first();
+                assert_eq!((z.re, z.im), (1.0, 5.0), "{mode:?}");
+            }
+            other => panic!("{mode:?}: expected complex scalar, got {other:?}"),
+        }
+    }
+}
