@@ -168,11 +168,7 @@ fn main() {
     // must not deep-copy either (the VM takes the array out of its slot
     // to store, and dead temporaries are moved, not cloned).
     let source = "function r = f(n)\na = zeros(1, n);\nfor k = 1:n\na(k) = k;\nend\nr = sum(a);\n";
-    let mut session = Majic::with_mode(ExecMode::Jit);
-    session.options.platform = cfg.platform;
-    session.options.infer = cfg.infer;
-    session.options.regalloc = cfg.regalloc;
-    session.options.oversize = cfg.oversize;
+    let mut session = Majic::with_options(cfg.engine_options(ExecMode::Jit));
     session.load_source(source).expect("parses");
     session
         .call("f", &[Value::scalar(8.0)], 1)

@@ -8,10 +8,10 @@
 //!
 //! * `jit` — no speculation at all: the fast JIT compiles on the first
 //!   miss (the responsiveness baseline).
-//! * `spec-sync` — the seed behaviour: [`Majic::speculate_all`] blocks
+//! * `spec-sync` — the seed behaviour: [`majic::Session::speculate_all`] blocks
 //!   the session until every optimized version is built, *then* the
 //!   call runs.
-//! * `spec-async` — background workers ([`Majic::speculate_background`])
+//! * `spec-async` — background workers ([`majic::Session::speculate_background`])
 //!   compile while the session answers immediately via the JIT; the
 //!   first call must not wait for them.
 //!
@@ -29,11 +29,7 @@ use majic_bench::{all, harness, Benchmark};
 use std::time::{Duration, Instant};
 
 fn session(b: &Benchmark, cfg: &harness::MeasureConfig) -> Majic {
-    let mut m = Majic::with_mode(ExecMode::Spec);
-    m.options.platform = cfg.platform;
-    m.options.infer = cfg.infer;
-    m.options.regalloc = cfg.regalloc;
-    m.options.oversize = cfg.oversize;
+    let mut m = Majic::with_options(cfg.engine_options(ExecMode::Spec));
     m.load_source(b.source).expect("benchmark parses");
     m
 }

@@ -73,13 +73,10 @@ impl Arm {
     /// (for the tiered arm) wait for the background promotion to
     /// publish before the measured window opens.
     fn prepare(b: &Benchmark, cfg: &harness::MeasureConfig, args: &[Value], tiered: bool) -> Arm {
-        let mut m = Majic::with_mode(ExecMode::Jit);
-        m.options.platform = cfg.platform;
-        m.options.infer = cfg.infer;
-        m.options.regalloc = cfg.regalloc;
-        m.options.oversize = cfg.oversize;
-        m.options.tier.enabled = tiered;
-        m.options.tier.threshold = 1;
+        let mut options = cfg.engine_options(ExecMode::Jit);
+        options.tier.enabled = tiered;
+        options.tier.threshold = 1;
+        let mut m = Majic::with_options(options);
         m.load_source(b.source).expect("benchmark parses");
 
         let mut digests = Vec::new();
@@ -88,7 +85,7 @@ impl Arm {
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         digests.push(digest(&out[0]));
         if tiered {
-            m.tier_wait();
+            m.background().wait();
             let [_, t1] = m.repository().tier_versions();
             assert!(t1 > 0, "{}: nothing promoted at threshold 1", b.name);
         }

@@ -31,12 +31,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 fn session(cfg: &harness::MeasureConfig) -> Majic {
-    let mut m = Majic::with_mode(ExecMode::Jit);
-    m.options.platform = cfg.platform;
-    m.options.infer = cfg.infer;
-    m.options.regalloc = cfg.regalloc;
-    m.options.oversize = cfg.oversize;
-    m
+    Majic::with_options(cfg.engine_options(ExecMode::Jit))
 }
 
 /// One timed first call. The timed window covers everything a user at a

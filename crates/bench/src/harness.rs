@@ -70,6 +70,20 @@ impl Default for MeasureConfig {
     }
 }
 
+impl MeasureConfig {
+    /// These measurement knobs as [`majic::EngineOptions`] for `mode`,
+    /// via the named-switch builder.
+    pub fn engine_options(&self, mode: ExecMode) -> majic::EngineOptions {
+        majic::EngineOptions::builder()
+            .mode(mode)
+            .platform(self.platform)
+            .infer(self.infer)
+            .regalloc(self.regalloc)
+            .oversize(self.oversize)
+            .build()
+    }
+}
+
 /// One measurement result.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -89,11 +103,7 @@ fn session(bench: &Benchmark, mode: Mode, cfg: &MeasureConfig) -> Majic {
         Mode::Jit => ExecMode::Jit,
         Mode::Spec => ExecMode::Spec,
     };
-    let mut m = Majic::with_mode(exec);
-    m.options.platform = cfg.platform;
-    m.options.infer = cfg.infer;
-    m.options.regalloc = cfg.regalloc;
-    m.options.oversize = cfg.oversize;
+    let mut m = Majic::with_options(cfg.engine_options(exec));
     m.load_source(bench.source).expect("benchmark parses");
     m
 }

@@ -40,7 +40,7 @@ fn run(
         match spec_workers {
             Some(n) => {
                 m.speculate_background(n);
-                m.spec_wait();
+                m.background().wait();
             }
             None => {
                 m.speculate_all();

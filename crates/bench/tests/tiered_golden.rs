@@ -53,7 +53,7 @@ fn all_benchmarks_bitwise_identical_across_tiers() {
                 tiered.load_source(b.source).unwrap();
                 let cold = digest(&tiered.call(b.entry, &args, 1).unwrap()[0]);
                 assert_eq!(first, cold, "{}: tier-0 run diverged", b.name);
-                tiered.tier_wait();
+                tiered.background().wait();
                 let [_, t1_versions] = tiered.repository().tier_versions();
                 assert!(
                     t1_versions > 0,

@@ -1,19 +1,26 @@
-//! The MaJIC engine: front end, repository driver, and pipelines.
+//! The MaJIC engine: execution options, the shared compile pipeline,
+//! the per-call dispatcher, and the single-session [`Majic`] facade.
+//!
+//! The process-wide machinery (repository, background pools, cache
+//! lifecycle) lives in [`crate::service`]; this module owns everything
+//! a compilation itself needs — [`EngineOptions`] and its builder, the
+//! [`compile_function`] pipeline shared by the foreground dispatcher
+//! and the background workers, and the [`EngineDispatcher`] compiled
+//! code calls back into.
 
-use crate::spec::{SpecConfig, SpecStats, SpecWorkerPool};
+use crate::service::{CompilerService, Session};
 use majic_analysis::{disambiguate, inline_function, DisambiguatedFunction, InlineOptions};
-use majic_ast::{parse_source, parse_statements, ExprKind, Function, LValue, Stmt, StmtKind};
+use majic_ast::{ExprKind, Function, LValue, Stmt, StmtKind};
 use majic_codegen::{compile_executable, CodegenOptions};
 use majic_infer::{infer_jit, infer_speculative, Annotations, CalleeOracle, InferOptions};
-use majic_interp::Interp;
 use majic_ir::passes::PassOptions;
-use majic_repo::cache::{CacheEntry, RepoCache};
 use majic_repo::{CodeQuality, CompiledVersion, Repository, Tier};
 use majic_runtime::builtins::CallCtx;
 use majic_runtime::{RuntimeError, RuntimeResult, Value};
 use majic_types::{Lattice, Range, Signature, Type};
 use majic_vm::{execute, Dispatcher, RegAllocMode};
 use std::collections::{HashMap, HashSet};
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,7 +34,7 @@ pub enum ExecMode {
     /// Just-in-time compilation on repository miss.
     Jit,
     /// Speculative ahead-of-time compilation (run
-    /// [`Majic::speculate_all`] first); misses fall back to the JIT,
+    /// [`Session::speculate_all`] first); misses fall back to the JIT,
     /// exactly as in the paper.
     Spec,
     /// FALCON emulation: exact-signature inference plus the optimizing
@@ -50,6 +57,9 @@ pub enum Platform {
 
 /// Engine configuration, including every ablation switch used by the
 /// evaluation harness.
+///
+/// Construct with [`EngineOptions::builder`] (or mutate the pub fields
+/// directly on an existing value).
 #[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
     /// Execution mode.
@@ -91,6 +101,92 @@ impl Default for EngineOptions {
     }
 }
 
+impl EngineOptions {
+    /// A fluent builder over the defaults, so callers name the switches
+    /// they set instead of mutating pub fields positionally.
+    ///
+    /// ```
+    /// use majic::{EngineOptions, ExecMode, Platform};
+    ///
+    /// let opts = EngineOptions::builder()
+    ///     .mode(ExecMode::Falcon)
+    ///     .platform(Platform::Mips)
+    ///     .oversize(false)
+    ///     .build();
+    /// assert_eq!(opts.mode, ExecMode::Falcon);
+    /// assert_eq!(opts.platform, Platform::Mips);
+    /// assert!(!opts.oversize);
+    /// assert!(opts.inline, "untouched switches keep their defaults");
+    /// ```
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder {
+            opts: EngineOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineOptions`]; see [`EngineOptions::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptionsBuilder {
+    opts: EngineOptions,
+}
+
+impl EngineOptionsBuilder {
+    /// Set the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Set the type-inference switches.
+    pub fn infer(mut self, infer: InferOptions) -> Self {
+        self.opts.infer = infer;
+        self
+    }
+
+    /// Set the register-allocation mode.
+    pub fn regalloc(mut self, regalloc: RegAllocMode) -> Self {
+        self.opts.regalloc = regalloc;
+        self
+    }
+
+    /// Enable or disable array oversizing on resizes.
+    pub fn oversize(mut self, oversize: bool) -> Self {
+        self.opts.oversize = oversize;
+        self
+    }
+
+    /// Enable or disable function inlining.
+    pub fn inline(mut self, inline: bool) -> Self {
+        self.opts.inline = inline;
+        self
+    }
+
+    /// Set the simulated platform.
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.opts.platform = platform;
+        self
+    }
+
+    /// Set the tiered-recompilation knobs.
+    pub fn tier(mut self, tier: TierOptions) -> Self {
+        self.opts.tier = tier;
+        self
+    }
+
+    /// Set the data-parallel kernel thread count (`None` leaves the
+    /// `MAJIC_THREADS` environment setting in charge).
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> EngineOptions {
+        self.opts
+    }
+}
+
 /// Tiered-recompilation knobs.
 ///
 /// Every JIT-compiled version starts at tier 0 and carries execution
@@ -105,9 +201,10 @@ impl Default for EngineOptions {
 /// results.
 ///
 /// Overridable per process through the `MAJIC_TIER` environment
-/// variable, read by [`Majic::new`]: `off`/`0`/`false` disables
+/// variable, read by [`Majic::new`] and
+/// [`crate::CompilerService::new`]: `off`/`0`/`false` disables
 /// promotion, `on`/`true` restores the defaults, and a positive integer
-/// sets the hotness threshold.
+/// sets the hotness threshold (see [`crate::env`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TierOptions {
     /// Master switch for hot promotion.
@@ -126,32 +223,6 @@ impl Default for TierOptions {
             threshold: 10_000,
             workers: 1,
         }
-    }
-}
-
-/// Apply a `MAJIC_TIER` environment value on top of `base`. Unparseable
-/// values leave `base` unchanged (misconfiguration must never break a
-/// session).
-pub(crate) fn tier_options_from_env(value: Option<&str>, base: TierOptions) -> TierOptions {
-    let Some(v) = value else { return base };
-    match v.trim().to_ascii_lowercase().as_str() {
-        "" => base,
-        "off" | "0" | "false" | "no" => TierOptions {
-            enabled: false,
-            ..base
-        },
-        "on" | "true" | "yes" => TierOptions {
-            enabled: true,
-            ..base
-        },
-        s => match s.parse::<u64>() {
-            Ok(n) => TierOptions {
-                enabled: true,
-                threshold: n,
-                ..base
-            },
-            Err(_) => base,
-        },
     }
 }
 
@@ -182,43 +253,11 @@ impl PhaseTimes {
     }
 }
 
-/// A MaJIC session.
-#[derive(Debug)]
-pub struct Majic {
-    interp: Interp,
-    /// Shared with background speculation workers.
-    repo: Arc<Repository>,
-    /// Copy-on-write: background jobs hold cheap snapshots.
-    registry: Arc<HashMap<String, Function>>,
-    known: Arc<HashSet<String>>,
-    next_node_id: u32,
-    /// Background speculative-compilation pool, when started.
-    spec: Option<SpecWorkerPool>,
-    /// Background tier-1 recompilation pool, started lazily at the
-    /// first hot promotion.
-    tier_pool: Option<SpecWorkerPool>,
-    /// Hot promotions already enqueued this session, keyed by
-    /// `(function, rendered signature)` — each tier-0 version is
-    /// promoted at most once.
-    promoted: HashSet<(String, String)>,
-    /// Attached persistent cache, if any ([`Majic::attach_cache`]).
-    cache: Option<RepoCache>,
-    /// Cache entries loaded from disk but not yet tied to live source:
-    /// they install into the repository only when `load_source`
-    /// registers the matching function with a matching source hash.
-    pending_cache: HashMap<String, Vec<CacheEntry>>,
-    /// Running warm-start accounting ([`Majic::cache_report`]).
-    cache_report: CacheReport,
-    /// Engine configuration (mutable between calls).
-    pub options: EngineOptions,
-    /// Cumulative phase times since the last [`Majic::reset_times`].
-    pub times: PhaseTimes,
-}
-
-/// Cumulative accounting of one session's persistent-cache activity.
+/// Cumulative accounting of one service's persistent-cache activity.
 ///
 /// Mirrored into the `repo.cache.*` trace counters; this struct is the
-/// authoritative per-session record (trace counters are process-global).
+/// authoritative per-service record (trace counters are
+/// process-global).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheReport {
     /// Entries that decoded and checksummed cleanly from disk.
@@ -240,9 +279,48 @@ pub struct CacheReport {
     pub rejected_source_hash: usize,
 }
 
+/// Everything the audit log knows about one function, as returned by
+/// [`Session::explain`].
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The function asked about.
+    pub function: String,
+    /// Retained compilation records for the function, oldest first.
+    pub records: Vec<majic_trace::audit::CompilationRecord>,
+    /// Session events naming the function, plus session-wide events
+    /// (e.g. whole-cache rejections) that have no single owner.
+    pub events: Vec<majic_trace::audit::SessionEvent>,
+    /// Human-readable rendering of the above.
+    pub report: String,
+}
+
+/// A single-user MaJIC session: a [`CompilerService`] of one plus its
+/// only [`Session`], kept as one value so the original embedding API
+/// stays a single struct.
+///
+/// `Majic` dereferences to [`Session`], so every session method
+/// (`load_source`, `call`, `eval`, `attach_cache`, …) and the pub
+/// `options`/`times` fields are reachable directly. Multi-user
+/// embedders hold a [`CompilerService`] and mint sessions themselves.
+#[derive(Debug)]
+pub struct Majic(Session);
+
 impl Default for Majic {
     fn default() -> Self {
         Majic::new()
+    }
+}
+
+impl Deref for Majic {
+    type Target = Session;
+    fn deref(&self) -> &Session {
+        &self.0
+    }
+}
+
+impl DerefMut for Majic {
+    fn deref_mut(&mut self) -> &mut Session {
+        &mut self.0
     }
 }
 
@@ -263,24 +341,7 @@ impl Majic {
     /// assert_eq!(out[0].to_scalar().unwrap(), 42.0);
     /// ```
     pub fn new() -> Majic {
-        let mut options = EngineOptions::default();
-        options.tier =
-            tier_options_from_env(std::env::var("MAJIC_TIER").ok().as_deref(), options.tier);
-        Majic {
-            interp: Interp::new(),
-            repo: Arc::new(Repository::new()),
-            registry: Arc::new(HashMap::new()),
-            known: Arc::new(HashSet::new()),
-            next_node_id: 0,
-            spec: None,
-            tier_pool: None,
-            promoted: HashSet::new(),
-            cache: None,
-            pending_cache: HashMap::new(),
-            cache_report: CacheReport::default(),
-            options,
-            times: PhaseTimes::default(),
-        }
+        Majic(CompilerService::new().session())
     }
 
     /// A fresh session in the given mode.
@@ -290,733 +351,113 @@ impl Majic {
         m
     }
 
-    /// Load MATLAB source: functions are registered (this is the
-    /// repository's "source directory snoop"), script statements run
-    /// immediately.
-    ///
-    /// # Errors
-    ///
-    /// Returns parse errors and script execution errors.
-    pub fn load_source(&mut self, src: &str) -> RuntimeResult<()> {
-        let sp = majic_trace::Span::enter("parse");
-        let file =
-            parse_source(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
-        sp.exit();
-        self.next_node_id = self.next_node_id.max(file.node_count);
-        if !file.functions.is_empty() {
-            let registry = Arc::make_mut(&mut self.registry);
-            let known = Arc::make_mut(&mut self.known);
-            for f in &file.functions {
-                // Source changed → recompile later (repository dependency
-                // tracking).
-                self.repo.invalidate(&f.name);
-                // The invalidated versions took their promotion dedup
-                // keys with them: fresh code earns promotion again.
-                self.promoted.retain(|(n, _)| n != &f.name);
-                known.insert(f.name.clone());
-                registry.insert(f.name.clone(), f.clone());
-                self.interp.define_function(f.clone());
-            }
-            // Warm start: now that the authoritative source is known,
-            // cached compiled versions whose source hash still matches
-            // may install into the repository.
-            for f in &file.functions {
-                install_cached(
-                    &mut self.pending_cache,
-                    &self.repo,
-                    &mut self.cache_report,
-                    &f.name,
-                    source_hash(f),
-                );
-            }
-            // A running pool snoops newly loaded sources (the paper's
-            // "source directory snoop"): speculate on them right away.
-            if let Some(pool) = &self.spec {
-                for f in &file.functions {
-                    pool.enqueue(
-                        &f.name,
-                        self.options,
-                        Arc::clone(&self.registry),
-                        Arc::clone(&self.known),
-                    );
-                }
-            }
-        }
-        if !file.script.is_empty() {
-            self.exec_statements(&file.script)?;
-        }
-        Ok(())
+    /// A fresh session with fully specified options.
+    pub fn with_options(options: EngineOptions) -> Majic {
+        Majic(CompilerService::with_options(options).session())
     }
 
-    /// Evaluate command-window input. Function-call statements route
-    /// through the repository (the front end "defers computationally
-    /// complex tasks to the code repository"); everything else is
-    /// interpreted directly.
-    ///
-    /// # Errors
-    ///
-    /// Returns parse and execution errors.
-    pub fn eval(&mut self, src: &str) -> RuntimeResult<()> {
-        let sp = majic_trace::Span::enter("parse");
-        let (stmts, next) =
-            parse_statements(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
-        sp.exit();
-        self.next_node_id = self.next_node_id.max(next);
-        self.exec_statements(&stmts)
-    }
-
-    fn exec_statements(&mut self, stmts: &[Stmt]) -> RuntimeResult<()> {
-        for stmt in stmts {
-            if self.options.mode != ExecMode::Interpret {
-                if let Some(()) = self.try_deferred_call(stmt)? {
-                    continue;
-                }
-            }
-            let sp = majic_trace::Span::enter("execution");
-            let r = self.interp.exec_statements(std::slice::from_ref(stmt));
-            self.times.execution += sp.exit();
-            r?;
-        }
-        Ok(())
-    }
-
-    /// Route `x = f(args)` / `[a,b] = f(args)` / `f(args)` statements
-    /// through the compiled path when `f` is a known user function.
-    fn try_deferred_call(&mut self, stmt: &Stmt) -> RuntimeResult<Option<()>> {
-        let (lhs_names, callee, args): (Vec<&LValue>, &str, &[majic_ast::Expr]) = match &stmt.kind {
-            StmtKind::Assign {
-                lhs: lhs @ LValue::Var { .. },
-                rhs,
-                ..
-            } => match &rhs.kind {
-                ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
-                    (vec![lhs], callee, args)
-                }
-                _ => return Ok(None),
-            },
-            StmtKind::MultiAssign {
-                lhs, callee, args, ..
-            } if self.registry.contains_key(callee)
-                && lhs.iter().all(|l| matches!(l, LValue::Var { .. })) =>
-            {
-                (lhs.iter().collect(), callee, args)
-            }
-            StmtKind::Expr { expr, .. } => match &expr.kind {
-                ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
-                    (vec![], callee, args)
-                }
-                _ => return Ok(None),
-            },
-            _ => return Ok(None),
-        };
-        // Subscript-less arguments only (a `:` would mean indexing).
-        if args
-            .iter()
-            .any(|a| matches!(a.kind, ExprKind::Colon | ExprKind::End))
-        {
-            return Ok(None);
-        }
-        let callee = callee.to_owned();
-        let mut argv = Vec::with_capacity(args.len());
-        for a in args {
-            argv.push(self.interp.eval_value(a)?);
-        }
-        let nargout = lhs_names
-            .len()
-            .max(if lhs_names.is_empty() { 0 } else { 1 });
-        let outs = self.call(&callee, &argv, nargout)?;
-        for (lv, v) in lhs_names.iter().zip(outs) {
-            self.interp.set_var(lv.name(), v);
-        }
-        Ok(Some(()))
-    }
-
-    /// Invoke a user function through the configured execution mode.
-    /// This is the operation the evaluation measures.
+    /// A fluent builder: pick the switches by name, get a ready
+    /// session.
     ///
     /// ```
-    /// use majic::{ExecMode, Majic};
+    /// use majic::{ExecMode, Majic, Platform};
     ///
-    /// let mut session = Majic::with_mode(ExecMode::Jit);
-    /// session
-    ///     .load_source("function s = total(v)\ns = sum(v) + 1;\n")
-    ///     .unwrap();
-    /// let v = majic::Value::Real(majic::Matrix::from_rows(vec![vec![1.0, 2.0, 3.0]]));
-    /// let out = session.call("total", &[v], 1).unwrap();
-    /// assert_eq!(out[0].to_scalar().unwrap(), 7.0);
-    /// ```
-    ///
-    /// # Errors
-    ///
-    /// Propagates runtime errors from the function.
-    pub fn call(
-        &mut self,
-        name: &str,
-        args: &[Value],
-        nargout: usize,
-    ) -> RuntimeResult<Vec<Value>> {
-        let _call = majic_trace::Span::enter_with("call", || {
-            vec![
-                ("fn", name.to_owned()),
-                ("mode", format!("{:?}", self.options.mode).to_lowercase()),
-            ]
-        });
-        if majic_trace::enabled() {
-            majic_trace::counter("engine.call").inc();
-        }
-        // Apply the kernel-thread option cheaply (compare first) so
-        // mid-session option mutations take effect on the next call.
-        if let Some(threads) = self.options.threads {
-            if threads != majic_runtime::par::thread_count() {
-                majic_runtime::par::set_threads(threads);
-            }
-        }
-        if self.options.mode == ExecMode::Interpret || self.reaches_uncompilable(name) {
-            if self.options.mode != ExecMode::Interpret {
-                // A compiled mode quietly routing a call through the
-                // interpreter is exactly the decision the audit log
-                // exists to expose.
-                majic_trace::audit::session_event("fallback.interpreter", || {
-                    (
-                        name.to_owned(),
-                        "static call graph reaches global/clear, which compiled code \
-                         cannot express"
-                            .to_owned(),
-                    )
-                });
-            }
-            let sp = majic_trace::Span::enter("execution");
-            let r = self.interp.call_function(name, args, nargout);
-            self.times.execution += sp.exit();
-            return r;
-        }
-        let mut disp = EngineDispatcher {
-            registry: &self.registry,
-            known: &self.known,
-            repo: &self.repo,
-            options: &self.options,
-            times: &mut self.times,
-            next_node_id: &mut self.next_node_id,
-            depth: 0,
-            promoted: &mut self.promoted,
-            hot: Vec::new(),
-        };
-        let sig = signature_of(args);
-        let version = disp.ensure_code(name, &sig)?;
-        let sp = majic_trace::Span::enter("execution");
-        let r = execute(
-            &version.code,
-            args,
-            nargout,
-            &mut disp,
-            &mut self.interp.ctx,
-        );
-        disp.times.execution += sp.exit();
-        // The run just finished bumped the version's execution counters;
-        // collect any version that crossed the hotness threshold (the
-        // one we dispatched plus any noted during nested dispatch) and
-        // hand them to the background tier-1 pool.
-        disp.note_hot(name, &version);
-        let hot = std::mem::take(&mut disp.hot);
-        drop(disp);
-        for (hot_name, hot_sig) in hot {
-            self.promote(hot_name, hot_sig);
-        }
-        let mut outs = r?;
-        outs.truncate(nargout.max(1));
-        if outs.len() < nargout {
-            return Err(RuntimeError::BadArity {
-                name: name.to_owned(),
-                detail: format!("{nargout} outputs requested"),
-            });
-        }
-        Ok(outs)
-    }
-
-    /// Enqueue a background tier-1 recompile of `name` for `sig`,
-    /// starting the recompilation pool on first use. Best-effort: a
-    /// rejected enqueue releases the dedup key so a later hot call can
-    /// retry.
-    fn promote(&mut self, name: String, sig: Signature) {
-        let pool = self.tier_pool.get_or_insert_with(|| {
-            SpecWorkerPool::start(
-                SpecConfig {
-                    workers: self.options.tier.workers.max(1),
-                    ..SpecConfig::default()
-                },
-                Arc::clone(&self.repo),
-            )
-        });
-        // The session's *current* options ride along with the job, so
-        // mutating `self.options` (platform, inference, regalloc)
-        // mid-session applies to later recompiles instead of being
-        // frozen at pool start.
-        let accepted = pool.enqueue_hot(
-            &name,
-            sig.clone(),
-            self.options,
-            Arc::clone(&self.registry),
-            Arc::clone(&self.known),
-        );
-        if !accepted {
-            self.promoted.remove(&(name, sig.to_string()));
-        }
-    }
-
-    /// Block until the tier-1 recompilation pool (if any) has drained
-    /// its queue. Tests and batch experiments use this; interactive
-    /// sessions never need to.
-    pub fn tier_wait(&self) {
-        if let Some(pool) = &self.tier_pool {
-            pool.wait_idle();
-        }
-    }
-
-    /// Statistics of the tier-1 recompilation pool, when promotion has
-    /// started one.
-    pub fn tier_stats(&self) -> Option<SpecStats> {
-        self.tier_pool.as_ref().map(SpecWorkerPool::stats)
-    }
-
-    /// Shut the tier-1 recompilation pool down (drain, join) and return
-    /// its final statistics. No-op returning `None` when no promotion
-    /// ever happened.
-    pub fn finish_tiering(&mut self) -> Option<SpecStats> {
-        let mut pool = self.tier_pool.take()?;
-        pool.shutdown();
-        Some(pool.stats())
-    }
-
-    /// Speculatively compile every registered function ahead of time
-    /// (paper §2.5), filling the repository with optimized versions for
-    /// the guessed signatures. Returns the hidden (ahead-of-time)
-    /// compile latency.
-    ///
-    /// This is the *synchronous* path: it blocks the session until
-    /// every speculative version is compiled. [`Majic::speculate_background`]
-    /// is the concurrent equivalent that keeps the session responsive.
-    pub fn speculate_all(&mut self) -> Duration {
-        let names: Vec<String> = self.registry.keys().cloned().collect();
-        let t0 = Instant::now();
-        for name in names {
-            // Failures (globals etc.) simply leave no speculative
-            // version; those calls interpret or JIT later.
-            majic_trace::audit::begin(&name);
-            let t1 = Instant::now();
-            let result = compile_function(
-                &self.registry,
-                &self.known,
-                &self.repo,
-                &self.options,
-                &name,
-                None,
-                Pipeline::Opt,
-                &mut self.next_node_id,
-                &mut self.times,
-            );
-            majic_trace::audit::commit(
-                || match &result {
-                    Ok(v) => v.signature.to_string(),
-                    Err(_) => "(speculative)".to_owned(),
-                },
-                "spec_sync",
-                || match &result {
-                    Ok(v) => format!("published ({})", quality_name(v.quality)),
-                    Err(e) => format!("failed: {e}"),
-                },
-                None,
-                t1.elapsed().as_nanos() as u64,
-            );
-            if let Ok(version) = result {
-                self.repo.insert(&name, version);
-            }
-        }
-        // Speculative compilation happens before the program runs: it is
-        // *hidden* latency, not charged to any phase.
-        let hidden = t0.elapsed();
-        self.times = PhaseTimes::default();
-        hidden
-    }
-
-    /// Start background speculative compilation with `workers` threads:
-    /// every currently registered function is queued, and functions
-    /// loaded later are queued as they arrive. Returns immediately —
-    /// the session keeps answering through the interpreter/JIT and
-    /// transparently picks up speculative versions once published.
-    ///
-    /// Calling this again replaces the pool (the old one is drained and
-    /// joined first).
-    pub fn speculate_background(&mut self, workers: usize) {
-        self.speculate_background_with(SpecConfig {
-            workers,
-            ..SpecConfig::default()
-        });
-    }
-
-    /// [`Majic::speculate_background`] with full queue configuration.
-    pub fn speculate_background_with(&mut self, cfg: SpecConfig) {
-        self.spec = None; // drain + join any previous pool first
-        let pool = SpecWorkerPool::start(cfg, Arc::clone(&self.repo));
-        let mut names: Vec<&String> = self.registry.keys().collect();
-        names.sort(); // deterministic queue order
-        for name in names {
-            pool.enqueue(
-                name,
-                self.options,
-                Arc::clone(&self.registry),
-                Arc::clone(&self.known),
-            );
-        }
-        self.spec = Some(pool);
-    }
-
-    /// Block until the background pool (if any) has drained its queue.
-    /// Tests and batch experiments use this; interactive sessions never
-    /// need to.
-    pub fn spec_wait(&self) {
-        if let Some(pool) = &self.spec {
-            pool.wait_idle();
-        }
-    }
-
-    /// Statistics of the background pool, when one is running.
-    pub fn spec_stats(&self) -> Option<SpecStats> {
-        self.spec.as_ref().map(SpecWorkerPool::stats)
-    }
-
-    /// Shut the background pool down (drain, join) and return its final
-    /// statistics. No-op returning `None` when no pool is running.
-    pub fn finish_speculation(&mut self) -> Option<SpecStats> {
-        let mut pool = self.spec.take()?;
-        pool.shutdown();
-        Some(pool.stats())
-    }
-
-    /// Attach a persistent repository cache at `path` and load whatever
-    /// it holds (see `docs/CACHE_FORMAT.md`).
-    ///
-    /// Loading is infallible: a missing file is a cold start, and any
-    /// corruption, truncation, version skew, or fingerprint mismatch
-    /// degrades to a cold start for the affected entries — never a panic
-    /// and never stale code. Loaded entries do **not** enter the live
-    /// repository yet; each installs only when [`Majic::load_source`]
-    /// registers its function with an unchanged source hash (functions
-    /// already registered are checked immediately).
-    ///
-    /// An attached cache is flushed by [`Majic::save_cache`] and,
-    /// best-effort, when the session drops.
-    ///
-    /// ```
-    /// use majic::Majic;
-    ///
-    /// let dir = std::env::temp_dir().join(format!("majic-doc-{}", std::process::id()));
-    /// let path = dir.join("repo.majiccache");
-    /// let mut session = Majic::new();
-    /// let report = session.attach_cache(&path);
-    /// assert_eq!(report.loaded, 0); // nothing cached yet: a cold start
+    /// let mut session = Majic::builder()
+    ///     .mode(ExecMode::Jit)
+    ///     .platform(Platform::Mips)
+    ///     .threads(Some(1))
+    ///     .build();
     /// session.load_source("function y = sq(x)\ny = x * x;\n").unwrap();
-    /// session.call("sq", &[3.0f64.into()], 1).unwrap();
-    /// assert!(session.save_cache().unwrap() > 0);
-    /// # drop(session);
-    /// # std::fs::remove_dir_all(&dir).ok();
+    /// assert_eq!(
+    ///     session.call("sq", &[4.0f64.into()], 1).unwrap()[0]
+    ///         .to_scalar()
+    ///         .unwrap(),
+    ///     16.0
+    /// );
     /// ```
-    pub fn attach_cache(&mut self, path: impl Into<std::path::PathBuf>) -> CacheReport {
-        let cache = RepoCache::new(path, majic_codegen::build_fingerprint());
-        let (entries, load) = cache.load();
-        self.cache = Some(cache);
-        self.cache_report.loaded += load.loaded;
-        self.cache_report.rejected_version += load.rejected_version;
-        self.cache_report.rejected_fingerprint += load.rejected_fingerprint;
-        self.cache_report.rejected_checksum += load.rejected_checksum;
-        for e in entries {
-            self.pending_cache
-                .entry(e.name.clone())
-                .or_default()
-                .push(e);
+    pub fn builder() -> MajicBuilder {
+        MajicBuilder {
+            opts: EngineOptions::builder(),
         }
-        // Sources loaded before the cache was attached can warm up now.
-        let names: Vec<String> = self
-            .pending_cache
-            .keys()
-            .filter(|n| self.registry.contains_key(*n))
-            .cloned()
-            .collect();
-        for name in names {
-            let hash = source_hash(&self.registry[&name]);
-            install_cached(
-                &mut self.pending_cache,
-                &self.repo,
-                &mut self.cache_report,
-                &name,
-                hash,
-            );
-        }
-        self.cache_report
     }
 
-    /// Flush the repository to the attached cache (atomic write).
-    /// Returns the number of entries written, or 0 with no cache
-    /// attached.
-    ///
-    /// Entries still pending from load (their functions were never
-    /// re-registered this session, so their sources were never
-    /// contradicted) are carried over rather than dropped.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors from the atomic save.
-    pub fn save_cache(&mut self) -> std::io::Result<usize> {
-        let Some(cache) = &self.cache else {
-            return Ok(0);
-        };
-        let mut entries: Vec<CacheEntry> = Vec::new();
-        for (name, versions) in self.repo.entries() {
-            // Only functions whose source is in hand can be revalidated
-            // next session.
-            let Some(f) = self.registry.get(&name) else {
-                continue;
-            };
-            let hash = source_hash(f);
-            for version in versions {
-                entries.push(CacheEntry {
-                    name: name.clone(),
-                    source_hash: hash,
-                    version,
-                });
-            }
-        }
-        let mut carried: Vec<&String> = self.pending_cache.keys().collect();
-        carried.sort();
-        let carried: Vec<CacheEntry> = carried
-            .into_iter()
-            .flat_map(|n| self.pending_cache[n].iter().cloned())
-            .collect();
-        entries.extend(carried);
-        cache.save(&entries)?;
-        Ok(entries.len())
+    /// The service behind this facade (background handle, audit flag,
+    /// cache lifecycle, more sessions).
+    pub fn service(&self) -> &CompilerService {
+        self.0.service()
     }
 
-    /// This session's warm-start accounting so far.
-    pub fn cache_report(&self) -> CacheReport {
-        self.cache_report
-    }
-
-    /// Does `name`'s static call graph reach a function compiled code
-    /// cannot express (`global` / `clear`)?
-    fn reaches_uncompilable(&self, name: &str) -> bool {
-        let mut seen = HashSet::new();
-        let mut stack = vec![name.to_owned()];
-        while let Some(n) = stack.pop() {
-            if !seen.insert(n.clone()) {
-                continue;
-            }
-            let Some(f) = self.registry.get(&n) else {
-                continue;
-            };
-            if has_global_or_clear(&f.body) {
-                return true;
-            }
-            collect_callees(&f.body, &self.known, &mut stack);
-        }
-        false
-    }
-
-    /// The interpreter session (workspace access, captured output).
-    pub fn interp(&self) -> &Interp {
-        &self.interp
-    }
-
-    /// Mutable interpreter access.
-    pub fn interp_mut(&mut self) -> &mut Interp {
-        &mut self.interp
-    }
-
-    /// A base-workspace variable.
-    pub fn var(&self, name: &str) -> Option<&Value> {
-        self.interp.var(name)
-    }
-
-    /// Drain the captured `disp`/`fprintf` output.
-    pub fn take_printed(&mut self) -> String {
-        std::mem::take(&mut self.interp.ctx.printed)
-    }
-
-    /// The code repository (inspection).
-    pub fn repository(&self) -> &Repository {
-        &self.repo
-    }
-
-    /// A shareable handle to the repository (e.g. for external monitors
-    /// or tests observing background publishes).
-    pub fn repository_handle(&self) -> Arc<Repository> {
-        Arc::clone(&self.repo)
-    }
-
-    /// Zero the cumulative phase timers.
-    pub fn reset_times(&mut self) {
-        self.times = PhaseTimes::default();
-    }
-
-    /// Human-readable tree report of every span, counter, and histogram
-    /// recorded since tracing was enabled (or last reset). Tracing is
-    /// process-global — enable it with [`majic_trace::set_enabled`] or
-    /// the `MAJIC_TRACE` environment variable before the work of
-    /// interest runs.
-    pub fn trace_report(&self) -> String {
-        majic_trace::export::render_report(&majic_trace::snapshot())
-    }
-
-    /// Export everything recorded so far as Chrome trace-event JSON
-    /// loadable in `chrome://tracing` or Perfetto.
-    ///
-    /// # Errors
-    ///
-    /// Returns I/O errors from writing `path`.
-    pub fn export_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        majic_trace::export::write_chrome_trace(path.as_ref())
-    }
-
-    /// Turn the compilation audit log on or off for this process.
-    ///
-    /// Auditing is process-global, like tracing: the flight recorder in
-    /// `majic-trace` accumulates one [`majic_trace::audit::CompilationRecord`]
-    /// per compilation (trigger, inference widenings, inliner verdicts,
-    /// codegen shape, cache interactions) plus session-level events
-    /// (cache rejects, interpreter fallbacks, VM errors). It is also
-    /// enabled automatically when `MAJIC_EXPLAIN` is set and
-    /// [`majic_trace::init_from_env`] runs.
+    /// Turn the *process-wide* compilation audit log on or off.
+    #[deprecated(
+        note = "audit enablement is per service now: use `CompilerService::set_audit` or \
+                `Session::set_audit_enabled`"
+    )]
     pub fn set_audit(on: bool) {
         majic_trace::audit::set_enabled(on);
     }
+}
 
-    /// Why does `name` run the way it does? Returns every retained
-    /// compilation record and session event for the function, plus a
-    /// rendered report ([`Explanation::report`]) answering: what
-    /// triggered each compile, which variables inference widened and
-    /// why, what the inliner did at each call site, how the generated
-    /// code is shaped, and how the persistent cache treated it.
-    ///
-    /// Requires auditing to be on ([`Majic::set_audit`] or
-    /// `MAJIC_EXPLAIN`) *before* the compilations of interest run;
-    /// otherwise the explanation is empty.
-    ///
-    /// ```
-    /// use majic::Majic;
-    ///
-    /// Majic::set_audit(true);
-    /// let mut session = Majic::new();
-    /// session.load_source("function y = cube(x)\ny = x * x * x;\n").unwrap();
-    /// session.call("cube", &[2.0f64.into()], 1).unwrap();
-    /// let why = session.explain("cube");
-    /// assert!(!why.records.is_empty());
-    /// assert!(why.report.contains("first_call"));
-    /// ```
-    pub fn explain(&self, name: &str) -> Explanation {
-        let records = majic_trace::audit::records_for(name);
-        let events = majic_trace::audit::events_for(name);
-        let report = majic_trace::audit::render_function_report(name, &records, &events);
-        Explanation {
-            function: name.to_owned(),
-            records,
-            events,
-            report,
-        }
+/// Builder returned by [`Majic::builder`]: the [`EngineOptionsBuilder`]
+/// switches plus a [`MajicBuilder::build`] that starts the session.
+#[derive(Clone, Copy, Debug)]
+pub struct MajicBuilder {
+    opts: EngineOptionsBuilder,
+}
+
+impl MajicBuilder {
+    /// Set the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.opts = self.opts.mode(mode);
+        self
     }
 
-    /// Session-wide audit report: every retained compilation record and
-    /// session event, grouped per function, plus eviction counts when
-    /// the bounded rings overflowed.
-    pub fn explain_stats(&self) -> String {
-        majic_trace::audit::render_report(&majic_trace::audit::snapshot())
+    /// Set the type-inference switches.
+    pub fn infer(mut self, infer: InferOptions) -> Self {
+        self.opts = self.opts.infer(infer);
+        self
     }
-}
 
-/// Everything the audit log knows about one function, as returned by
-/// [`Majic::explain`].
-#[derive(Clone, Debug)]
-pub struct Explanation {
-    /// The function asked about.
-    pub function: String,
-    /// Retained compilation records for the function, oldest first.
-    pub records: Vec<majic_trace::audit::CompilationRecord>,
-    /// Session events naming the function, plus session-wide events
-    /// (e.g. whole-cache rejections) that have no single owner.
-    pub events: Vec<majic_trace::audit::SessionEvent>,
-    /// Human-readable rendering of the above.
-    pub report: String,
-}
-
-impl Drop for Majic {
-    /// Best-effort shutdown flush: with a cache attached, finish any
-    /// background speculation (so its versions are included) and save.
-    /// Errors are swallowed — drop must not panic, and a failed flush
-    /// only costs next session's warm start.
-    fn drop(&mut self) {
-        if self.cache.is_some() {
-            self.finish_speculation();
-            self.finish_tiering();
-            let _ = self.save_cache();
-        }
+    /// Set the register-allocation mode.
+    pub fn regalloc(mut self, regalloc: RegAllocMode) -> Self {
+        self.opts = self.opts.regalloc(regalloc);
+        self
     }
-}
 
-/// The per-function invalidation key: an FNV-1a hash of the canonical
-/// (pretty-printed) source. Whitespace/comment-insensitive by
-/// construction, stable across sessions and platforms.
-fn source_hash(f: &Function) -> u64 {
-    majic_types::wire::fnv1a(format!("{f}").as_bytes())
-}
+    /// Enable or disable array oversizing on resizes.
+    pub fn oversize(mut self, oversize: bool) -> Self {
+        self.opts = self.opts.oversize(oversize);
+        self
+    }
 
-/// Move `name`'s pending cache entries into the live repository if their
-/// recorded source hash matches the just-registered source; reject them
-/// otherwise. This is the gate that guarantees a stale cache is never
-/// executed.
-fn install_cached(
-    pending: &mut HashMap<String, Vec<CacheEntry>>,
-    repo: &Repository,
-    report: &mut CacheReport,
-    name: &str,
-    live_hash: u64,
-) {
-    let Some(entries) = pending.remove(name) else {
-        return;
-    };
-    for e in entries {
-        if e.source_hash == live_hash {
-            // A warm hit is a compilation the session never had to run;
-            // it gets a (zero-compile-time) record so `explain` shows
-            // where each installed version came from.
-            majic_trace::audit::begin(name);
-            majic_trace::audit::tier(e.version.tier.level());
-            majic_trace::audit::commit(
-                || e.version.signature.to_string(),
-                "warm_cache",
-                || {
-                    format!(
-                        "installed from persistent cache ({})",
-                        quality_name(e.version.quality)
-                    )
-                },
-                None,
-                0,
-            );
-            repo.insert(name, e.version);
-            report.installed += 1;
-            majic_trace::counter("repo.cache.warm_hit").inc();
-        } else {
-            report.rejected_source_hash += 1;
-            majic_trace::counter("repo.cache.reject.source_hash").inc();
-            majic_trace::audit::session_event("cache.reject.source_hash", || {
-                (
-                    name.to_owned(),
-                    format!(
-                        "source changed since the cache was written \
-                         (cached hash {:016x} ≠ live {:016x}); entry dropped",
-                        e.source_hash, live_hash
-                    ),
-                )
-            });
-        }
+    /// Enable or disable function inlining.
+    pub fn inline(mut self, inline: bool) -> Self {
+        self.opts = self.opts.inline(inline);
+        self
+    }
+
+    /// Set the simulated platform.
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.opts = self.opts.platform(platform);
+        self
+    }
+
+    /// Set the tiered-recompilation knobs.
+    pub fn tier(mut self, tier: TierOptions) -> Self {
+        self.opts = self.opts.tier(tier);
+        self
+    }
+
+    /// Set the data-parallel kernel thread count.
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.opts = self.opts.threads(threads);
+        self
+    }
+
+    /// Start the session. `MAJIC_TIER` is *not* consulted — the builder
+    /// is the explicit-configuration path ([`Majic::new`] is the
+    /// environment-sensitive one).
+    pub fn build(self) -> Majic {
+        Majic::with_options(self.opts.build())
     }
 }
 
@@ -1033,7 +474,7 @@ pub(crate) fn signature_of(args: &[Value]) -> Signature {
     args.iter().map(Value::type_of).collect()
 }
 
-fn has_global_or_clear(stmts: &[Stmt]) -> bool {
+pub(crate) fn has_global_or_clear(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match &s.kind {
         StmtKind::Global(_) | StmtKind::Clear(_) => true,
         StmtKind::If {
@@ -1048,7 +489,7 @@ fn has_global_or_clear(stmts: &[Stmt]) -> bool {
     })
 }
 
-fn collect_callees(stmts: &[Stmt], known: &HashSet<String>, out: &mut Vec<String>) {
+pub(crate) fn collect_callees(stmts: &[Stmt], known: &HashSet<String>, out: &mut Vec<String>) {
     for s in stmts {
         match &s.kind {
             StmtKind::Expr { expr, .. } => collect_expr(expr, known, out),
@@ -1111,38 +552,67 @@ pub(crate) enum Pipeline {
 }
 
 /// Split-borrow helper: the dispatcher compiled code calls back into.
-struct EngineDispatcher<'a> {
-    registry: &'a HashMap<String, Function>,
-    known: &'a HashSet<String>,
-    repo: &'a Repository,
-    options: &'a EngineOptions,
-    times: &'a mut PhaseTimes,
-    next_node_id: &'a mut u32,
-    depth: usize,
-    /// Session-wide promotion dedup set (see [`Majic::promoted`]).
-    promoted: &'a mut HashSet<(String, String)>,
+/// One is built per top-level [`Session::call`] and carries the
+/// session's identity (namespace hashes, session id, audit flag) so
+/// every repository interaction stays inside the session's namespaces.
+pub(crate) struct EngineDispatcher<'a> {
+    pub(crate) registry: &'a HashMap<String, Function>,
+    pub(crate) known: &'a HashSet<String>,
+    pub(crate) repo: &'a Repository,
+    /// The session's closure-hash table: `name → namespace key`.
+    pub(crate) hashes: &'a HashMap<String, u64>,
+    pub(crate) session: u64,
+    /// Whether this session's service wants compilations audited.
+    pub(crate) audit: bool,
+    pub(crate) options: &'a EngineOptions,
+    pub(crate) times: &'a mut PhaseTimes,
+    pub(crate) next_node_id: &'a mut u32,
+    pub(crate) depth: usize,
+    /// Hotness noted during this dispatch (local dedup only — the
+    /// service-wide dedup happens when the session drains `hot` after
+    /// the top-level call, so no service lock is held while user code
+    /// runs).
+    pub(crate) noted: HashSet<(String, String)>,
     /// Versions that crossed the hotness threshold during this
     /// dispatch; the session drains them into the tier pool after the
     /// top-level call returns.
-    hot: Vec<(String, Signature)>,
+    pub(crate) hot: Vec<(String, Signature)>,
 }
 
-struct RepoOracle<'a>(&'a Repository);
+/// The inference oracle: callee output types come from the repository,
+/// scoped to the *calling session's* namespace for every function the
+/// session has loaded (a neighbor's redefinition must never leak into
+/// this session's inference).
+struct RepoOracle<'a> {
+    repo: &'a Repository,
+    hashes: &'a HashMap<String, u64>,
+}
 
 impl CalleeOracle for RepoOracle<'_> {
     fn call_types(&self, name: &str, args: &[Type], _nargout: usize) -> Option<Vec<Type>> {
-        self.0.call_types(name, &Signature::new(args.to_vec()))
+        let sig = Signature::new(args.to_vec());
+        match self.hashes.get(name) {
+            Some(&ns) => self.repo.call_types_ns(name, ns, &sig),
+            None => self.repo.call_types(name, &sig),
+        }
     }
 }
 
 impl EngineDispatcher<'_> {
+    fn ns(&self, name: &str) -> u64 {
+        self.hashes
+            .get(name)
+            .copied()
+            .unwrap_or(majic_repo::DEFAULT_NS)
+    }
+
     /// Queue `name`'s version for tier-1 promotion if it is hot tier-0
     /// JIT code whose hotness crossed the threshold. Called right after
-    /// an execution, when the counters are fresh. The dedup key is
-    /// claimed eagerly (recursive dispatch would otherwise note the
-    /// same version thousands of times); the session releases it if the
-    /// enqueue is later rejected.
-    fn note_hot(&mut self, name: &str, v: &CompiledVersion) {
+    /// an execution, when the counters are fresh. Dedup here is local
+    /// to the dispatch (recursive calls would otherwise note the same
+    /// version thousands of times); the session checks the service-wide
+    /// promotion set when it drains `hot`.
+    pub(crate) fn note_hot(&mut self, name: &str, v: &CompiledVersion) {
         let tier = &self.options.tier;
         if !tier.enabled
             || v.tier != Tier::T0
@@ -1152,7 +622,7 @@ impl EngineDispatcher<'_> {
             return;
         }
         let key = (name.to_owned(), v.signature.to_string());
-        if self.promoted.insert(key) {
+        if self.noted.insert(key) {
             self.hot.push((name.to_owned(), v.signature.clone()));
         }
     }
@@ -1160,15 +630,20 @@ impl EngineDispatcher<'_> {
     /// Find or build code for an invocation. Returns the repository's
     /// shared handle — a repository hit on the hot path clones one
     /// `Arc`, not the signature and output types.
-    fn ensure_code(&mut self, name: &str, sig: &Signature) -> RuntimeResult<Arc<CompiledVersion>> {
-        if let Some(v) = self.repo.lookup(name, sig) {
+    pub(crate) fn ensure_code(
+        &mut self,
+        name: &str,
+        sig: &Signature,
+    ) -> Result<Arc<CompiledVersion>, RuntimeError> {
+        let ns = self.ns(name);
+        if let Some(v) = self.repo.lookup_ns(name, ns, self.session, sig) {
             return Ok(v);
         }
         // Anti-explosion widening: recursive calls produce a fresh
         // constant signature per depth (fib(20), fib(19), …). After two
         // exact-signature versions exist, compile a range-widened version
         // that admits every future scalar invocation of the same shapes.
-        let widened = self.repo.version_count(name) >= 2;
+        let widened = self.repo.version_count_ns(name, ns) >= 2;
         let sig = if widened {
             Signature::new(
                 sig.params()
@@ -1190,12 +665,16 @@ impl EngineDispatcher<'_> {
         // again would collapse e.g. `Undefined` into `Raised` and make
         // compiled modes disagree with the interpreter about the error
         // class of `r = v` with `v` never assigned.
-        majic_trace::audit::begin(name);
+        if self.audit {
+            majic_trace::audit::begin(name);
+            majic_trace::audit::session_id(self.session);
+        }
         let t0 = Instant::now();
         let result = compile_function(
             self.registry,
             self.known,
             self.repo,
+            self.hashes,
             self.options,
             name,
             Some(&sig),
@@ -1221,27 +700,31 @@ impl EngineDispatcher<'_> {
             t0.elapsed().as_nanos() as u64,
         );
         let version = result?;
-        self.repo.insert(name, version);
+        self.repo.insert_ns(name, ns, self.session, version);
         let v = self
             .repo
-            .lookup(name, &sig)
+            .lookup_ns(name, ns, self.session, &sig)
             .expect("freshly inserted version admits its own signature");
         Ok(v)
     }
 }
 
 /// Run one compilation pipeline for `name`. `sig = None` selects
-/// speculative inference (the signature is guessed).
+/// speculative inference (the signature is guessed). `hashes` is the
+/// requesting session's closure-hash table (empty outside any session),
+/// scoping the callee oracle to that session's namespaces.
 ///
 /// This is the single compile path shared by the foreground dispatcher
-/// (JIT-on-miss) and the background [`SpecWorkerPool`] workers; it only
-/// *reads* the registry and repository (the caller publishes the
-/// returned version), which is what makes it safe to run concurrently.
+/// (JIT-on-miss) and the background [`crate::SpecWorkerPool`] workers;
+/// it only *reads* the registry and repository (the caller publishes
+/// the returned version), which is what makes it safe to run
+/// concurrently.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn compile_function(
     registry: &HashMap<String, Function>,
     known: &HashSet<String>,
     repo: &Repository,
+    hashes: &HashMap<String, u64>,
     options: &EngineOptions,
     name: &str,
     sig: Option<&Signature>,
@@ -1280,12 +763,12 @@ pub(crate) fn compile_function(
     let (signature, ann): (Signature, Annotations) = match (pipeline, sig) {
         (Pipeline::Mcc, s) => (s.cloned().unwrap_or_default(), Annotations::default()),
         (_, Some(s)) => {
-            let oracle = RepoOracle(repo);
+            let oracle = RepoOracle { repo, hashes };
             let ann = infer_jit(&d, s, options.infer, &oracle);
             (s.clone(), ann)
         }
         (_, None) => {
-            let oracle = RepoOracle(repo);
+            let oracle = RepoOracle { repo, hashes };
             infer_speculative(&d, options.infer, &oracle)
         }
     };
@@ -1368,33 +851,5 @@ impl Dispatcher for EngineDispatcher<'_> {
             });
         }
         Ok(outs)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn majic_tier_env_parsing() {
-        let base = TierOptions::default();
-        assert_eq!(tier_options_from_env(None, base), base);
-        assert_eq!(tier_options_from_env(Some(""), base), base);
-        assert_eq!(tier_options_from_env(Some("  "), base), base);
-        assert!(!tier_options_from_env(Some("off"), base).enabled);
-        assert!(!tier_options_from_env(Some("0"), base).enabled);
-        assert!(!tier_options_from_env(Some("FALSE"), base).enabled);
-        let off = TierOptions {
-            enabled: false,
-            ..base
-        };
-        assert!(tier_options_from_env(Some("on"), off).enabled);
-        let tuned = tier_options_from_env(Some("500"), base);
-        assert!(tuned.enabled);
-        assert_eq!(tuned.threshold, 500);
-        assert_eq!(tuned.workers, base.workers);
-        // Misconfiguration must never break a session.
-        assert_eq!(tier_options_from_env(Some("garbage"), base), base);
-        assert_eq!(tier_options_from_env(Some("-3"), base), base);
     }
 }

@@ -24,6 +24,29 @@
 //! assert_eq!(out[0].to_scalar().unwrap(), 40.0);
 //! ```
 //!
+//! # Service and sessions
+//!
+//! [`Majic`] is the single-user facade: one service, one session, one
+//! struct. Multi-user embedders hold a shared [`CompilerService`] — the
+//! process-wide repository, background pools, cache, and audit switch —
+//! and mint any number of concurrent [`Session`]s against it, each from
+//! its own thread. Sessions that loaded the same source share compiled
+//! code instantly; a session that redefines a function moves to fresh
+//! namespaces without disturbing anyone else (see [`CompilerService`]).
+//!
+//! ```
+//! use majic::CompilerService;
+//!
+//! let service = CompilerService::new();
+//! let mut a = service.session();
+//! let mut b = service.session();
+//! a.load_source("function y = sq(x)\ny = x * x;\n").unwrap();
+//! b.load_source("function y = sq(x)\ny = x * x;\n").unwrap();
+//! a.call("sq", &[3.0f64.into()], 1).unwrap(); // compiles
+//! b.call("sq", &[3.0f64.into()], 1).unwrap(); // reuses a's version
+//! assert!(service.repository().stats().shared_hits > 0);
+//! ```
+//!
 //! # Execution modes
 //!
 //! | mode | compile when | pipeline | models |
@@ -31,27 +54,32 @@
 //! | [`ExecMode::Interpret`] | never | — | MATLAB 6 interpreter (baseline `ti`) |
 //! | [`ExecMode::Mcc`] | on miss | generic calls | Mathworks `mcc` |
 //! | [`ExecMode::Jit`] | on miss | fast selection + linear scan | MaJIC JIT (compile time counts) |
-//! | [`ExecMode::Spec`] | ahead of time ([`Majic::speculate_all`]) | optimizing backend | MaJIC speculative |
+//! | [`ExecMode::Spec`] | ahead of time ([`Session::speculate_all`]) | optimizing backend | MaJIC speculative |
 //! | [`ExecMode::Falcon`] | on miss, exact signature | optimizing backend | FALCON batch compiler |
 //!
 //! # Warm start
 //!
-//! Attach a persistent cache ([`Majic::attach_cache`]) and the session
+//! Attach a persistent cache ([`Session::attach_cache`]) and the service
 //! reloads previously compiled versions from disk, so the first call of
-//! a warm session skips JIT latency entirely; [`Majic::save_cache`] (or
-//! drop) flushes new versions back. Stale or damaged caches degrade to a
-//! cold start — see `docs/CACHE_FORMAT.md` for the integrity gates.
+//! a warm session skips JIT latency entirely; [`Session::save_cache`] (or
+//! service drop) flushes new versions back. Stale or damaged caches
+//! degrade to a cold start — see `docs/CACHE_FORMAT.md` for the
+//! integrity gates.
 
 pub mod diff;
 mod engine;
+pub mod env;
+mod service;
 mod spec;
 
 pub use diff::{DiffCase, DiffReport, Divergence, DivergenceKind, ModeOutcome};
 pub use engine::{
-    CacheReport, EngineOptions, ExecMode, Explanation, Majic, PhaseTimes, Platform, TierOptions,
+    CacheReport, EngineOptions, EngineOptionsBuilder, ExecMode, Explanation, Majic, MajicBuilder,
+    PhaseTimes, Platform, TierOptions,
 };
 pub use majic_repo::cache::{LoadReport, RepoCache};
 pub use majic_repo::{RepoStats, Tier};
+pub use service::{Background, BackgroundStats, CompilerService, Session};
 pub use spec::{SpecConfig, SpecRecord, SpecStats, SpecWorkerPool, DEFAULT_RECORD_CAPACITY};
 
 pub use majic_infer::InferOptions;

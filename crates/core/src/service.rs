@@ -1,0 +1,1444 @@
+//! The shared compiler service and its per-user sessions.
+//!
+//! The paper's code repository is a *service*: "a system-wide database
+//! of previously compiled code" that many interactive sessions consult
+//! and feed concurrently. This module is that split. A
+//! [`CompilerService`] owns the process-wide assets — the
+//! [`Repository`], the background speculation and tier-promotion
+//! pools, the persistent-cache lifecycle, and the audit switch — and a
+//! [`Session`] is the cheap per-user part: an interpreter workspace,
+//! the sources that user loaded, and per-session phase timers. Any
+//! number of sessions run concurrently against one service, each from
+//! its own thread.
+//!
+//! # Namespaces: sharing without leakage
+//!
+//! Sessions share compiled code through *closure-hash namespaces*. When
+//! a session loads source, it computes, for every registered function,
+//! an FNV-1a hash over the canonical (pretty-printed) source of the
+//! function's whole static call closure — the function itself plus
+//! everything it transitively calls. That hash is the repository
+//! namespace the session's compiled versions live in:
+//!
+//! - Two sessions that loaded the *same* source text compute the same
+//!   hashes and therefore dispatch from the same namespaces — a
+//!   function compiled by either is immediately available to both
+//!   (counted in [`majic_repo::RepoStats::shared_hits`]).
+//! - A session that *redefines* a function gets a new hash for it — and
+//!   for every caller whose closure reaches it — so its future lookups
+//!   and publishes move to fresh namespaces. Other sessions still on
+//!   the old source keep dispatching their old, still-correct versions:
+//!   a neighbor's redefinition can never leak into this session.
+//!
+//! Stale background publishes stay impossible for the same reason as
+//! before, now per `(function, namespace)`: a job captures the
+//! namespace generation at submit time and publishes through
+//! [`Repository::insert_if_current_ns`], and retargeting the last user
+//! away from a namespace invalidates it (bumping the generation).
+//! Safety never depends on any of this bookkeeping, though — every
+//! dispatch still runs the repository's `Qi ⊑ Ti` signature check, so
+//! the worst a bookkeeping bug could cost is a recompile, never a wrong
+//! answer.
+//!
+//! Namespace *reference counts* track which sessions currently use
+//! which `(function, namespace)` pairs. A session dropping (or
+//! retargeting away) decrements; compiled versions are invalidated only
+//! when a redefinition strands a namespace with no users. A namespace
+//! left behind by a plain session exit keeps its versions — that is
+//! what makes the next session on the same source warm.
+
+use crate::engine::{
+    collect_callees, has_global_or_clear, quality_name, signature_of, CacheReport,
+    EngineDispatcher, EngineOptions, ExecMode, Explanation, PhaseTimes, Pipeline,
+};
+use crate::spec::{JobSpec, SpecConfig, SpecStats, SpecWorkerPool};
+use majic_ast::{parse_source, parse_statements, ExprKind, Function, LValue, Stmt, StmtKind};
+use majic_interp::Interp;
+use majic_repo::cache::{CacheEntry, RepoCache};
+use majic_repo::{Repository, DEFAULT_NS};
+use majic_runtime::{RuntimeError, RuntimeResult, Value};
+use majic_types::Signature;
+use majic_vm::execute;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The shared, thread-safe compiler service: one per process (or per
+/// isolated repository you want), any number of [`Session`]s against
+/// it. Cloning is cheap — clones share the same service state.
+///
+/// ```
+/// use majic::CompilerService;
+///
+/// let service = CompilerService::new();
+/// let src = "function y = twice(x)\ny = 2 * x;\n";
+/// std::thread::scope(|scope| {
+///     for _ in 0..2 {
+///         let service = &service;
+///         scope.spawn(move || {
+///             let mut session = service.session();
+///             session.load_source(src).unwrap();
+///             let out = session.call("twice", &[21.0f64.into()], 1).unwrap();
+///             assert_eq!(out[0].to_scalar().unwrap(), 42.0);
+///         });
+///     }
+/// });
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompilerService {
+    state: Arc<ServiceState>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ServiceState {
+    repo: Arc<Repository>,
+    /// Options handed to each new session (the session's `options`
+    /// field is its own mutable copy).
+    defaults: EngineOptions,
+    next_session: AtomicU64,
+    /// Background speculative-compilation pool, when started
+    /// ([`Session::speculate_background`]). Shared: jobs from every
+    /// session ride the same workers.
+    spec: Mutex<Option<Arc<SpecWorkerPool>>>,
+    /// Background tier-1 recompilation pool, started lazily at the
+    /// first hot promotion from any session.
+    tier: Mutex<Option<Arc<SpecWorkerPool>>>,
+    /// Hot promotions already enqueued, keyed by `(function, namespace,
+    /// rendered signature)` — each tier-0 version is promoted at most
+    /// once service-wide, no matter how many sessions run it hot.
+    promoted: Mutex<HashSet<(String, u64, String)>>,
+    /// How many live sessions currently map each `(function,
+    /// namespace)` pair. Redefinitions invalidate a namespace only when
+    /// its last user retargets away; plain session exits just
+    /// decrement, leaving compiled versions warm for the next session
+    /// on the same source.
+    ns_users: Mutex<HashMap<(String, u64), usize>>,
+    cache: Mutex<CacheState>,
+    /// This service's audit-log request; mirrored into the trace
+    /// crate's process-wide refcount so recording turns on while any
+    /// service wants it.
+    audit: AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Attached persistent cache, if any ([`Session::attach_cache`]).
+    cache: Option<RepoCache>,
+    /// Cache entries loaded from disk but not yet tied to live source:
+    /// they install into the repository only when a session registers
+    /// the matching function with a matching closure hash.
+    pending: HashMap<String, Vec<CacheEntry>>,
+    /// Running warm-start accounting ([`Session::cache_report`]).
+    report: CacheReport,
+}
+
+impl Default for CompilerService {
+    fn default() -> Self {
+        CompilerService::new()
+    }
+}
+
+impl CompilerService {
+    /// A fresh service with default (JIT) session options. The
+    /// `MAJIC_TIER` environment variable is consulted here (per
+    /// construction, like [`crate::Majic::new`] always did), so a
+    /// process can disable or retune tier promotion without code
+    /// changes.
+    pub fn new() -> CompilerService {
+        let mut options = EngineOptions::default();
+        options.tier = crate::env::tier_options_from_env(
+            std::env::var("MAJIC_TIER").ok().as_deref(),
+            options.tier,
+        );
+        CompilerService::with_options(options)
+    }
+
+    /// A fresh service whose sessions start from `options` exactly as
+    /// given (`MAJIC_TIER` is *not* consulted — this is the
+    /// explicit-configuration path).
+    pub fn with_options(options: EngineOptions) -> CompilerService {
+        CompilerService {
+            state: Arc::new(ServiceState {
+                repo: Arc::new(Repository::new()),
+                defaults: options,
+                next_session: AtomicU64::new(0),
+                spec: Mutex::new(None),
+                tier: Mutex::new(None),
+                promoted: Mutex::new(HashSet::new()),
+                ns_users: Mutex::new(HashMap::new()),
+                cache: Mutex::new(CacheState::default()),
+                audit: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Mint a new session. Sessions are independent users of the shared
+    /// repository: each has its own workspace, loaded sources, and
+    /// timers, and may live on its own thread.
+    pub fn session(&self) -> Session {
+        let id = self.state.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        Session {
+            service: self.clone(),
+            id,
+            interp: Interp::new(),
+            registry: Arc::new(HashMap::new()),
+            known: Arc::new(HashSet::new()),
+            hashes: Arc::new(HashMap::new()),
+            next_node_id: 0,
+            options: self.state.defaults,
+            times: PhaseTimes::default(),
+        }
+    }
+
+    /// The shared code repository (inspection).
+    pub fn repository(&self) -> &Repository {
+        &self.state.repo
+    }
+
+    /// A shareable handle to the repository (e.g. for external monitors
+    /// or tests observing background publishes).
+    pub fn repository_handle(&self) -> Arc<Repository> {
+        Arc::clone(&self.state.repo)
+    }
+
+    /// Turn the compilation audit log on or off *for this service*.
+    ///
+    /// The flight recorder in `majic-trace` is process-global, so
+    /// enabling any service turns recording on (each service holds one
+    /// reference while its flag is set); records carry the session id
+    /// of the session that compiled. Disabling this service releases
+    /// its reference — recording stays on only while some other service
+    /// (or the process-wide switch, e.g. `MAJIC_EXPLAIN`) still wants
+    /// it.
+    pub fn set_audit(&self, on: bool) {
+        let was = self.state.audit.swap(on, Ordering::SeqCst);
+        if on && !was {
+            majic_trace::audit::retain_service();
+        } else if !on && was {
+            majic_trace::audit::release_service();
+        }
+    }
+
+    /// Whether this service requested audit recording.
+    pub fn audit_enabled(&self) -> bool {
+        self.state.audit.load(Ordering::SeqCst)
+    }
+
+    /// Handle over the service's background compilation pools
+    /// (speculation + tier promotion) as one unit: wait for quiet,
+    /// snapshot statistics, or shut them down.
+    pub fn background(&self) -> Background<'_> {
+        Background { state: &self.state }
+    }
+
+    /// Attach a persistent repository cache at `path` and load whatever
+    /// it holds (see `docs/CACHE_FORMAT.md`). Loaded entries install
+    /// into the live repository lazily, as sessions register matching
+    /// source. Usually called through [`Session::attach_cache`], which
+    /// also revalidates the calling session's already-loaded functions.
+    pub fn attach_cache(&self, path: impl Into<std::path::PathBuf>) -> CacheReport {
+        self.state.attach_cache(path.into())
+    }
+
+    /// Flush the repository to the attached cache (atomic write).
+    /// Returns the number of entries written, or 0 with no cache
+    /// attached.
+    ///
+    /// Only namespaced (session-compiled) versions are saved — their
+    /// namespace key *is* the closure-source hash the next process
+    /// revalidates against. Entries still pending from load are carried
+    /// over rather than dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic save.
+    pub fn save_cache(&self) -> std::io::Result<usize> {
+        self.state.save_cache()
+    }
+
+    /// This service's warm-start accounting so far.
+    pub fn cache_report(&self) -> CacheReport {
+        self.state.cache_report()
+    }
+}
+
+impl ServiceState {
+    fn spec_pool(&self) -> Option<Arc<SpecWorkerPool>> {
+        self.spec.lock().expect("spec slot poisoned").clone()
+    }
+
+    fn tier_pool(&self) -> Option<Arc<SpecWorkerPool>> {
+        self.tier.lock().expect("tier slot poisoned").clone()
+    }
+
+    fn tier_pool_or_start(&self, workers: usize) -> Arc<SpecWorkerPool> {
+        let mut slot = self.tier.lock().expect("tier slot poisoned");
+        if let Some(pool) = &*slot {
+            return Arc::clone(pool);
+        }
+        let pool = Arc::new(SpecWorkerPool::start(
+            SpecConfig {
+                workers: workers.max(1),
+                ..SpecConfig::default()
+            },
+            Arc::clone(&self.repo),
+        ));
+        *slot = Some(Arc::clone(&pool));
+        pool
+    }
+
+    /// A session moved `name` from namespace `old` to `new` (a
+    /// redefinition changed the closure hash). When the old namespace
+    /// loses its last user its versions are invalidated — bumping the
+    /// generation so in-flight background compiles against the old
+    /// source are rejected at publish — and its promotion dedup keys
+    /// are released so fresh code can earn promotion again.
+    fn retarget_ns(&self, name: &str, old: Option<u64>, new: u64) {
+        let mut users = self.ns_users.lock().expect("ns_users poisoned");
+        if let Some(old) = old {
+            let key = (name.to_owned(), old);
+            if let Some(count) = users.get_mut(&key) {
+                *count -= 1;
+                if *count == 0 {
+                    users.remove(&key);
+                    self.repo.invalidate_ns(name, old);
+                    self.promoted
+                        .lock()
+                        .expect("promoted poisoned")
+                        .retain(|(n, ns, _)| !(n == name && *ns == old));
+                }
+            }
+        }
+        *users.entry((name.to_owned(), new)).or_insert(0) += 1;
+    }
+
+    /// A session dropped while mapping `name` to `ns`: decrement the
+    /// user count *without* invalidating. Compiled versions outliving
+    /// their sessions is the point — the next session loading the same
+    /// source starts warm.
+    fn release_ns(&self, name: &str, ns: u64) {
+        let mut users = self.ns_users.lock().expect("ns_users poisoned");
+        let key = (name.to_owned(), ns);
+        if let Some(count) = users.get_mut(&key) {
+            *count -= 1;
+            if *count == 0 {
+                users.remove(&key);
+            }
+        }
+    }
+
+    fn attach_cache(&self, path: std::path::PathBuf) -> CacheReport {
+        let cache = RepoCache::new(path, majic_codegen::build_fingerprint());
+        let (entries, load) = cache.load();
+        let mut cs = self.cache.lock().expect("cache state poisoned");
+        cs.cache = Some(cache);
+        cs.report.loaded += load.loaded;
+        cs.report.rejected_version += load.rejected_version;
+        cs.report.rejected_fingerprint += load.rejected_fingerprint;
+        cs.report.rejected_checksum += load.rejected_checksum;
+        for e in entries {
+            cs.pending.entry(e.name.clone()).or_default().push(e);
+        }
+        cs.report
+    }
+
+    fn save_cache(&self) -> std::io::Result<usize> {
+        let cs = self.cache.lock().expect("cache state poisoned");
+        let Some(cache) = &cs.cache else {
+            return Ok(0);
+        };
+        let mut entries: Vec<CacheEntry> = Vec::new();
+        for (name, ns, versions) in self.repo.entries_ns() {
+            // Only namespaced versions can be revalidated next session:
+            // their namespace key is the closure-source hash. Versions
+            // in the default namespace (compiled outside any session)
+            // carry no source pedigree and are not persisted.
+            if ns == DEFAULT_NS {
+                continue;
+            }
+            for version in versions {
+                entries.push(CacheEntry {
+                    name: name.clone(),
+                    source_hash: ns,
+                    version,
+                });
+            }
+        }
+        let mut carried: Vec<&String> = cs.pending.keys().collect();
+        carried.sort();
+        let carried: Vec<CacheEntry> = carried
+            .into_iter()
+            .flat_map(|n| cs.pending[n].iter().cloned())
+            .collect();
+        entries.extend(carried);
+        cache.save(&entries)?;
+        Ok(entries.len())
+    }
+
+    fn cache_report(&self) -> CacheReport {
+        self.cache.lock().expect("cache state poisoned").report
+    }
+}
+
+impl Drop for ServiceState {
+    /// Best-effort shutdown flush: drain and join the background pools
+    /// (so their versions are included), then save the attached cache,
+    /// if any. Errors are swallowed — drop must not panic, and a failed
+    /// flush only costs next session's warm start.
+    fn drop(&mut self) {
+        let spec = self.spec.lock().ok().and_then(|mut s| s.take());
+        if let Some(pool) = spec {
+            pool.shutdown();
+        }
+        let tier = self.tier.lock().ok().and_then(|mut s| s.take());
+        if let Some(pool) = tier {
+            pool.shutdown();
+        }
+        let _ = self.save_cache();
+        if self.audit.load(Ordering::SeqCst) {
+            majic_trace::audit::release_service();
+        }
+    }
+}
+
+/// Statistics of both background pools, as returned by the
+/// [`Background`] handle.
+#[derive(Clone, Debug, Default)]
+pub struct BackgroundStats {
+    /// Speculative-compilation pool statistics, when one was started.
+    pub spec: Option<SpecStats>,
+    /// Tier-promotion pool statistics, when promotion started one.
+    pub tier: Option<SpecStats>,
+}
+
+/// One handle over a service's background compilation — speculation and
+/// tier promotion together. Obtained from
+/// [`CompilerService::background`] or [`Session::background`].
+#[derive(Debug)]
+pub struct Background<'a> {
+    state: &'a ServiceState,
+}
+
+impl Background<'_> {
+    /// Block until both pools (whichever exist) have drained their
+    /// queues. Tests and batch experiments use this; interactive
+    /// sessions never need to.
+    pub fn wait(&self) {
+        // Clone the handles out first: waiting must not hold the slot
+        // locks, or a concurrent session couldn't submit work.
+        let spec = self.state.spec_pool();
+        let tier = self.state.tier_pool();
+        if let Some(pool) = spec {
+            pool.wait_idle();
+        }
+        if let Some(pool) = tier {
+            pool.wait_idle();
+        }
+    }
+
+    /// Statistics of whichever pools exist right now.
+    pub fn stats(&self) -> BackgroundStats {
+        BackgroundStats {
+            spec: self.state.spec_pool().map(|p| p.stats()),
+            tier: self.state.tier_pool().map(|p| p.stats()),
+        }
+    }
+
+    /// Shut both pools down (drain, join) and return their final
+    /// statistics. Pools that never started report `None`.
+    pub fn finish(&self) -> BackgroundStats {
+        let spec = self.state.spec.lock().expect("spec slot poisoned").take();
+        let tier = self.state.tier.lock().expect("tier slot poisoned").take();
+        BackgroundStats {
+            spec: spec.map(|p| {
+                p.shutdown();
+                p.stats()
+            }),
+            tier: tier.map(|p| {
+                p.shutdown();
+                p.stats()
+            }),
+        }
+    }
+}
+
+/// One user of a [`CompilerService`]: an interpreter workspace, the
+/// sources this user loaded (with their closure-hash namespaces), and
+/// per-session timers. Create with [`CompilerService::session`]; the
+/// single-user [`crate::Majic`] facade derefs to this type.
+#[derive(Debug)]
+pub struct Session {
+    service: CompilerService,
+    /// 1-based session id; attributed on audit records and repository
+    /// inserts (`0` is reserved for out-of-session work).
+    id: u64,
+    interp: Interp,
+    /// Copy-on-write: background jobs hold cheap snapshots.
+    registry: Arc<HashMap<String, Function>>,
+    known: Arc<HashSet<String>>,
+    /// `function name → closure hash` = this session's repository
+    /// namespace for the function. Recomputed on every
+    /// [`Session::load_source`].
+    hashes: Arc<HashMap<String, u64>>,
+    next_node_id: u32,
+    /// Engine configuration (mutable between calls).
+    pub options: EngineOptions,
+    /// Cumulative phase times since the last [`Session::reset_times`].
+    pub times: PhaseTimes,
+}
+
+impl Session {
+    /// The service this session belongs to.
+    pub fn service(&self) -> &CompilerService {
+        &self.service
+    }
+
+    /// This session's id (1-based, unique within the service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This session's repository namespace for `name`.
+    fn ns(&self, name: &str) -> u64 {
+        self.hashes.get(name).copied().unwrap_or(DEFAULT_NS)
+    }
+
+    /// Should compilations triggered by this session be audited?
+    fn audit_on(&self) -> bool {
+        self.service.audit_enabled() || majic_trace::audit::process_enabled()
+    }
+
+    fn job_spec(&self, name: &str, sig: Option<Signature>) -> JobSpec {
+        JobSpec {
+            name: name.to_owned(),
+            sig,
+            ns: self.ns(name),
+            session: self.id,
+            registry: Arc::clone(&self.registry),
+            known: Arc::clone(&self.known),
+            hashes: Arc::clone(&self.hashes),
+            options: self.options,
+            audit: self.audit_on(),
+        }
+    }
+
+    /// Load MATLAB source: functions are registered (this is the
+    /// repository's "source directory snoop"), script statements run
+    /// immediately.
+    ///
+    /// Registering source re-derives the closure hash of *every*
+    /// function this session knows — a redefinition changes the
+    /// namespace of each caller that reaches it, moving this session's
+    /// future compiles and lookups onto the new source while other
+    /// sessions keep their own view.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors and script execution errors.
+    pub fn load_source(&mut self, src: &str) -> RuntimeResult<()> {
+        let sp = majic_trace::Span::enter("parse");
+        let file =
+            parse_source(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        sp.exit();
+        self.next_node_id = self.next_node_id.max(file.node_count);
+        if !file.functions.is_empty() {
+            {
+                let registry = Arc::make_mut(&mut self.registry);
+                let known = Arc::make_mut(&mut self.known);
+                for f in &file.functions {
+                    known.insert(f.name.clone());
+                    registry.insert(f.name.clone(), f.clone());
+                    self.interp.define_function(f.clone());
+                }
+            }
+            // Source changed → namespaces move (repository dependency
+            // tracking). Unchanged functions keep their hash, their
+            // namespace, and every compiled version in it.
+            let new_hashes = closure_hashes(&self.registry, &self.known);
+            for (name, &new_ns) in &new_hashes {
+                let old = self.hashes.get(name).copied();
+                if old != Some(new_ns) {
+                    self.service.state.retarget_ns(name, old, new_ns);
+                }
+            }
+            self.hashes = Arc::new(new_hashes);
+            // Warm start: now that the authoritative source is known,
+            // cached compiled versions whose closure hash still matches
+            // may install into the repository.
+            for f in &file.functions {
+                self.install_cached(&f.name);
+            }
+            // A running pool snoops newly loaded sources (the paper's
+            // "source directory snoop"): speculate on them right away.
+            if let Some(pool) = self.service.state.spec_pool() {
+                for f in &file.functions {
+                    pool.submit(self.job_spec(&f.name, None));
+                }
+            }
+        }
+        if !file.script.is_empty() {
+            self.exec_statements(&file.script)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate command-window input. Function-call statements route
+    /// through the repository (the front end "defers computationally
+    /// complex tasks to the code repository"); everything else is
+    /// interpreted directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse and execution errors.
+    pub fn eval(&mut self, src: &str) -> RuntimeResult<()> {
+        let sp = majic_trace::Span::enter("parse");
+        let (stmts, next) =
+            parse_statements(src).map_err(|e| RuntimeError::Raised(format!("parse error: {e}")))?;
+        sp.exit();
+        self.next_node_id = self.next_node_id.max(next);
+        self.exec_statements(&stmts)
+    }
+
+    fn exec_statements(&mut self, stmts: &[Stmt]) -> RuntimeResult<()> {
+        for stmt in stmts {
+            if self.options.mode != ExecMode::Interpret {
+                if let Some(()) = self.try_deferred_call(stmt)? {
+                    continue;
+                }
+            }
+            let sp = majic_trace::Span::enter("execution");
+            let r = self.interp.exec_statements(std::slice::from_ref(stmt));
+            self.times.execution += sp.exit();
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Route `x = f(args)` / `[a,b] = f(args)` / `f(args)` statements
+    /// through the compiled path when `f` is a known user function.
+    fn try_deferred_call(&mut self, stmt: &Stmt) -> RuntimeResult<Option<()>> {
+        let (lhs_names, callee, args): (Vec<&LValue>, &str, &[majic_ast::Expr]) = match &stmt.kind {
+            StmtKind::Assign {
+                lhs: lhs @ LValue::Var { .. },
+                rhs,
+                ..
+            } => match &rhs.kind {
+                ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
+                    (vec![lhs], callee, args)
+                }
+                _ => return Ok(None),
+            },
+            StmtKind::MultiAssign {
+                lhs, callee, args, ..
+            } if self.registry.contains_key(callee)
+                && lhs.iter().all(|l| matches!(l, LValue::Var { .. })) =>
+            {
+                (lhs.iter().collect(), callee, args)
+            }
+            StmtKind::Expr { expr, .. } => match &expr.kind {
+                ExprKind::Apply { callee, args } if self.registry.contains_key(callee) => {
+                    (vec![], callee, args)
+                }
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        // Subscript-less arguments only (a `:` would mean indexing).
+        if args
+            .iter()
+            .any(|a| matches!(a.kind, ExprKind::Colon | ExprKind::End))
+        {
+            return Ok(None);
+        }
+        let callee = callee.to_owned();
+        let mut argv = Vec::with_capacity(args.len());
+        for a in args {
+            argv.push(self.interp.eval_value(a)?);
+        }
+        let nargout = lhs_names
+            .len()
+            .max(if lhs_names.is_empty() { 0 } else { 1 });
+        let outs = self.call(&callee, &argv, nargout)?;
+        for (lv, v) in lhs_names.iter().zip(outs) {
+            self.interp.set_var(lv.name(), v);
+        }
+        Ok(Some(()))
+    }
+
+    /// Invoke a user function through the configured execution mode.
+    /// This is the operation the evaluation measures.
+    ///
+    /// ```
+    /// use majic::{ExecMode, Majic};
+    ///
+    /// let mut session = Majic::with_mode(ExecMode::Jit);
+    /// session
+    ///     .load_source("function s = total(v)\ns = sum(v) + 1;\n")
+    ///     .unwrap();
+    /// let v = majic::Value::Real(majic::Matrix::from_rows(vec![vec![1.0, 2.0, 3.0]]));
+    /// let out = session.call("total", &[v], 1).unwrap();
+    /// assert_eq!(out[0].to_scalar().unwrap(), 7.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the function.
+    pub fn call(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        nargout: usize,
+    ) -> RuntimeResult<Vec<Value>> {
+        let _call = majic_trace::Span::enter_with("call", || {
+            vec![
+                ("fn", name.to_owned()),
+                ("mode", format!("{:?}", self.options.mode).to_lowercase()),
+            ]
+        });
+        if majic_trace::enabled() {
+            majic_trace::counter("engine.call").inc();
+        }
+        // Apply the kernel-thread option cheaply (compare first) so
+        // mid-session option mutations take effect on the next call.
+        if let Some(threads) = self.options.threads {
+            if threads != majic_runtime::par::thread_count() {
+                majic_runtime::par::set_threads(threads);
+            }
+        }
+        if self.options.mode == ExecMode::Interpret || self.reaches_uncompilable(name) {
+            if self.options.mode != ExecMode::Interpret {
+                // A compiled mode quietly routing a call through the
+                // interpreter is exactly the decision the audit log
+                // exists to expose.
+                majic_trace::audit::session_event("fallback.interpreter", || {
+                    (
+                        name.to_owned(),
+                        "static call graph reaches global/clear, which compiled code \
+                         cannot express"
+                            .to_owned(),
+                    )
+                });
+            }
+            let sp = majic_trace::Span::enter("execution");
+            let r = self.interp.call_function(name, args, nargout);
+            self.times.execution += sp.exit();
+            return r;
+        }
+        let mut disp = EngineDispatcher {
+            registry: &self.registry,
+            known: &self.known,
+            repo: &self.service.state.repo,
+            hashes: &self.hashes,
+            session: self.id,
+            audit: self.service.audit_enabled() || majic_trace::audit::process_enabled(),
+            options: &self.options,
+            times: &mut self.times,
+            next_node_id: &mut self.next_node_id,
+            depth: 0,
+            noted: HashSet::new(),
+            hot: Vec::new(),
+        };
+        let sig = signature_of(args);
+        let version = disp.ensure_code(name, &sig)?;
+        let sp = majic_trace::Span::enter("execution");
+        let r = execute(
+            &version.code,
+            args,
+            nargout,
+            &mut disp,
+            &mut self.interp.ctx,
+        );
+        disp.times.execution += sp.exit();
+        // The run just finished bumped the version's execution counters;
+        // collect any version that crossed the hotness threshold (the
+        // one we dispatched plus any noted during nested dispatch) and
+        // hand them to the background tier-1 pool.
+        disp.note_hot(name, &version);
+        let hot = std::mem::take(&mut disp.hot);
+        drop(disp);
+        for (hot_name, hot_sig) in hot {
+            self.promote(hot_name, hot_sig);
+        }
+        let mut outs = r?;
+        outs.truncate(nargout.max(1));
+        if outs.len() < nargout {
+            return Err(RuntimeError::BadArity {
+                name: name.to_owned(),
+                detail: format!("{nargout} outputs requested"),
+            });
+        }
+        Ok(outs)
+    }
+
+    /// Enqueue a background tier-1 recompile of `name` for `sig`,
+    /// starting the service's recompilation pool on first use.
+    /// Best-effort: a rejected enqueue releases the dedup key so a
+    /// later hot call can retry.
+    fn promote(&mut self, name: String, sig: Signature) {
+        let key = (name.clone(), self.ns(&name), sig.to_string());
+        {
+            let mut promoted = self
+                .service
+                .state
+                .promoted
+                .lock()
+                .expect("promoted poisoned");
+            if !promoted.insert(key.clone()) {
+                // Another session (or an earlier call) already promoted
+                // this exact version.
+                return;
+            }
+        }
+        let pool = self
+            .service
+            .state
+            .tier_pool_or_start(self.options.tier.workers.max(1));
+        // The session's *current* options ride along with the job, so
+        // mutating `self.options` (platform, inference, regalloc)
+        // mid-session applies to later recompiles instead of being
+        // frozen at pool start.
+        let accepted = pool.submit(self.job_spec(&name, Some(sig)));
+        if !accepted {
+            self.service
+                .state
+                .promoted
+                .lock()
+                .expect("promoted poisoned")
+                .remove(&key);
+        }
+    }
+
+    /// Handle over the service's background pools; see
+    /// [`CompilerService::background`].
+    pub fn background(&self) -> Background<'_> {
+        self.service.state_background()
+    }
+
+    /// Speculatively compile every registered function ahead of time
+    /// (paper §2.5), filling the repository with optimized versions for
+    /// the guessed signatures. Returns the hidden (ahead-of-time)
+    /// compile latency.
+    ///
+    /// This is the *synchronous* path: it blocks the session until
+    /// every speculative version is compiled.
+    /// [`Session::speculate_background`] is the concurrent equivalent
+    /// that keeps the session responsive.
+    pub fn speculate_all(&mut self) -> Duration {
+        let names: Vec<String> = self.registry.keys().cloned().collect();
+        let audit = self.audit_on();
+        let t0 = Instant::now();
+        for name in names {
+            // Failures (globals etc.) simply leave no speculative
+            // version; those calls interpret or JIT later.
+            if audit {
+                majic_trace::audit::begin(&name);
+                majic_trace::audit::session_id(self.id);
+            }
+            let t1 = Instant::now();
+            let result = crate::engine::compile_function(
+                &self.registry,
+                &self.known,
+                &self.service.state.repo,
+                &self.hashes,
+                &self.options,
+                &name,
+                None,
+                Pipeline::Opt,
+                &mut self.next_node_id,
+                &mut self.times,
+            );
+            majic_trace::audit::commit(
+                || match &result {
+                    Ok(v) => v.signature.to_string(),
+                    Err(_) => "(speculative)".to_owned(),
+                },
+                "spec_sync",
+                || match &result {
+                    Ok(v) => format!("published ({})", quality_name(v.quality)),
+                    Err(e) => format!("failed: {e}"),
+                },
+                None,
+                t1.elapsed().as_nanos() as u64,
+            );
+            if let Ok(version) = result {
+                self.service
+                    .state
+                    .repo
+                    .insert_ns(&name, self.ns(&name), self.id, version);
+            }
+        }
+        // Speculative compilation happens before the program runs: it is
+        // *hidden* latency, not charged to any phase.
+        let hidden = t0.elapsed();
+        self.times = PhaseTimes::default();
+        hidden
+    }
+
+    /// Start background speculative compilation with `workers` threads:
+    /// every function this session has registered is queued, and
+    /// functions loaded later (by any session) are queued as they
+    /// arrive. Returns immediately — the session keeps answering
+    /// through the interpreter/JIT and transparently picks up
+    /// speculative versions once published.
+    ///
+    /// The pool is a service-wide asset; calling this again (from any
+    /// session) replaces it (the old one is drained and joined first).
+    pub fn speculate_background(&mut self, workers: usize) {
+        self.speculate_background_with(SpecConfig {
+            workers,
+            ..SpecConfig::default()
+        });
+    }
+
+    /// [`Session::speculate_background`] with full queue configuration.
+    pub fn speculate_background_with(&mut self, cfg: SpecConfig) {
+        // Drain + join any previous pool first.
+        let old = self
+            .service
+            .state
+            .spec
+            .lock()
+            .expect("spec slot poisoned")
+            .take();
+        if let Some(old) = old {
+            old.shutdown();
+        }
+        let pool = Arc::new(SpecWorkerPool::start(
+            cfg,
+            Arc::clone(&self.service.state.repo),
+        ));
+        let mut names: Vec<String> = self.registry.keys().cloned().collect();
+        names.sort(); // deterministic queue order
+        for name in &names {
+            pool.submit(self.job_spec(name, None));
+        }
+        *self.service.state.spec.lock().expect("spec slot poisoned") = Some(pool);
+    }
+
+    /// Block until the background speculation pool (if any) has drained
+    /// its queue.
+    #[deprecated(note = "use `background().wait()`, which also covers the tier pool")]
+    pub fn spec_wait(&self) {
+        if let Some(pool) = self.service.state.spec_pool() {
+            pool.wait_idle();
+        }
+    }
+
+    /// Statistics of the background speculation pool, when one is
+    /// running.
+    #[deprecated(note = "use `background().stats().spec`")]
+    pub fn spec_stats(&self) -> Option<SpecStats> {
+        self.service.state.spec_pool().map(|p| p.stats())
+    }
+
+    /// Shut the background speculation pool down (drain, join) and
+    /// return its final statistics. No-op returning `None` when no pool
+    /// is running.
+    #[deprecated(note = "use `background().finish()`, which also covers the tier pool")]
+    pub fn finish_speculation(&mut self) -> Option<SpecStats> {
+        let pool = self
+            .service
+            .state
+            .spec
+            .lock()
+            .expect("spec slot poisoned")
+            .take()?;
+        pool.shutdown();
+        Some(pool.stats())
+    }
+
+    /// Block until the tier-1 recompilation pool (if any) has drained
+    /// its queue.
+    #[deprecated(note = "use `background().wait()`, which also covers the speculation pool")]
+    pub fn tier_wait(&self) {
+        if let Some(pool) = self.service.state.tier_pool() {
+            pool.wait_idle();
+        }
+    }
+
+    /// Statistics of the tier-1 recompilation pool, when promotion has
+    /// started one.
+    #[deprecated(note = "use `background().stats().tier`")]
+    pub fn tier_stats(&self) -> Option<SpecStats> {
+        self.service.state.tier_pool().map(|p| p.stats())
+    }
+
+    /// Shut the tier-1 recompilation pool down (drain, join) and return
+    /// its final statistics. No-op returning `None` when no promotion
+    /// ever happened.
+    #[deprecated(note = "use `background().finish()`, which also covers the speculation pool")]
+    pub fn finish_tiering(&mut self) -> Option<SpecStats> {
+        let pool = self
+            .service
+            .state
+            .tier
+            .lock()
+            .expect("tier slot poisoned")
+            .take()?;
+        pool.shutdown();
+        Some(pool.stats())
+    }
+
+    /// Attach a persistent repository cache at `path` and load whatever
+    /// it holds (see `docs/CACHE_FORMAT.md`).
+    ///
+    /// Loading is infallible: a missing file is a cold start, and any
+    /// corruption, truncation, version skew, or fingerprint mismatch
+    /// degrades to a cold start for the affected entries — never a
+    /// panic and never stale code. Loaded entries do **not** enter the
+    /// live repository yet; each installs only when
+    /// [`Session::load_source`] registers its function with an
+    /// unchanged closure-source hash (functions already registered are
+    /// checked immediately).
+    ///
+    /// The cache belongs to the *service*: every session shares it, and
+    /// it is flushed by [`Session::save_cache`] and, best-effort, when
+    /// the service drops.
+    ///
+    /// ```
+    /// use majic::Majic;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("majic-doc-{}", std::process::id()));
+    /// let path = dir.join("repo.majiccache");
+    /// let mut session = Majic::new();
+    /// let report = session.attach_cache(&path);
+    /// assert_eq!(report.loaded, 0); // nothing cached yet: a cold start
+    /// session.load_source("function y = sq(x)\ny = x * x;\n").unwrap();
+    /// session.call("sq", &[3.0f64.into()], 1).unwrap();
+    /// assert!(session.save_cache().unwrap() > 0);
+    /// # drop(session);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// ```
+    pub fn attach_cache(&mut self, path: impl Into<std::path::PathBuf>) -> CacheReport {
+        self.service.state.attach_cache(path.into());
+        // Sources loaded before the cache was attached can warm up now.
+        let names: Vec<String> = {
+            let cs = self
+                .service
+                .state
+                .cache
+                .lock()
+                .expect("cache state poisoned");
+            cs.pending
+                .keys()
+                .filter(|n| self.registry.contains_key(*n))
+                .cloned()
+                .collect()
+        };
+        for name in names {
+            self.install_cached(&name);
+        }
+        self.service.state.cache_report()
+    }
+
+    /// Flush the repository to the attached cache; see
+    /// [`CompilerService::save_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic save.
+    pub fn save_cache(&mut self) -> std::io::Result<usize> {
+        self.service.state.save_cache()
+    }
+
+    /// This service's warm-start accounting so far.
+    pub fn cache_report(&self) -> CacheReport {
+        self.service.state.cache_report()
+    }
+
+    /// Move `name`'s pending cache entries into the live repository if
+    /// their recorded closure hash matches the just-registered source;
+    /// reject them otherwise. This is the gate that guarantees a stale
+    /// cache is never executed.
+    fn install_cached(&mut self, name: &str) {
+        let Some(&live) = self.hashes.get(name) else {
+            return;
+        };
+        let entries = {
+            let mut cs = self
+                .service
+                .state
+                .cache
+                .lock()
+                .expect("cache state poisoned");
+            match cs.pending.remove(name) {
+                Some(entries) => entries,
+                None => return,
+            }
+        };
+        let audit = self.audit_on();
+        let mut installed = 0usize;
+        let mut rejected = 0usize;
+        for e in entries {
+            if e.source_hash == live {
+                // A warm hit is a compilation the session never had to
+                // run; it gets a (zero-compile-time) record so `explain`
+                // shows where each installed version came from.
+                if audit {
+                    majic_trace::audit::begin(name);
+                    majic_trace::audit::session_id(self.id);
+                }
+                majic_trace::audit::tier(e.version.tier.level());
+                majic_trace::audit::commit(
+                    || e.version.signature.to_string(),
+                    "warm_cache",
+                    || {
+                        format!(
+                            "installed from persistent cache ({})",
+                            quality_name(e.version.quality)
+                        )
+                    },
+                    None,
+                    0,
+                );
+                self.service
+                    .state
+                    .repo
+                    .insert_ns(name, live, self.id, e.version);
+                installed += 1;
+                majic_trace::counter("repo.cache.warm_hit").inc();
+            } else {
+                rejected += 1;
+                majic_trace::counter("repo.cache.reject.source_hash").inc();
+                majic_trace::audit::session_event("cache.reject.source_hash", || {
+                    (
+                        name.to_owned(),
+                        format!(
+                            "source changed since the cache was written \
+                             (cached hash {:016x} ≠ live {:016x}); entry dropped",
+                            e.source_hash, live
+                        ),
+                    )
+                });
+            }
+        }
+        let mut cs = self
+            .service
+            .state
+            .cache
+            .lock()
+            .expect("cache state poisoned");
+        cs.report.installed += installed;
+        cs.report.rejected_source_hash += rejected;
+    }
+
+    /// Does `name`'s static call graph reach a function compiled code
+    /// cannot express (`global` / `clear`)?
+    fn reaches_uncompilable(&self, name: &str) -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![name.to_owned()];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            let Some(f) = self.registry.get(&n) else {
+                continue;
+            };
+            if has_global_or_clear(&f.body) {
+                return true;
+            }
+            collect_callees(&f.body, &self.known, &mut stack);
+        }
+        false
+    }
+
+    /// The interpreter session (workspace access, captured output).
+    pub fn interp(&self) -> &Interp {
+        &self.interp
+    }
+
+    /// Mutable interpreter access.
+    pub fn interp_mut(&mut self) -> &mut Interp {
+        &mut self.interp
+    }
+
+    /// A base-workspace variable.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.interp.var(name)
+    }
+
+    /// Drain the captured `disp`/`fprintf` output.
+    pub fn take_printed(&mut self) -> String {
+        std::mem::take(&mut self.interp.ctx.printed)
+    }
+
+    /// The code repository (inspection). Shared with every other
+    /// session of the same service.
+    pub fn repository(&self) -> &Repository {
+        &self.service.state.repo
+    }
+
+    /// A shareable handle to the repository (e.g. for external monitors
+    /// or tests observing background publishes).
+    pub fn repository_handle(&self) -> Arc<Repository> {
+        Arc::clone(&self.service.state.repo)
+    }
+
+    /// Zero the cumulative phase timers.
+    pub fn reset_times(&mut self) {
+        self.times = PhaseTimes::default();
+    }
+
+    /// Human-readable tree report of every span, counter, and histogram
+    /// recorded since tracing was enabled (or last reset). Tracing is
+    /// process-global — enable it with [`majic_trace::set_enabled`] or
+    /// the `MAJIC_TRACE` environment variable before the work of
+    /// interest runs.
+    pub fn trace_report(&self) -> String {
+        majic_trace::export::render_report(&majic_trace::snapshot())
+    }
+
+    /// Export everything recorded so far as Chrome trace-event JSON
+    /// loadable in `chrome://tracing` or Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from writing `path`.
+    pub fn export_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        majic_trace::export::write_chrome_trace(path.as_ref())
+    }
+
+    /// Turn the compilation audit log on or off for this session's
+    /// service. Convenience for
+    /// [`CompilerService::set_audit`]`(on)`.
+    pub fn set_audit_enabled(&self, on: bool) {
+        self.service.set_audit(on);
+    }
+
+    /// Whether this session's service requested audit recording.
+    pub fn audit_enabled(&self) -> bool {
+        self.service.audit_enabled()
+    }
+
+    /// Why does `name` run the way it does? Returns every retained
+    /// compilation record and session event for the function, plus a
+    /// rendered report ([`Explanation::report`]) answering: what
+    /// triggered each compile, which variables inference widened and
+    /// why, what the inliner did at each call site, how the generated
+    /// code is shaped, and how the persistent cache treated it.
+    ///
+    /// Requires auditing to be on ([`Session::set_audit_enabled`] or
+    /// `MAJIC_EXPLAIN`) *before* the compilations of interest run;
+    /// otherwise the explanation is empty.
+    ///
+    /// ```
+    /// use majic::Majic;
+    ///
+    /// let mut session = Majic::new();
+    /// session.set_audit_enabled(true);
+    /// session.load_source("function y = cube(x)\ny = x * x * x;\n").unwrap();
+    /// session.call("cube", &[2.0f64.into()], 1).unwrap();
+    /// let why = session.explain("cube");
+    /// assert!(!why.records.is_empty());
+    /// assert!(why.report.contains("first_call"));
+    /// ```
+    pub fn explain(&self, name: &str) -> Explanation {
+        let records = majic_trace::audit::records_for(name);
+        let events = majic_trace::audit::events_for(name);
+        let report = majic_trace::audit::render_function_report(name, &records, &events);
+        Explanation {
+            function: name.to_owned(),
+            records,
+            events,
+            report,
+        }
+    }
+
+    /// Session-wide audit report: every retained compilation record and
+    /// session event, grouped per function, plus eviction counts when
+    /// the bounded rings overflowed.
+    pub fn explain_stats(&self) -> String {
+        majic_trace::audit::render_report(&majic_trace::audit::snapshot())
+    }
+}
+
+impl CompilerService {
+    fn state_background(&self) -> Background<'_> {
+        Background { state: &self.state }
+    }
+}
+
+impl Drop for Session {
+    /// Release this session's namespace references *without*
+    /// invalidating anything: compiled versions outlive the session, so
+    /// the next session on the same source starts warm.
+    fn drop(&mut self) {
+        for (name, &ns) in self.hashes.iter() {
+            self.service.state.release_ns(name, ns);
+        }
+    }
+}
+
+/// The per-function namespace key: an FNV-1a hash over the canonical
+/// (pretty-printed) source of the function's whole static call closure
+/// — itself plus every registered function it transitively reaches.
+/// Whitespace/comment-insensitive by construction, stable across
+/// sessions, processes, and platforms (which is what lets the
+/// persistent cache revalidate against it).
+///
+/// Hashing the *closure* rather than the single function means a
+/// redefinition automatically moves every affected caller to a new
+/// namespace too — inlining and cross-function inference make a
+/// caller's compiled code depend on its callees' exact source.
+fn closure_hashes(
+    registry: &HashMap<String, Function>,
+    known: &HashSet<String>,
+) -> HashMap<String, u64> {
+    // Pretty-print each function once and record its direct callees.
+    let mut printed: HashMap<&str, String> = HashMap::with_capacity(registry.len());
+    let mut callees: HashMap<&str, Vec<String>> = HashMap::with_capacity(registry.len());
+    for (name, f) in registry {
+        printed.insert(name, format!("{f}"));
+        let mut out = Vec::new();
+        collect_callees(&f.body, known, &mut out);
+        out.retain(|c| registry.contains_key(c));
+        callees.insert(name, out);
+    }
+    let mut hashes = HashMap::with_capacity(registry.len());
+    for name in registry.keys() {
+        // Transitive closure, including the function itself. A BTreeSet
+        // gives the deterministic order the hash needs.
+        let mut closure: BTreeSet<&str> = BTreeSet::new();
+        let mut stack: Vec<&str> = vec![name];
+        while let Some(n) = stack.pop() {
+            if !closure.insert(n) {
+                continue;
+            }
+            if let Some(cs) = callees.get(n) {
+                stack.extend(cs.iter().map(String::as_str));
+            }
+        }
+        let mut buf = Vec::new();
+        for n in &closure {
+            buf.extend_from_slice(n.as_bytes());
+            buf.push(0);
+            buf.extend_from_slice(printed[n].as_bytes());
+            buf.push(0);
+        }
+        let mut h = majic_types::wire::fnv1a(&buf);
+        if h == DEFAULT_NS {
+            // The default namespace is reserved for out-of-session work;
+            // remap the (astronomically unlikely) collision.
+            h = 1;
+        }
+        hashes.insert(name.clone(), h);
+    }
+    hashes
+}
+
+// The whole point of the service split: the service crosses threads,
+// and each thread mints (or is handed) its own sessions.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<CompilerService>();
+    assert_send::<Session>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_a() -> &'static str {
+        "function y = helper(x)\ny = x + 1;\nfunction y = outer(x)\ny = helper(x) * 2;\n"
+    }
+
+    #[test]
+    fn closure_hash_changes_ripple_to_callers() {
+        let mut s = CompilerService::new().session();
+        s.load_source(src_a()).unwrap();
+        let h_helper = s.ns("helper");
+        let h_outer = s.ns("outer");
+        assert_ne!(h_helper, DEFAULT_NS);
+        assert_ne!(h_outer, DEFAULT_NS);
+        // Redefining the callee moves BOTH namespaces.
+        s.load_source("function y = helper(x)\ny = x + 2;\n")
+            .unwrap();
+        assert_ne!(s.ns("helper"), h_helper);
+        assert_ne!(s.ns("outer"), h_outer);
+        // Reloading identical source moves neither.
+        let h2_helper = s.ns("helper");
+        s.load_source("function y = helper(x)\ny = x + 2;\n")
+            .unwrap();
+        assert_eq!(s.ns("helper"), h2_helper);
+    }
+
+    #[test]
+    fn same_source_sessions_share_compiled_code() {
+        let service = CompilerService::new();
+        let mut a = service.session();
+        let mut b = service.session();
+        a.load_source(src_a()).unwrap();
+        b.load_source(src_a()).unwrap();
+        assert_eq!(
+            a.call("outer", &[3.0f64.into()], 1).unwrap()[0]
+                .to_scalar()
+                .unwrap(),
+            8.0
+        );
+        let stats_before = service.repository().stats();
+        assert_eq!(
+            b.call("outer", &[3.0f64.into()], 1).unwrap()[0]
+                .to_scalar()
+                .unwrap(),
+            8.0
+        );
+        let stats_after = service.repository().stats();
+        // B's call dispatched A's compiled version: a shared hit, and no
+        // new top-level insert beyond what A produced.
+        assert!(stats_after.shared_hits > stats_before.shared_hits);
+    }
+
+    #[test]
+    fn redefinition_stays_session_local() {
+        let service = CompilerService::new();
+        let mut a = service.session();
+        let mut b = service.session();
+        let src = "function y = f(x)\ny = x * 10;\n";
+        a.load_source(src).unwrap();
+        b.load_source(src).unwrap();
+        assert_eq!(
+            a.call("f", &[2.0f64.into()], 1).unwrap()[0]
+                .to_scalar()
+                .unwrap(),
+            20.0
+        );
+        // B redefines; A must keep its original behavior.
+        b.load_source("function y = f(x)\ny = x * 100;\n").unwrap();
+        assert_eq!(
+            b.call("f", &[2.0f64.into()], 1).unwrap()[0]
+                .to_scalar()
+                .unwrap(),
+            200.0
+        );
+        assert_eq!(
+            a.call("f", &[2.0f64.into()], 1).unwrap()[0]
+                .to_scalar()
+                .unwrap(),
+            20.0
+        );
+    }
+
+    #[test]
+    fn session_exit_leaves_namespace_warm() {
+        let service = CompilerService::new();
+        {
+            let mut a = service.session();
+            a.load_source(src_a()).unwrap();
+            a.call("outer", &[3.0f64.into()], 1).unwrap();
+        } // a drops: refcounts released, versions kept
+        let versions_after_drop = service.repository().stats().inserts;
+        assert!(versions_after_drop > 0);
+        let mut b = service.session();
+        b.load_source(src_a()).unwrap();
+        let misses_before = service.repository().stats().misses;
+        b.call("outer", &[3.0f64.into()], 1).unwrap();
+        let stats = service.repository().stats();
+        assert_eq!(
+            stats.misses, misses_before,
+            "warm session's first call must dispatch the kept version"
+        );
+        assert!(stats.shared_hits > 0);
+    }
+}

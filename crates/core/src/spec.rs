@@ -3,35 +3,44 @@
 //! The paper's repository "generates code ahead of time" so that
 //! compilation latency is *hidden* from the interactive session. The
 //! seed implementation ran that speculation synchronously
-//! ([`crate::Majic::speculate_all`]), blocking the session exactly the
-//! way the paper says it must not. This module provides the genuinely
-//! concurrent version: a [`SpecWorkerPool`] of OS threads runs the
-//! speculative inference + optimizing backend off the critical path and
-//! publishes [`CompiledVersion`]s into the shared
-//! [`majic_repo::Repository`] as they finish. The foreground engine
-//! keeps answering through the interpreter/JIT and transparently picks
-//! up speculative versions on later repository lookups.
+//! ([`crate::Session::speculate_all`]), blocking the session exactly
+//! the way the paper says it must not. This module provides the
+//! genuinely concurrent version: a [`SpecWorkerPool`] of OS threads
+//! runs the speculative inference + optimizing backend off the critical
+//! path and publishes [`CompiledVersion`](majic_repo::CompiledVersion)s
+//! into the shared [`majic_repo::Repository`] as they finish. The
+//! foreground engine keeps answering through the interpreter/JIT and
+//! transparently picks up speculative versions on later repository
+//! lookups.
 //!
 //! Safety never depends on the workers: the repository's signature
 //! check (`Qi ⊑ Ti`) gates every lookup, so a version published late,
 //! early, or not at all can only change *performance*, never results.
 //! Workers compile from a registry snapshot taken at enqueue time, so
 //! each job also captures the function's repository *invalidation
-//! generation* and publishes through
-//! [`majic_repo::Repository::insert_if_current`]: if the source was
+//! generation* (within the job's namespace) and publishes through
+//! [`majic_repo::Repository::insert_if_current_ns`]: if the source was
 //! redefined while the job was in flight, the compiled version is
 //! dropped (counted in [`SpecStats::stale`]) instead of letting
 //! old-source code take over dispatch.
 //!
+//! A pool is a *service-wide* asset: jobs from different sessions share
+//! the workers, and each job carries the namespace, session id, and
+//! closure-hash table of the session that submitted it, so its output
+//! lands in (and its inference oracle reads from) exactly that
+//! session's view of the repository.
+//!
 //! # Shutdown semantics
 //!
 //! [`SpecWorkerPool::shutdown`] closes the queue (pending jobs are
-//! still drained), then joins every worker. Dropping the pool does the
-//! same — join-on-drop, so a `Majic` session never leaks threads.
+//! still drained), then joins every worker. It takes `&self`, so a pool
+//! shared behind an `Arc` can be shut down by whichever owner finishes
+//! last. Dropping the pool does the same — join-on-drop, so a session
+//! never leaks threads.
 
 use crate::engine::{compile_function, EngineOptions, PhaseTimes, Pipeline};
 use majic_ast::Function;
-use majic_repo::Repository;
+use majic_repo::{Repository, NO_SESSION};
 use majic_types::Signature;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -69,22 +78,44 @@ impl Default for SpecConfig {
     }
 }
 
-/// One unit of background work: compile `name` against a snapshot of
-/// the function registry taken at enqueue time. `sig = None` is a
-/// speculative job (the signature is guessed); `sig = Some(_)` is a
-/// hot-promotion job that re-runs inference with the observed signature
-/// through the optimizing pipeline (tier-1 recompilation).
+/// Everything a background job needs, captured at submit time: the
+/// compile inputs (registry/known snapshot, options), plus the
+/// submitting session's identity (namespace, session id, closure-hash
+/// table) and whether its service wants the compile audited. `sig =
+/// None` is a speculative job (the signature is guessed); `sig =
+/// Some(_)` is a hot-promotion job that re-runs inference with the
+/// observed signature through the optimizing pipeline (tier-1
+/// recompilation).
+#[derive(Debug)]
+pub(crate) struct JobSpec {
+    pub(crate) name: String,
+    pub(crate) sig: Option<Signature>,
+    /// Namespace the result publishes into (the submitting session's
+    /// closure hash for `name`).
+    pub(crate) ns: u64,
+    /// Session the job is attributed to ([`NO_SESSION`] outside any).
+    pub(crate) session: u64,
+    pub(crate) registry: Arc<HashMap<String, Function>>,
+    pub(crate) known: Arc<HashSet<String>>,
+    /// The submitting session's closure-hash table: the worker's
+    /// inference oracle resolves callee output types through it, so a
+    /// background compile sees exactly the caller's view of every
+    /// callee.
+    pub(crate) hashes: Arc<HashMap<String, u64>>,
+    /// Engine options in effect when the job was submitted: option
+    /// mutations between submits apply to later jobs instead of being
+    /// frozen at pool start.
+    pub(crate) options: EngineOptions,
+    /// The submitting service's audit flag at submit time.
+    pub(crate) audit: bool,
+}
+
+/// One queued unit of work: a [`JobSpec`] plus what the pool captured
+/// when it accepted the job.
 #[derive(Debug)]
 struct Job {
-    name: String,
-    sig: Option<Signature>,
-    registry: Arc<HashMap<String, Function>>,
-    known: Arc<HashSet<String>>,
-    /// Engine options in effect when the job was enqueued: option
-    /// mutations between enqueues apply to later jobs instead of being
-    /// frozen at pool start.
-    options: EngineOptions,
-    /// The function's repository invalidation generation at enqueue
+    spec: JobSpec,
+    /// The (function, namespace) invalidation generation at submit
     /// time; the publish is dropped if it no longer matches (the source
     /// was redefined while this job was in flight).
     generation: u64,
@@ -249,12 +280,15 @@ struct PoolShared {
 #[derive(Debug)]
 pub struct SpecWorkerPool {
     shared: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
+    /// Joined by [`SpecWorkerPool::shutdown`]; behind a `Mutex` so a
+    /// pool shared through `Arc` can still be shut down via `&self`.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
 }
 
 impl SpecWorkerPool {
     /// Start `cfg.workers` threads publishing into `repo`. Each job
-    /// carries the engine options in effect when it was enqueued.
+    /// carries the engine options in effect when it was submitted.
     pub fn start(cfg: SpecConfig, repo: Arc<Repository>) -> SpecWorkerPool {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(Queue::default()),
@@ -277,18 +311,24 @@ impl SpecWorkerPool {
                     .expect("spawn speculative worker")
             })
             .collect();
-        SpecWorkerPool { shared, handles }
+        SpecWorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            worker_count: cfg.workers,
+        }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool was started with.
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.worker_count
     }
 
     /// Queue `name` for speculative compilation against the given
-    /// registry snapshot. Returns `false` (and records a rejection) when
-    /// the pool has no workers, the queue is full, or the pool is shut
-    /// down — speculation is best-effort and never blocks the caller.
+    /// registry snapshot, outside any session (results land in the
+    /// default namespace). Returns `false` (and records a rejection)
+    /// when the pool has no workers, the queue is full, or the pool is
+    /// shut down — speculation is best-effort and never blocks the
+    /// caller.
     pub fn enqueue(
         &self,
         name: &str,
@@ -296,12 +336,22 @@ impl SpecWorkerPool {
         registry: Arc<HashMap<String, Function>>,
         known: Arc<HashSet<String>>,
     ) -> bool {
-        self.enqueue_job(name, None, options, registry, known)
+        self.submit(JobSpec {
+            name: name.to_owned(),
+            sig: None,
+            ns: majic_repo::DEFAULT_NS,
+            session: NO_SESSION,
+            registry,
+            known,
+            hashes: Arc::new(HashMap::new()),
+            options,
+            audit: majic_trace::audit::process_enabled(),
+        })
     }
 
     /// Queue a hot-promotion (tier-1) recompile of `name` for the
-    /// observed signature. Same best-effort semantics as
-    /// [`SpecWorkerPool::enqueue`].
+    /// observed signature, outside any session. Same best-effort
+    /// semantics as [`SpecWorkerPool::enqueue`].
     pub fn enqueue_hot(
         &self,
         name: &str,
@@ -310,33 +360,35 @@ impl SpecWorkerPool {
         registry: Arc<HashMap<String, Function>>,
         known: Arc<HashSet<String>>,
     ) -> bool {
-        self.enqueue_job(name, Some(sig), options, registry, known)
+        self.submit(JobSpec {
+            name: name.to_owned(),
+            sig: Some(sig),
+            ns: majic_repo::DEFAULT_NS,
+            session: NO_SESSION,
+            registry,
+            known,
+            hashes: Arc::new(HashMap::new()),
+            options,
+            audit: majic_trace::audit::process_enabled(),
+        })
     }
 
-    fn enqueue_job(
-        &self,
-        name: &str,
-        sig: Option<Signature>,
-        options: EngineOptions,
-        registry: Arc<HashMap<String, Function>>,
-        known: Arc<HashSet<String>>,
-    ) -> bool {
+    /// Queue a fully-specified job. This is the session path: the
+    /// [`JobSpec`] carries the namespace, session id, and hash table of
+    /// the submitting session. Best-effort like [`SpecWorkerPool::enqueue`].
+    pub(crate) fn submit(&self, spec: JobSpec) -> bool {
         // Captured before the job is queued: the caller's registry
         // snapshot is current *now*, so a later invalidation (source
-        // redefinition) bumps the generation past this value and the
-        // worker's publish is rejected.
-        let generation = self.shared.repo.generation(name);
+        // redefinition in this namespace) bumps the generation past
+        // this value and the worker's publish is rejected.
+        let generation = self.shared.repo.generation_ns(&spec.name, spec.ns);
         let accepted = {
             let mut q = self.shared.queue.lock().expect("spec queue poisoned");
-            if q.closed || self.handles.is_empty() || q.jobs.len() >= self.shared.capacity {
+            if q.closed || self.worker_count == 0 || q.jobs.len() >= self.shared.capacity {
                 false
             } else {
                 q.jobs.push_back(Job {
-                    name: name.to_owned(),
-                    sig,
-                    registry,
-                    known,
-                    options,
+                    spec,
                     generation,
                     enqueued: Instant::now(),
                 });
@@ -374,14 +426,22 @@ impl SpecWorkerPool {
     }
 
     /// Close the queue and join all workers. Pending jobs are drained
-    /// first; new enqueues are rejected. Idempotent.
-    pub fn shutdown(&mut self) {
+    /// first; new enqueues are rejected. Idempotent, and callable
+    /// through a shared reference (the pool is a service-wide asset
+    /// held behind an `Arc`).
+    pub fn shutdown(&self) {
         {
             let mut q = self.shared.queue.lock().expect("spec queue poisoned");
             q.closed = true;
         }
         self.shared.job_ready.notify_all();
-        for h in self.handles.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self
+            .handles
+            .lock()
+            .expect("spec handles poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -408,11 +468,16 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.job_ready.wait(q).expect("spec queue poisoned");
             }
         };
-        let queue_wait = job.enqueued.elapsed();
+        let Job {
+            spec: job,
+            generation,
+            enqueued,
+        } = job;
+        let queue_wait = enqueued.elapsed();
         // The wait span is recorded retroactively with the enqueue
         // timestamp as its start, so Chrome traces show the job sitting
         // in the queue on this worker's track before compilation begins.
-        majic_trace::record_interval("spec.queue_wait", job.enqueued, queue_wait, || {
+        majic_trace::record_interval("spec.queue_wait", enqueued, queue_wait, || {
             vec![("fn", job.name.clone())]
         });
 
@@ -422,12 +487,26 @@ fn worker_loop(shared: &PoolShared) {
         // job — so a worker-local counter is safe.
         let mut scratch_ids: u32 = 1 << 24;
         let mut times = PhaseTimes::default();
-        majic_trace::audit::begin(&job.name);
-        let sp = majic_trace::Span::enter_with("spec.compile", || vec![("fn", job.name.clone())]);
+        // The audit scope opens only if the submitting service wanted it
+        // (or the process-wide switch is on): a service with auditing
+        // off must not pollute another service's flight recorder.
+        if job.audit || majic_trace::audit::process_enabled() {
+            majic_trace::audit::begin(&job.name);
+            if job.session != NO_SESSION {
+                majic_trace::audit::session_id(job.session);
+            }
+        }
+        let sp = majic_trace::Span::enter_with("spec.compile", || {
+            vec![
+                ("fn", job.name.clone()),
+                ("session", job.session.to_string()),
+            ]
+        });
         let compiled = compile_function(
             &job.registry,
             &job.known,
             &shared.repo,
+            &job.hashes,
             &job.options,
             &job.name,
             job.sig.as_ref(),
@@ -454,10 +533,13 @@ fn worker_loop(shared: &PoolShared) {
         let (published_at, stale, outcome) = match compiled {
             Ok(version) => {
                 let quality = crate::engine::quality_name(version.quality);
-                if shared
-                    .repo
-                    .insert_if_current(&job.name, job.generation, version)
-                {
+                if shared.repo.insert_if_current_ns(
+                    &job.name,
+                    job.ns,
+                    generation,
+                    job.session,
+                    version,
+                ) {
                     (
                         Some(shared.started.elapsed()),
                         false,

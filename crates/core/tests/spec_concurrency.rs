@@ -39,7 +39,7 @@ fn run_with_workers(workers: usize) -> Vec<u64> {
             m.speculate_background(workers);
             // Drain so every arm actually runs whatever the workers
             // published (the race itself is exercised elsewhere).
-            m.spec_wait();
+            m.background().wait();
         }
         let argv: Vec<Value> = args.iter().map(|&a| Value::scalar(a)).collect();
         let out = m.call(entry, &argv, 1).unwrap();
@@ -69,9 +69,9 @@ fn published_versions_are_picked_up() {
     let mut m = Majic::with_mode(ExecMode::Spec);
     m.load_source(src).unwrap();
     m.speculate_background(2);
-    m.spec_wait();
+    m.background().wait();
 
-    let stats = m.spec_stats().expect("pool running");
+    let stats = m.background().stats().spec.expect("pool running");
     assert_eq!(stats.enqueued, 1);
     assert_eq!(stats.published, 1);
     assert_eq!(stats.failed, 0);
@@ -99,8 +99,8 @@ fn late_loaded_functions_are_speculated() {
     m.speculate_background(2);
     m.load_source("function y = late(x)\ny = x * 2 + 1;\n")
         .unwrap();
-    m.spec_wait();
-    let stats = m.spec_stats().expect("pool running");
+    m.background().wait();
+    let stats = m.background().stats().spec.expect("pool running");
     assert_eq!(stats.published, 1);
     assert_eq!(m.repository().version_count("late"), 1);
 }
@@ -116,11 +116,14 @@ fn shutdown_drains_and_reports() {
             .unwrap();
     }
     m.speculate_background(4);
-    let stats = m.finish_speculation().expect("pool was running");
+    let stats = m.background().finish().spec.expect("pool was running");
     assert_eq!(stats.enqueued, 12);
     assert_eq!(stats.published + stats.failed, 12);
     assert_eq!(stats.records.len(), 12);
-    assert!(m.spec_stats().is_none(), "pool gone after finish");
+    assert!(
+        m.background().stats().spec.is_none(),
+        "pool gone after finish"
+    );
     // Every published record carries observability timestamps.
     for r in &stats.records {
         assert!(r.published_at.is_some(), "{} failed to publish", r.name);
@@ -138,8 +141,8 @@ fn zero_worker_pool_rejects_and_session_survives() {
         queue_capacity: 8,
         ..SpecConfig::default()
     });
-    m.spec_wait(); // must not hang
-    let stats = m.spec_stats().unwrap();
+    m.background().wait(); // must not hang
+    let stats = m.background().stats().spec.unwrap();
     assert_eq!(stats.enqueued, 0);
     assert_eq!(stats.rejected, 1);
     let out = m.call("g", &[Value::scalar(5.0)], 1).unwrap();

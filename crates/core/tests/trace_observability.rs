@@ -63,8 +63,8 @@ fn spec_workers_trace_on_their_own_threads() {
         workers: 4,
         ..SpecConfig::default()
     });
-    m.spec_wait();
-    m.finish_speculation();
+    m.background().wait();
+    m.background().finish();
 
     majic_trace::set_enabled(false);
     let snap = majic_trace::snapshot();
@@ -106,8 +106,8 @@ fn spec_records_are_ring_bounded() {
         record_capacity: 4,
         ..SpecConfig::default()
     });
-    m.spec_wait();
-    let stats = m.finish_speculation().unwrap();
+    m.background().wait();
+    let stats = m.background().finish().spec.unwrap();
 
     assert_eq!(stats.enqueued, 10);
     assert_eq!(stats.completed(), 10);

@@ -16,6 +16,20 @@
 //! speculation *safe*: "a wrong guess by the compiler results, at worst,
 //! in degraded performance, but never affects program correctness".
 //!
+//! # Namespaces
+//!
+//! The repository is a *process-wide* asset shared by every session of a
+//! [`CompilerService`](https://docs.rs/majic): versions are stored
+//! two-level, `function name → namespace → versions`. A namespace key is
+//! an opaque `u64` — the engine uses the function's transitive source
+//! (closure) hash, so two sessions that loaded identical source share
+//! one namespace (and each other's compiled versions), while a session
+//! that redefined `f` (or any function `f` reaches) lands in a different
+//! namespace and can never be answered with its neighbor's code. The
+//! namespace-less methods ([`Repository::insert`], [`Repository::lookup`],
+//! …) remain for single-tenant use and diagnostics: they write to
+//! [`DEFAULT_NS`] and read across *all* namespaces.
+//!
 //! # Concurrency
 //!
 //! The repository is shared between the foreground engine and the
@@ -28,11 +42,13 @@
 //! is held only for the duration of one `Vec::push`.
 //!
 //! Background publishes are additionally guarded against *staleness*:
-//! every function carries an invalidation generation, bumped by
-//! [`Repository::invalidate`] on source change, and a worker that
-//! compiled from a pre-change snapshot publishes through
-//! [`Repository::insert_if_current`], which drops the version instead
-//! of letting since-redefined code take over dispatch.
+//! every (function, namespace) pair carries an invalidation generation,
+//! bumped by [`Repository::invalidate_ns`] on source change, and a
+//! worker that compiled from a pre-change snapshot publishes through
+//! [`Repository::insert_if_current_ns`], which drops the version instead
+//! of letting since-redefined code take over dispatch. The namespace key
+//! joins that guard: generations are per namespace, so a session
+//! redefining `f` never poisons a neighbor still running the old `f`.
 //!
 //! # Persistence
 //!
@@ -51,6 +67,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+/// The namespace the namespace-less compatibility methods write to.
+/// Engine sessions use the function's closure hash instead.
+pub const DEFAULT_NS: u64 = 0;
+
+/// The session id recorded for versions inserted outside any session
+/// (the namespace-less compatibility methods, tests, tools). Lookups
+/// attributed to this id never count as shared hits.
+pub const NO_SESSION: u64 = 0;
+
 /// Locator and lifecycle statistics of a [`Repository`].
 ///
 /// All counts are since creation or the last [`Repository::clear`],
@@ -62,6 +87,11 @@ pub struct RepoStats {
     pub hits: u64,
     /// Lookups with no safe version (each triggers a JIT compile).
     pub misses: u64,
+    /// Hits answered by a version a *different* session inserted —
+    /// the cross-session amortization a shared service exists for.
+    /// Only session-attributed lookups ([`Repository::lookup_ns`])
+    /// can count here.
+    pub shared_hits: u64,
     /// Versions inserted.
     pub inserts: u64,
     /// Invalidations (source-change recompilation triggers).
@@ -159,27 +189,44 @@ pub struct CompiledVersion {
     pub compile_time: Duration,
 }
 
-#[derive(Debug, Default)]
-struct Shard {
-    functions: HashMap<String, Vec<Arc<CompiledVersion>>>,
-    /// Per-function invalidation generation, bumped by
-    /// [`Repository::invalidate`]. Background compiles capture the
-    /// generation when they start and publish through
-    /// [`Repository::insert_if_current`], which rejects the version if
-    /// the source changed while the compile was in flight. Generations
-    /// only ever grow — [`Repository::clear`] drops versions but keeps
-    /// them, so an in-flight publish can never resurrect stale code.
-    generations: HashMap<String, u64>,
+/// One stored version plus its insertion provenance (which session
+/// published it — the input to [`RepoStats::shared_hits`]).
+#[derive(Debug)]
+struct Stored {
+    version: Arc<CompiledVersion>,
+    inserted_by: u64,
 }
 
-/// The repository: compiled versions per function name, sharded for
-/// concurrent access. All methods take `&self`; clone-free sharing
-/// between threads goes through `Arc<Repository>`.
+/// Versions and the invalidation generation of one (function,
+/// namespace) pair. The generation is bumped by
+/// [`Repository::invalidate_ns`]; background compiles capture it when
+/// they start and publish through
+/// [`Repository::insert_if_current_ns`], which rejects the version if
+/// the source changed while the compile was in flight. Generations only
+/// ever grow — [`Repository::clear`] drops versions but keeps them, so
+/// an in-flight publish can never resurrect stale code.
+#[derive(Debug, Default)]
+struct NsEntry {
+    versions: Vec<Stored>,
+    generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// `function name → namespace key → versions + generation`.
+    functions: HashMap<String, HashMap<u64, NsEntry>>,
+}
+
+/// The repository: compiled versions per function name and namespace,
+/// sharded for concurrent access. All methods take `&self`; clone-free
+/// sharing between threads goes through `Arc<Repository>`.
 #[derive(Debug)]
 pub struct Repository {
     shards: Vec<RwLock<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Hits answered by a version inserted by a different session.
+    shared_hits: AtomicU64,
     inserts: AtomicU64,
     invalidations: AtomicU64,
     /// Hits answered by a tier-0 version.
@@ -197,13 +244,31 @@ impl Default for Repository {
 }
 
 fn shard_index(name: &str) -> usize {
-    // FNV-1a: tiny, stable, good enough to spread function names.
+    // FNV-1a: tiny, stable, good enough to spread function names. Keyed
+    // by the bare name so every namespace of a function shares a shard.
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in name.as_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     (h % SHARD_COUNT as u64) as usize
+}
+
+/// The locator preference among safe candidates: highest [`Tier`]
+/// first, then Manhattan-closest signature, then [`CodeQuality`].
+fn best<'a>(
+    candidates: impl Iterator<Item = &'a Stored>,
+    actuals: &Signature,
+) -> Option<&'a Stored> {
+    candidates
+        .filter(|s| s.version.signature.admits(actuals))
+        .min_by_key(|s| {
+            (
+                std::cmp::Reverse(s.version.tier),
+                s.version.signature.distance(actuals).unwrap_or(u64::MAX),
+                std::cmp::Reverse(s.version.quality),
+            )
+        })
 }
 
 impl Repository {
@@ -215,6 +280,7 @@ impl Repository {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            shared_hits: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             tier0_hits: AtomicU64::new(0),
@@ -227,92 +293,119 @@ impl Repository {
         &self.shards[shard_index(name)]
     }
 
-    /// Register a compiled version.
-    pub fn insert(&self, name: &str, version: CompiledVersion) {
+    fn count_insert(&self, version: &CompiledVersion) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.compile_nanos
             .fetch_add(version.compile_time.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Register a compiled version in [`DEFAULT_NS`] with no session
+    /// attribution (single-tenant compatibility path).
+    pub fn insert(&self, name: &str, version: CompiledVersion) {
+        self.insert_ns(name, DEFAULT_NS, NO_SESSION, version);
+    }
+
+    /// Register a compiled version in namespace `ns`, attributed to
+    /// `session` (use [`NO_SESSION`] outside any session).
+    pub fn insert_ns(&self, name: &str, ns: u64, session: u64, version: CompiledVersion) {
+        self.count_insert(&version);
         let mut shard = self.shard(name).write().expect("repository shard poisoned");
         shard
             .functions
             .entry(name.to_owned())
             .or_default()
-            .push(Arc::new(version));
+            .entry(ns)
+            .or_default()
+            .versions
+            .push(Stored {
+                version: Arc::new(version),
+                inserted_by: session,
+            });
     }
 
-    /// The current invalidation generation of `name` (0 until the first
-    /// [`Repository::invalidate`]). A compile that starts now and
-    /// publishes through [`Repository::insert_if_current`] with this
-    /// value is guaranteed to be dropped if the source changes in
-    /// between.
+    /// The current invalidation generation of `name` in [`DEFAULT_NS`]
+    /// (0 until the first [`Repository::invalidate`]).
     pub fn generation(&self, name: &str) -> u64 {
-        let shard = self.shard(name).read().expect("repository shard poisoned");
-        shard.generations.get(name).copied().unwrap_or(0)
+        self.generation_ns(name, DEFAULT_NS)
     }
 
-    /// Register `version` only if `name`'s invalidation generation is
-    /// still `generation` (as captured by [`Repository::generation`]
-    /// when the compile started). Returns whether the version was
-    /// published.
+    /// The current invalidation generation of `(name, ns)` (0 until the
+    /// first invalidation). A compile that starts now and publishes
+    /// through [`Repository::insert_if_current_ns`] with this value is
+    /// guaranteed to be dropped if the source changes in between.
+    pub fn generation_ns(&self, name: &str, ns: u64) -> u64 {
+        let shard = self.shard(name).read().expect("repository shard poisoned");
+        shard
+            .functions
+            .get(name)
+            .and_then(|e| e.get(&ns))
+            .map_or(0, |e| e.generation)
+    }
+
+    /// [`Repository::insert_if_current_ns`] against [`DEFAULT_NS`] with
+    /// no session attribution.
+    pub fn insert_if_current(&self, name: &str, generation: u64, version: CompiledVersion) -> bool {
+        self.insert_if_current_ns(name, DEFAULT_NS, generation, NO_SESSION, version)
+    }
+
+    /// Register `version` only if `(name, ns)`'s invalidation generation
+    /// is still `generation` (as captured by
+    /// [`Repository::generation_ns`] when the compile started). Returns
+    /// whether the version was published.
     ///
     /// This is the publish path for *background* compiles: a worker's
     /// input is a registry snapshot taken at enqueue time, so by the
-    /// time it finishes, [`Repository::invalidate`] may have dropped
+    /// time it finishes, [`Repository::invalidate_ns`] may have dropped
     /// every version of the old source. The check and the push happen
     /// under one shard write lock, so a version compiled from
     /// since-redefined source can never land — stale code would
     /// otherwise outrank (or coexist with) fresh tier-0 compiles and
     /// silently change results.
-    pub fn insert_if_current(&self, name: &str, generation: u64, version: CompiledVersion) -> bool {
+    pub fn insert_if_current_ns(
+        &self,
+        name: &str,
+        ns: u64,
+        generation: u64,
+        session: u64,
+        version: CompiledVersion,
+    ) -> bool {
         let mut shard = self.shard(name).write().expect("repository shard poisoned");
-        if shard.generations.get(name).copied().unwrap_or(0) != generation {
+        let current = shard
+            .functions
+            .get(name)
+            .and_then(|e| e.get(&ns))
+            .map_or(0, |e| e.generation);
+        if current != generation {
             return false;
         }
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.compile_nanos
-            .fetch_add(version.compile_time.as_nanos() as u64, Ordering::Relaxed);
+        self.count_insert(&version);
         shard
             .functions
             .entry(name.to_owned())
             .or_default()
-            .push(Arc::new(version));
+            .entry(ns)
+            .or_default()
+            .versions
+            .push(Stored {
+                version: Arc::new(version),
+                inserted_by: session,
+            });
         true
     }
 
-    /// The function locator: find the best safe version for an
-    /// invocation, or `None` (triggering a JIT compilation).
-    ///
-    /// Among safe candidates the locator prefers the highest [`Tier`]
-    /// (optimized code wins over naive code whenever both admit the
-    /// call), then the Manhattan-closest signature within that tier,
-    /// then [`CodeQuality`] as the final tie-breaker. Because the
-    /// preference is evaluated per lookup against whatever versions are
-    /// currently published, a tier-1 version inserted by a background
-    /// recompile takes over dispatch atomically, with no stall — and a
-    /// signature it does not admit falls back to tier 0 the same way.
-    ///
-    /// Returns a shared handle (versions live behind `Arc`s, so a hit
-    /// clones one pointer, never the signature or output types) and the
-    /// shard lock is released before the code runs.
-    pub fn lookup(&self, name: &str, actuals: &Signature) -> Option<Arc<CompiledVersion>> {
-        let found = {
-            let shard = self.shard(name).read().expect("repository shard poisoned");
-            shard.functions.get(name).and_then(|versions| {
-                versions
-                    .iter()
-                    .filter(|v| v.signature.admits(actuals))
-                    .min_by_key(|v| {
-                        (
-                            std::cmp::Reverse(v.tier),
-                            v.signature.distance(actuals).unwrap_or(u64::MAX),
-                            std::cmp::Reverse(v.quality),
-                        )
-                    })
-                    .cloned()
-            })
-        };
-        if let Some(v) = &found {
+    /// Bump the locator counters and emit the per-lookup trace event.
+    fn record_lookup(
+        &self,
+        name: &str,
+        actuals: &Signature,
+        found: Option<&Arc<CompiledVersion>>,
+        shared: bool,
+    ) {
+        if let Some(v) = found {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if shared {
+                self.shared_hits.fetch_add(1, Ordering::Relaxed);
+            }
             match v.tier {
                 Tier::T0 => self.tier0_hits.fetch_add(1, Ordering::Relaxed),
                 Tier::T1 => self.tier1_hits.fetch_add(1, Ordering::Relaxed),
@@ -324,7 +417,7 @@ impl Repository {
             // Per-lookup locator event: the best match's Manhattan
             // distance is the signal Tables 1–2 and future heuristics
             // are built on.
-            let distance = found.as_ref().and_then(|v| v.signature.distance(actuals));
+            let distance = found.and_then(|v| v.signature.distance(actuals));
             if let Some(d) = distance {
                 majic_trace::histogram("repo.lookup.distance").record(d);
             }
@@ -345,29 +438,121 @@ impl Repository {
                 args
             });
         }
+    }
+
+    /// The function locator across *all* namespaces of `name`: find the
+    /// best safe version for an invocation, or `None` (triggering a JIT
+    /// compilation). Single-tenant compatibility path — engine sessions
+    /// dispatch through [`Repository::lookup_ns`].
+    ///
+    /// Among safe candidates the locator prefers the highest [`Tier`]
+    /// (optimized code wins over naive code whenever both admit the
+    /// call), then the Manhattan-closest signature within that tier,
+    /// then [`CodeQuality`] as the final tie-breaker. Because the
+    /// preference is evaluated per lookup against whatever versions are
+    /// currently published, a tier-1 version inserted by a background
+    /// recompile takes over dispatch atomically, with no stall — and a
+    /// signature it does not admit falls back to tier 0 the same way.
+    ///
+    /// Returns a shared handle (versions live behind `Arc`s, so a hit
+    /// clones one pointer, never the signature or output types) and the
+    /// shard lock is released before the code runs.
+    pub fn lookup(&self, name: &str, actuals: &Signature) -> Option<Arc<CompiledVersion>> {
+        let found = {
+            let shard = self.shard(name).read().expect("repository shard poisoned");
+            shard.functions.get(name).and_then(|namespaces| {
+                best(namespaces.values().flat_map(|e| e.versions.iter()), actuals)
+                    .map(|s| Arc::clone(&s.version))
+            })
+        };
+        self.record_lookup(name, actuals, found.as_ref(), false);
         found
     }
 
-    /// Inference oracle: output types of the best version admitting the
-    /// given argument types.
+    /// The function locator within one namespace, attributed to
+    /// `session`: the dispatch path of a multi-session service. Same
+    /// preference order as [`Repository::lookup`], but only versions in
+    /// `ns` are candidates — a session can never be answered with code
+    /// compiled from source it did not load. A hit on a version a
+    /// *different* session inserted counts as a shared hit
+    /// ([`RepoStats::shared_hits`]).
+    pub fn lookup_ns(
+        &self,
+        name: &str,
+        ns: u64,
+        session: u64,
+        actuals: &Signature,
+    ) -> Option<Arc<CompiledVersion>> {
+        let (found, shared) = {
+            let shard = self.shard(name).read().expect("repository shard poisoned");
+            match shard
+                .functions
+                .get(name)
+                .and_then(|namespaces| namespaces.get(&ns))
+                .and_then(|e| best(e.versions.iter(), actuals))
+            {
+                Some(s) => (
+                    Some(Arc::clone(&s.version)),
+                    session != NO_SESSION && s.inserted_by != session,
+                ),
+                None => (None, false),
+            }
+        };
+        self.record_lookup(name, actuals, found.as_ref(), shared);
+        found
+    }
+
+    /// Inference oracle across all namespaces: output types of the best
+    /// version admitting the given argument types.
     pub fn call_types(&self, name: &str, args: &Signature) -> Option<Vec<Type>> {
         let shard = self.shard(name).read().expect("repository shard poisoned");
-        shard.functions.get(name).and_then(|versions| {
-            versions
-                .iter()
-                .filter(|v| v.signature.admits(args))
-                .min_by_key(|v| v.signature.distance(args).unwrap_or(u64::MAX))
-                .map(|v| v.output_types.clone())
+        shard.functions.get(name).and_then(|namespaces| {
+            namespaces
+                .values()
+                .flat_map(|e| e.versions.iter())
+                .filter(|s| s.version.signature.admits(args))
+                .min_by_key(|s| s.version.signature.distance(args).unwrap_or(u64::MAX))
+                .map(|s| s.version.output_types.clone())
         })
     }
 
-    /// Number of compiled versions of `name`.
-    pub fn version_count(&self, name: &str) -> usize {
+    /// Inference oracle within one namespace (the multi-session path:
+    /// a callee's output types must come from the *caller's* view of the
+    /// callee, never from a neighbor's redefinition).
+    pub fn call_types_ns(&self, name: &str, ns: u64, args: &Signature) -> Option<Vec<Type>> {
         let shard = self.shard(name).read().expect("repository shard poisoned");
-        shard.functions.get(name).map_or(0, Vec::len)
+        shard
+            .functions
+            .get(name)
+            .and_then(|namespaces| namespaces.get(&ns))
+            .and_then(|e| {
+                e.versions
+                    .iter()
+                    .filter(|s| s.version.signature.admits(args))
+                    .min_by_key(|s| s.version.signature.distance(args).unwrap_or(u64::MAX))
+                    .map(|s| s.version.output_types.clone())
+            })
     }
 
-    /// Total number of versions across all functions.
+    /// Number of compiled versions of `name` across all namespaces.
+    pub fn version_count(&self, name: &str) -> usize {
+        let shard = self.shard(name).read().expect("repository shard poisoned");
+        shard.functions.get(name).map_or(0, |namespaces| {
+            namespaces.values().map(|e| e.versions.len()).sum()
+        })
+    }
+
+    /// Number of compiled versions of `name` in namespace `ns`.
+    pub fn version_count_ns(&self, name: &str, ns: u64) -> usize {
+        let shard = self.shard(name).read().expect("repository shard poisoned");
+        shard
+            .functions
+            .get(name)
+            .and_then(|namespaces| namespaces.get(&ns))
+            .map_or(0, |e| e.versions.len())
+    }
+
+    /// Total number of versions across all functions and namespaces.
     pub fn total_versions(&self) -> usize {
         self.shards
             .iter()
@@ -376,7 +561,8 @@ impl Repository {
                     .expect("repository shard poisoned")
                     .functions
                     .values()
-                    .map(Vec::len)
+                    .flat_map(HashMap::values)
+                    .map(|e| e.versions.len())
                     .sum::<usize>()
             })
             .sum()
@@ -389,6 +575,7 @@ impl Repository {
         RepoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            shared_hits: self.shared_hits.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             tier0_hits: self.tier0_hits.load(Ordering::Relaxed),
@@ -405,9 +592,11 @@ impl Repository {
         let mut counts = [0usize; 2];
         for s in &self.shards {
             let shard = s.read().expect("repository shard poisoned");
-            for versions in shard.functions.values() {
-                for v in versions {
-                    counts[v.tier.level() as usize] += 1;
+            for namespaces in shard.functions.values() {
+                for e in namespaces.values() {
+                    for s in &e.versions {
+                        counts[s.version.tier.level() as usize] += 1;
+                    }
                 }
             }
         }
@@ -419,11 +608,11 @@ impl Repository {
         self.inserts.load(Ordering::Relaxed)
     }
 
-    /// Drop every version of `name` (source changed — the repository
-    /// "triggers recompilations when the source code changes") and bump
-    /// its invalidation generation, so in-flight background compiles of
-    /// the old source are rejected at publish time
-    /// ([`Repository::insert_if_current`]).
+    /// Drop every version of `name` in *every* namespace (source changed
+    /// — the repository "triggers recompilations when the source code
+    /// changes") and bump each namespace's invalidation generation, so
+    /// in-flight background compiles of the old source are rejected at
+    /// publish time ([`Repository::insert_if_current_ns`]).
     pub fn invalidate(&self, name: &str) {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         majic_trace::audit::session_event("repo.invalidate", || {
@@ -433,22 +622,57 @@ impl Repository {
             )
         });
         let mut shard = self.shard(name).write().expect("repository shard poisoned");
-        shard.functions.remove(name);
-        *shard.generations.entry(name.to_owned()).or_insert(0) += 1;
+        let namespaces = shard.functions.entry(name.to_owned()).or_default();
+        // Bump the default namespace even if nothing was ever inserted
+        // there: `generation(name)` must grow on every invalidation.
+        namespaces.entry(DEFAULT_NS).or_default();
+        for e in namespaces.values_mut() {
+            e.versions.clear();
+            e.generation += 1;
+        }
     }
 
-    /// Drop every version (generations are preserved — dropping code is
-    /// not a source change, and an in-flight publish for unchanged
-    /// source is still valid).
+    /// Drop every version of `name` in namespace `ns` only, and bump
+    /// that namespace's generation. This is the multi-session
+    /// redefinition path: when the *last* session using `(name, ns)`
+    /// moves to new source, its old versions are dropped and any
+    /// in-flight background publish against the old source is rejected —
+    /// while other namespaces (other sessions' definitions of the same
+    /// name) are untouched.
+    pub fn invalidate_ns(&self, name: &str, ns: u64) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        majic_trace::audit::session_event("repo.invalidate", || {
+            (
+                name.to_owned(),
+                format!("source changed in namespace {ns:016x}: its compiled versions dropped"),
+            )
+        });
+        let mut shard = self.shard(name).write().expect("repository shard poisoned");
+        let e = shard
+            .functions
+            .entry(name.to_owned())
+            .or_default()
+            .entry(ns)
+            .or_default();
+        e.versions.clear();
+        e.generation += 1;
+    }
+
+    /// Drop every version in every namespace (generations are preserved
+    /// — dropping code is not a source change, and an in-flight publish
+    /// for unchanged source is still valid).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.write()
-                .expect("repository shard poisoned")
-                .functions
-                .clear();
+            let mut shard = s.write().expect("repository shard poisoned");
+            for namespaces in shard.functions.values_mut() {
+                for e in namespaces.values_mut() {
+                    e.versions.clear();
+                }
+            }
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.shared_hits.store(0, Ordering::Relaxed);
         self.inserts.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
         self.tier0_hits.store(0, Ordering::Relaxed);
@@ -462,23 +686,45 @@ impl Repository {
     }
 
     /// A point-in-time snapshot of every compiled version, grouped by
-    /// function and sorted by name (so serialized caches are
-    /// deterministic). Shards are locked one at a time; concurrent
-    /// inserts may or may not appear.
+    /// function (namespaces merged) and sorted by name (so serialized
+    /// caches are deterministic). Shards are locked one at a time;
+    /// concurrent inserts may or may not appear.
     pub fn entries(&self) -> Vec<(String, Vec<CompiledVersion>)> {
         let mut all: Vec<(String, Vec<CompiledVersion>)> = Vec::new();
-        for s in &self.shards {
-            let shard = s.read().expect("repository shard poisoned");
-            for (name, versions) in &shard.functions {
-                // Deep clone: serialization walks the whole version
-                // anyway, and this keeps `Arc` an internal detail.
-                all.push((
-                    name.clone(),
-                    versions.iter().map(|v| (**v).clone()).collect(),
-                ));
+        for (name, _, versions) in self.entries_ns() {
+            match all.last_mut() {
+                Some((last, vs)) if *last == name => vs.extend(versions),
+                _ => all.push((name, versions)),
             }
         }
-        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// A point-in-time snapshot of every compiled version with its
+    /// namespace key, sorted by `(name, ns)`. Empty namespaces (all
+    /// versions invalidated) are skipped. This is the persistence
+    /// walk: the namespace key *is* the closure hash a future session
+    /// revalidates cached entries against.
+    pub fn entries_ns(&self) -> Vec<(String, u64, Vec<CompiledVersion>)> {
+        let mut all: Vec<(String, u64, Vec<CompiledVersion>)> = Vec::new();
+        for s in &self.shards {
+            let shard = s.read().expect("repository shard poisoned");
+            for (name, namespaces) in &shard.functions {
+                for (&ns, e) in namespaces {
+                    if e.versions.is_empty() {
+                        continue;
+                    }
+                    // Deep clone: serialization walks the whole version
+                    // anyway, and this keeps `Arc` an internal detail.
+                    all.push((
+                        name.clone(),
+                        ns,
+                        e.versions.iter().map(|s| (*s.version).clone()).collect(),
+                    ));
+                }
+            }
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         all
     }
 }
@@ -701,5 +947,95 @@ mod tests {
         writer.join().unwrap();
         assert_eq!(repo.version_count("t"), 100);
         assert_eq!(repo.insert_count(), 100);
+    }
+
+    #[test]
+    fn namespaces_isolate_dispatch() {
+        // Two sessions, two definitions of `f` (namespaces 10 and 20):
+        // each session's lookup must only ever see its own namespace,
+        // while the namespace-less diagnostics see both.
+        let repo = Repository::new();
+        let sig = vec![Type::scalar(Intrinsic::Real)];
+        repo.insert_ns("f", 10, 1, version(sig.clone(), CodeQuality::Jit));
+        repo.insert_ns("f", 20, 2, version(sig.clone(), CodeQuality::Optimized));
+        let inv = Signature::new(sig);
+        let a = repo.lookup_ns("f", 10, 1, &inv).expect("ns 10 version");
+        assert_eq!(a.quality, CodeQuality::Jit);
+        let b = repo.lookup_ns("f", 20, 2, &inv).expect("ns 20 version");
+        assert_eq!(b.quality, CodeQuality::Optimized);
+        assert!(repo.lookup_ns("f", 30, 3, &inv).is_none(), "unknown ns hit");
+        assert_eq!(repo.version_count("f"), 2);
+        assert_eq!(repo.version_count_ns("f", 10), 1);
+        // The namespace-less locator still finds the best across both.
+        assert_eq!(
+            repo.lookup("f", &inv).unwrap().quality,
+            CodeQuality::Optimized
+        );
+    }
+
+    #[test]
+    fn shared_hits_attribute_cross_session_reuse() {
+        let repo = Repository::new();
+        let sig = vec![Type::scalar(Intrinsic::Real)];
+        repo.insert_ns("f", 10, 1, version(sig.clone(), CodeQuality::Jit));
+        let inv = Signature::new(sig);
+        // The inserting session's own hit is not "shared".
+        repo.lookup_ns("f", 10, 1, &inv).unwrap();
+        assert_eq!(repo.stats().shared_hits, 0);
+        // Another session hitting the same version is.
+        repo.lookup_ns("f", 10, 2, &inv).unwrap();
+        assert_eq!(repo.stats().shared_hits, 1);
+        // Unattributed lookups never count.
+        repo.lookup("f", &inv).unwrap();
+        repo.lookup_ns("f", 10, NO_SESSION, &inv).unwrap();
+        let s = repo.stats();
+        assert_eq!(s.shared_hits, 1);
+        assert_eq!(s.hits, 4);
+    }
+
+    #[test]
+    fn invalidate_ns_spares_other_namespaces() {
+        let repo = Repository::new();
+        let sig = vec![Type::scalar(Intrinsic::Real)];
+        repo.insert_ns("f", 10, 1, version(sig.clone(), CodeQuality::Jit));
+        repo.insert_ns("f", 20, 2, version(sig.clone(), CodeQuality::Jit));
+        let g20 = repo.generation_ns("f", 20);
+        repo.invalidate_ns("f", 10);
+        assert_eq!(repo.version_count_ns("f", 10), 0);
+        assert_eq!(repo.version_count_ns("f", 20), 1, "neighbor poisoned");
+        assert_eq!(repo.generation_ns("f", 10), 1);
+        assert_eq!(
+            repo.generation_ns("f", 20),
+            g20,
+            "neighbor generation bumped"
+        );
+        // The generation guard is per namespace: a stale publish into
+        // ns 10 is rejected while a current publish into ns 20 lands.
+        assert!(!repo.insert_if_current_ns(
+            "f",
+            10,
+            0,
+            1,
+            version(sig.clone(), CodeQuality::Optimized)
+        ));
+        assert!(repo.insert_if_current_ns("f", 20, g20, 2, version(sig, CodeQuality::Optimized)));
+    }
+
+    #[test]
+    fn entries_ns_reports_namespace_keys() {
+        let repo = Repository::new();
+        let sig = vec![Type::scalar(Intrinsic::Real)];
+        repo.insert_ns("a", 7, 1, version(sig.clone(), CodeQuality::Jit));
+        repo.insert_ns("a", 9, 1, version(sig.clone(), CodeQuality::Jit));
+        repo.insert_ns("b", 7, 1, version(sig.clone(), CodeQuality::Jit));
+        repo.invalidate_ns("b", 7); // empty namespaces are skipped
+        let entries = repo.entries_ns();
+        let keys: Vec<(String, u64)> = entries.iter().map(|(n, ns, _)| (n.clone(), *ns)).collect();
+        assert_eq!(keys, vec![("a".to_owned(), 7), ("a".to_owned(), 9)]);
+        // The merged view folds namespaces per name.
+        let merged = repo.entries();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0, "a");
+        assert_eq!(merged[0].1.len(), 2);
     }
 }

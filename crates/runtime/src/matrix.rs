@@ -20,8 +20,9 @@ static NUMEL_LIMIT: AtomicUsize = AtomicUsize::new(0);
 /// `None` for anything else (`"0"`, floats like `"2e9"`, suffixes,
 /// non-numbers) — MATLAB-style scientific notation is deliberately not
 /// accepted, so a rejected value can be reported instead of silently
-/// truncated.
-fn parse_numel_limit(s: &str) -> Option<usize> {
+/// truncated. Public so the engine's consolidated `MAJIC_*` env module
+/// can share the exact grammar.
+pub fn parse_numel_limit(s: &str) -> Option<usize> {
     s.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 

@@ -46,13 +46,18 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Master switch for audit recording (independent of span tracing, so a
-/// production session can keep the flight recorder on without paying
-/// for event collection).
+/// Process-wide master switch for audit recording (independent of span
+/// tracing, so a production session can keep the flight recorder on
+/// without paying for event collection).
 static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Number of compiler services that currently request auditing.
+/// Recording is on while *either* the process-wide switch or at least
+/// one service holds it open — so two services in one process never
+/// fight over a single boolean (see [`retain_service`]).
+static ENABLED_SERVICES: AtomicUsize = AtomicUsize::new(0);
 /// Finished compilation records, oldest first.
 static RECORDS: Mutex<VecDeque<CompilationRecord>> = Mutex::new(VecDeque::new());
 /// Session events, oldest first.
@@ -74,15 +79,44 @@ pub const MAX_SESSION_EVENTS: usize = 4096;
 /// [`CompilationRecord::truncated`].
 pub const MAX_NOTES_PER_RECORD: usize = 128;
 
-/// Is audit recording on?
+/// Is audit recording on? True while the process-wide switch is set
+/// *or* any service holds a [`retain_service`] reference. The fast path
+/// stays one relaxed atomic load: the refcount is only consulted when
+/// the process-wide switch is off.
 #[inline]
 pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) || ENABLED_SERVICES.load(Ordering::Relaxed) > 0
+}
+
+/// Turn the process-wide audit switch on or off. Service-held
+/// references ([`retain_service`]) are unaffected — recording stays on
+/// while any service still wants it.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is the *process-wide* switch on (ignoring service references)?
+/// Engines use this to decide whether a record they are about to open
+/// was requested by anyone: their own service flag or this switch.
+#[inline]
+pub fn process_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Turn audit recording on or off.
-pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+/// A compiler service turned its audit flag on: hold recording open.
+/// Paired with [`release_service`]; the count keeps independent
+/// services from fighting over one process-global boolean.
+pub fn retain_service() {
+    ENABLED_SERVICES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A compiler service turned its audit flag off (or was dropped while
+/// auditing): release one [`retain_service`] reference.
+pub fn release_service() {
+    // Saturating: a stray release (service flag toggled twice) must not
+    // wrap the count and pin recording on forever.
+    let _ =
+        ENABLED_SERVICES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
 }
 
 /// One inference widening: a variable's type gave up precision, and why.
@@ -170,6 +204,10 @@ pub struct CompilationRecord {
     pub notes: Vec<LifecycleNote>,
     /// Notes dropped at [`MAX_NOTES_PER_RECORD`] across all three lists.
     pub truncated: u64,
+    /// Session the compilation was performed for (multi-session
+    /// services attribute foreground compiles and background jobs to
+    /// the session that requested them; absent for single-tenant use).
+    pub session: Option<u64>,
     /// Background queue wait in nanoseconds (speculation jobs only).
     pub queue_wait_ns: Option<u64>,
     /// Wall-clock compilation time in nanoseconds.
@@ -273,6 +311,16 @@ pub fn tier(t: u8) {
         return;
     }
     with_current(|rec| rec.tier = Some(t));
+}
+
+/// Record the session id this compilation is attributed to (last write
+/// wins).
+#[inline]
+pub fn session_id(id: u64) {
+    if !enabled() {
+        return;
+    }
+    with_current(|rec| rec.session = Some(id));
 }
 
 /// Record the code-generation summary into the open scope (last write
@@ -448,7 +496,7 @@ fn fmt_ns(ns: u64) -> String {
 fn render_record(out: &mut String, r: &CompilationRecord) {
     let _ = writeln!(
         out,
-        "  [{}] {}({}) — {} → {}{} in {}{}",
+        "  [{}] {}({}) — {} → {}{}{} in {}{}",
         r.seq,
         r.function,
         r.signature,
@@ -456,6 +504,10 @@ fn render_record(out: &mut String, r: &CompilationRecord) {
         r.outcome,
         match r.tier {
             Some(t) => format!(" [tier-{t}]"),
+            None => String::new(),
+        },
+        match r.session {
+            Some(s) => format!(" [session {s}]"),
             None => String::new(),
         },
         fmt_ns(r.compile_ns),
@@ -616,6 +668,9 @@ fn json_record(r: &CompilationRecord, out: &mut String) {
     let _ = write!(out, ",\"compile_ns\":{}", r.compile_ns);
     if let Some(t) = r.tier {
         let _ = write!(out, ",\"tier\":{t}");
+    }
+    if let Some(s) = r.session {
+        let _ = write!(out, ",\"session\":{s}");
     }
     if let Some(w) = r.queue_wait_ns {
         let _ = write!(out, ",\"queue_wait_ns\":{w}");
@@ -838,6 +893,46 @@ mod tests {
         let recs = records_for("audit_test_caps");
         assert_eq!(recs[0].widenings.len(), MAX_NOTES_PER_RECORD);
         assert_eq!(recs[0].truncated, 5);
+    }
+
+    #[test]
+    fn service_refcount_saturates_at_zero() {
+        // Nothing else in this test binary touches the service count,
+        // so it starts at zero here.
+        assert_eq!(ENABLED_SERVICES.load(Ordering::Relaxed), 0);
+        release_service(); // stray release must not wrap to usize::MAX
+        assert_eq!(ENABLED_SERVICES.load(Ordering::Relaxed), 0);
+        retain_service();
+        retain_service();
+        assert_eq!(ENABLED_SERVICES.load(Ordering::Relaxed), 2);
+        release_service();
+        release_service();
+        assert_eq!(ENABLED_SERVICES.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn session_attribution_renders_and_serializes() {
+        set_enabled(true);
+        begin("audit_test_session");
+        session_id(7);
+        commit(
+            || "(real)".into(),
+            "first_call",
+            || "published".into(),
+            None,
+            5,
+        );
+        let recs = records_for("audit_test_session");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].session, Some(7));
+        let mut rendered = String::new();
+        render_record(&mut rendered, &recs[0]);
+        assert!(rendered.contains("[session 7]"), "{rendered}");
+        let snap = AuditSnapshot {
+            records: recs,
+            ..AuditSnapshot::default()
+        };
+        assert!(audit_json(&snap).contains("\"session\":7"));
     }
 
     #[test]

@@ -19,8 +19,8 @@ fn main() {
     // The repl always runs with the compilation audit log on: it is the
     // interactive consumer `\explain` and `\stats` read from, and the
     // flight recorder is bounded + cheap enough to leave recording.
-    Majic::set_audit(true);
     let mut session = Majic::with_mode(ExecMode::Jit);
+    session.set_audit_enabled(true);
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     println!("MaJIC interactive session — .help for commands");

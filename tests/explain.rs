@@ -42,8 +42,9 @@ impl Drop for TempDir {
 }
 
 fn jit() -> Majic {
-    Majic::set_audit(true);
-    Majic::with_mode(ExecMode::Jit)
+    let m = Majic::with_mode(ExecMode::Jit);
+    m.set_audit_enabled(true);
+    m
 }
 
 fn call1(m: &mut Majic, f: &str, x: f64) -> f64 {
@@ -282,7 +283,7 @@ fn explain_reports_speculative_triggers() {
     m.load_source("function y = exspecbg(x)\ny = x * x;\n")
         .unwrap();
     m.speculate_background(1);
-    m.spec_wait();
+    m.background().wait();
     let ex = m.explain("exspecbg");
     let rec = ex
         .records

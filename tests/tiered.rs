@@ -23,14 +23,18 @@ fn scalar(out: &[Value]) -> f64 {
 
 #[test]
 fn promotion_fires_at_threshold() {
-    Majic::set_audit(true);
     let mut m = Majic::with_mode(ExecMode::Jit);
+    m.set_audit_enabled(true);
     m.options.tier.threshold = 1;
     m.load_source(&loop_source("tier_hot")).unwrap();
 
     let first = scalar(&m.call("tier_hot", &[200.0f64.into()], 1).unwrap());
-    m.tier_wait();
-    let stats = m.tier_stats().expect("promotion started the tier pool");
+    m.background().wait();
+    let stats = m
+        .background()
+        .stats()
+        .tier
+        .expect("promotion started the tier pool");
     assert_eq!(stats.published, 1, "one hot version, one tier-1 publish");
     assert_eq!(m.repository().tier_versions(), [1, 1]);
 
@@ -62,8 +66,11 @@ fn no_promotion_below_threshold() {
     // One call of hot(50) scores ~16 + 50 ≪ the default 10_000.
     m.load_source(&loop_source("tier_cold")).unwrap();
     m.call("tier_cold", &[50.0f64.into()], 1).unwrap();
-    m.tier_wait();
-    assert!(m.tier_stats().is_none(), "tier pool started while cold");
+    m.background().wait();
+    assert!(
+        m.background().stats().tier.is_none(),
+        "tier pool started while cold"
+    );
     assert_eq!(m.repository().tier_versions(), [1, 0]);
 }
 
@@ -74,8 +81,8 @@ fn promotion_disabled_by_options() {
     m.options.tier.threshold = 1;
     m.load_source(&loop_source("tier_off")).unwrap();
     m.call("tier_off", &[200.0f64.into()], 1).unwrap();
-    m.tier_wait();
-    assert!(m.tier_stats().is_none());
+    m.background().wait();
+    assert!(m.background().stats().tier.is_none());
     assert_eq!(m.repository().tier_versions(), [1, 0]);
 }
 
@@ -93,7 +100,7 @@ fn tier1_survives_cache_round_trip() {
         m.attach_cache(&path);
         m.load_source(&src).unwrap();
         let out = scalar(&m.call("tier_warm", &[150.0f64.into()], 1).unwrap());
-        m.tier_wait();
+        m.background().wait();
         assert_eq!(m.repository().tier_versions(), [1, 1]);
         out
     }; // drop saves the cache
@@ -112,7 +119,10 @@ fn tier1_survives_cache_round_trip() {
     let warm = scalar(&m.call("tier_warm", &[150.0f64.into()], 1).unwrap());
     assert_eq!(first.to_bits(), warm.to_bits());
     assert!(m.repository().stats().tier1_hits >= 1);
-    assert!(m.tier_stats().is_none(), "warm tier-1 re-promoted");
+    assert!(
+        m.background().stats().tier.is_none(),
+        "warm tier-1 re-promoted"
+    );
 
     drop(m);
     let _ = std::fs::remove_dir_all(&dir);
@@ -152,11 +162,11 @@ fn redefinition_during_promotion_never_publishes_stale() {
             "round {round}: stale tier-1 dispatched"
         );
     }
-    m.tier_wait();
+    m.background().wait();
     // Every drained job either published current-source code, was
     // dropped as stale, or failed — and dispatch still answers from the
     // last definition.
-    let stats = m.tier_stats().expect("promotions ran");
+    let stats = m.background().stats().tier.expect("promotions ran");
     assert_eq!(stats.completed(), stats.enqueued);
     let last = scalar(&m.call("tier_race", &[100.0f64.into()], 1).unwrap());
     assert_eq!(last, expected(19 % 3 + 1));
@@ -170,7 +180,7 @@ fn unseen_signature_falls_back_to_tier0() {
     // would be visible in the output.
     m.load_source(&loop_source("tier_fallback")).unwrap();
     m.call("tier_fallback", &[300.0f64.into()], 1).unwrap();
-    m.tier_wait();
+    m.background().wait();
     assert_eq!(m.repository().tier_versions(), [1, 1]);
 
     // Both existing versions were compiled for the constant signature
